@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+One session-scoped :class:`ExperimentContext` feeds every table bench so
+corpora and transcriptions are generated once.  Each bench writes its
+reproduced table/figure to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Bench-scale context: large enough for stable shapes, small
+    enough that the full suite runs in minutes."""
+    return ExperimentContext({"D1": 60, "D2": 30, "D3": 30}, seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

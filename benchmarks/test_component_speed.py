@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the pipeline's hot components.
+
+These are real pytest-benchmark timings (multiple rounds), complementing
+the single-shot table benches: they track the throughput of the pieces
+a downstream user would scale — OCR, segmentation, pattern search,
+disambiguation and subtree mining.
+"""
+
+import pytest
+
+from repro.core import VS2Segmenter, VS2Selector
+from repro.core.patterns import CURATED_PATTERNS
+from repro.geometry import OccupancyGrid
+from repro.geometry.cuts import interior_cut_sets
+from repro.mining import mine_frequent_subtrees, decode_tree
+from repro.ocr import OcrEngine, deskew
+
+
+@pytest.fixture(scope="module")
+def d2_doc(ctx):
+    return ctx.corpus("D2")[0]
+
+
+@pytest.fixture(scope="module")
+def d2_observed(ctx):
+    return ctx.cleaned("D2")[0].observed
+
+
+@pytest.fixture(scope="module")
+def d1_observed(ctx):
+    return ctx.cleaned("D1")[0].observed
+
+
+def test_ocr_transcription_speed(benchmark, d2_doc):
+    engine = OcrEngine(seed=7)
+    result = benchmark(lambda: engine.transcribe(d2_doc))
+    assert result.words
+
+
+def test_deskew_speed(benchmark, ctx):
+    mobile = next(d for d in ctx.corpus("D2") if d.source == "mobile")
+    observed = OcrEngine(seed=7).transcribe(mobile).as_document(mobile)
+    corrected, angle = benchmark(lambda: deskew(observed))
+    assert corrected is not None
+
+
+def test_segmentation_speed_poster(benchmark, d2_observed):
+    seg = VS2Segmenter()
+    blocks = benchmark(lambda: seg.block_bboxes(d2_observed))
+    assert blocks
+
+
+def test_segmentation_speed_form(benchmark, d1_observed):
+    seg = VS2Segmenter()
+    blocks = benchmark(lambda: seg.block_bboxes(d1_observed))
+    assert len(blocks) > 30
+
+
+def test_cut_detection_speed(benchmark, d1_observed):
+    boxes = [e.bbox for e in d1_observed.elements]
+    grid = OccupancyGrid.from_bboxes(boxes, d1_observed.width, d1_observed.height, 4.0)
+    cuts = benchmark(lambda: interior_cut_sets(grid, "horizontal"))
+    assert cuts
+
+
+def test_pattern_search_speed(benchmark, d2_observed):
+    pattern = CURATED_PATTERNS["event_organizer"]
+    text = d2_observed.full_text()
+    benchmark(lambda: pattern.find(text))
+
+
+def test_select_speed(benchmark, d2_observed):
+    seg = VS2Segmenter()
+    blocks = seg.segment(d2_observed).logical_blocks()
+    selector = VS2Selector("D2")
+    extractions = benchmark(lambda: selector.extract(d2_observed, blocks))
+    assert extractions
+
+
+def test_subtree_mining_speed(benchmark):
+    trees = [
+        decode_tree("S NP DT -1 NN -1 -1 VP VB -1 -1".split()),
+        decode_tree("S NP NN -1 -1 VP VB -1 RB -1 -1".split()),
+        decode_tree("S NP JJ -1 NN -1 -1 VP VB -1 -1".split()),
+    ] * 10
+    patterns = benchmark(lambda: mine_frequent_subtrees(trees, min_support=20, max_nodes=6))
+    assert patterns

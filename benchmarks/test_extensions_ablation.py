@@ -1,0 +1,79 @@
+"""Extension benches: the §7 future-work features as ablations.
+
+Not a paper table — the paper names these as future work — but DESIGN.md
+calls the design choices out, so the bench quantifies them:
+
+* Eq. 2 weight learning vs the §5.3.2 hand-set weights (train on the
+  60 % split, score on the held-out 40 %);
+* the font-type clustering feature's effect on segmentation.
+"""
+
+from conftest import save_result
+
+from repro.core import VS2Segmenter
+from repro.core.config import SegmentConfig, SelectConfig, VS2Config
+from repro.core.weight_learning import learn_eq2_weights
+from repro.eval.metrics import corpus_segmentation_scores, end_to_end_scores
+from repro.harness.reporting import TableResult
+from repro.harness.tables import _VS2Extractor
+
+
+def test_weight_learning(benchmark, ctx, results_dir):
+    def run():
+        table = TableResult(
+            "Extension: learned Eq. 2 weights vs hand-set (held-out F1)",
+            ["Dataset", "Hand-set F1", "Learned F1", "Learned weights"],
+        )
+        for dataset in ("D2", "D3"):
+            train, test = ctx.split(dataset)
+            dev = [(c.original, c.observed, c.angle) for c in train]
+            learned = learn_eq2_weights(dataset, dev, step=0.25)
+
+            default_f1 = end_to_end_scores(
+                ctx.run_extractor(_VS2Extractor(dataset), test)
+            )[0].f1
+            cfg = VS2Config()
+            cfg.select = SelectConfig(eq2_weights={dataset: learned.weights})
+            learned_f1 = end_to_end_scores(
+                ctx.run_extractor(_VS2Extractor(dataset, cfg), test)
+            )[0].f1
+            table.add_row(
+                **{
+                    "Dataset": dataset,
+                    "Hand-set F1": default_f1,
+                    "Learned F1": learned_f1,
+                    "Learned weights": str(learned.weights),
+                }
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(results_dir, "ext_weight_learning", table.format())
+    for row in table.rows:
+        # learned weights generalise: near or above the hand-set result
+        assert row["Learned F1"] >= row["Hand-set F1"] - 0.08, row
+
+
+def test_font_type_feature(benchmark, ctx, results_dir):
+    def run():
+        table = TableResult(
+            "Extension: font-type clustering feature (segmentation F1)",
+            ["Dataset", "Without", "With (w=0.25)"],
+        )
+        for dataset in ("D2", "D3"):
+            scores = {}
+            for label, weight in (("Without", 0.0), ("With (w=0.25)", 0.25)):
+                seg = VS2Segmenter(SegmentConfig(font_type_weight=weight))
+                per_doc = []
+                for c in ctx.cleaned(dataset):
+                    boxes = [c.to_original_frame(b) for b in seg.block_bboxes(c.observed)]
+                    per_doc.append((boxes, c.original.annotations))
+                scores[label] = corpus_segmentation_scores(per_doc).f1
+            table.add_row(Dataset=dataset, **scores)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(results_dir, "ext_font_type", table.format())
+    for row in table.rows:
+        # the feature must not break segmentation; gains are corpus-dependent
+        assert row["With (w=0.25)"] >= row["Without"] - 0.05, row

@@ -1,0 +1,32 @@
+"""Figures 4 & 6 — layout model, logical blocks and interest points.
+
+Renders a poster's layout tree (Fig. 4) and its logical blocks with the
+interest points highlighted (Fig. 6), and asserts their structural
+properties: a proper hierarchy, one block per annotated visual area
+(within slack), and a non-trivial Pareto-front subset.
+"""
+
+from conftest import save_result
+
+from repro.core import VS2Segmenter
+from repro.core.interest_points import select_interest_points
+from repro.harness import figure4_and_6
+
+
+def test_fig4_and_6(benchmark, ctx, results_dir):
+    fig = benchmark.pedantic(lambda: figure4_and_6(ctx, doc_index=0), rounds=1, iterations=1)
+    save_result(results_dir, "fig4_6", fig.format())
+
+    cleaned = ctx.cleaned("D2")[0]
+    tree = VS2Segmenter().segment(cleaned.observed)
+    tree.validate_nesting()
+    blocks = [b for b in tree.logical_blocks() if b.text_atoms]
+    n_entities = len(cleaned.original.annotations)
+    # block count tracks the annotated visual areas (±2 slack)
+    assert n_entities - 1 <= len(blocks) <= n_entities + 3
+
+    interest = select_interest_points(blocks)
+    assert 1 <= len(interest) <= len(blocks)
+    # the tall title block is always visually salient
+    tallest = max(blocks, key=lambda b: b.bbox.h)
+    assert tallest in interest

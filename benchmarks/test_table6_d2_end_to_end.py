@@ -1,0 +1,32 @@
+"""Table 6 — end-to-end VS2 on D2, per entity, ΔF1 vs text-only.
+
+Paper shape: overall ΔF1 ≈ +5 with the visually salient entities
+(Event Organizer, Event Title) gaining the most; Event Time /
+Description gains are marginal because their text-only patterns
+(regexes, verbose blocks) already localise well.
+"""
+
+from conftest import save_result
+
+from repro.harness import table6
+
+
+def test_table6(benchmark, ctx, results_dir):
+    table = benchmark.pedantic(lambda: table6(ctx), rounds=1, iterations=1)
+    save_result(results_dir, "table6", table.format())
+
+    overall = table.rows[-1]
+    assert overall["Named Entity"] == "Overall"
+    assert overall["Pr"] >= 0.75 and overall["Rec"] >= 0.75
+    # VS2 improves on the text-only baseline overall.
+    assert overall["dF1"] > 0.0
+
+    # The visually salient organizer gains from the visual treatment
+    # (the paper's +10.5 headline) and no entity loses badly.  Exact
+    # per-entity ΔF1 ordering is sample-noise-sensitive at bench scale,
+    # so only the signs are asserted here; see EXPERIMENTS.md for the
+    # measured ordering at larger corpus sizes.
+    organizer = table.value("Named Entity", "Event Organizer", "dF1")
+    assert organizer > 0.0
+    for row in table.rows[:-1]:
+        assert row["dF1"] >= -0.05, row

@@ -1,0 +1,42 @@
+"""Table 9 — ablation study of VS2's components.
+
+Paper shape: every component contributes; the effects of semantic
+merging (A1) and visual clustering (A2) are most prominent on the
+heterogeneous D2/D3 corpora; disambiguation (A3) matters most on D2/D3
+where patterns match multiple blocks; the multimodal strategy beats
+text-only Lesk (A4) on the visually rich corpora.
+"""
+
+from conftest import save_result
+
+from repro.harness import table9
+
+
+def test_table9(benchmark, ctx, results_dir):
+    table = benchmark.pedantic(lambda: table9(ctx), rounds=1, iterations=1)
+    save_result(results_dir, "table9", table.format())
+
+    def d(index, ds):
+        return table.value("Index", index, f"dF1 {ds}")
+
+    # A1 (semantic merging): effect most prominent on D2/D3 (§6.5).
+    assert d("A1", "D3") > 0.02
+    assert d("A1", "D3") >= d("A1", "D1")
+    assert d("A1", "D2") >= d("A1", "D1") - 0.01
+
+    # A3 (multimodal disambiguation): significant effect on D2 and D3.
+    assert d("A3", "D2") > 0.05
+    assert d("A3", "D3") > 0.03
+    # ... and larger than its effect on the single-match regime of D1.
+    assert d("A3", "D2") > d("A3", "D1")
+
+    # A4: multimodal disambiguation is at least as good as Lesk
+    # everywhere, and strictly better on at least one rich corpus.
+    for ds in ("D1", "D2", "D3"):
+        assert d("A4", ds) >= -0.03, ds
+    assert max(d("A4", "D2"), d("A4", "D3")) > 0.02
+
+    # No ablation *helps* dramatically (components never hurt much).
+    for index in ("A1", "A2", "A3", "A4"):
+        for ds in ("D1", "D2", "D3"):
+            assert d(index, ds) >= -0.05, (index, ds)

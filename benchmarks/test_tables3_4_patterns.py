@@ -1,0 +1,29 @@
+"""Tables 3 & 4 — the per-entity syntactic patterns.
+
+Shows the curated (paper-stated) pattern next to the top maximal
+frequent subtree mined from the holdout corpus, verifying the distant
+supervision path recovers pattern structure of the curated kind
+(NE:TIME trees for times, Person/Org NE trees for organizers, ...).
+"""
+
+from conftest import save_result
+
+from repro.harness import tables3_4
+
+
+def test_tables3_4(benchmark, results_dir):
+    table = benchmark.pedantic(lambda: tables3_4(seed=0, max_entries=24), rounds=1, iterations=1)
+    save_result(results_dir, "tables3_4", table.format())
+
+    def mined(entity):
+        return table.value("Named Entity", entity, "Top mined subtree") or ""
+
+    # Mined patterns carry the annotations the curated patterns key on.
+    assert "NE:TIME" in mined("Event Time") or "CD" in mined("Event Time")
+    assert "NE:PERSON" in mined("Event Organizer") or "NE:ORGANIZATION" in mined(
+        "Event Organizer"
+    )
+    assert "NE:PHONE" in mined("Broker Phone") or "CD" in mined("Broker Phone")
+    assert "NE:EMAIL" in mined("Broker Email") or mined("Broker Email")
+    # Every entity has a curated pattern name from Tables 3/4.
+    assert all(row["Curated pattern"] for row in table.rows)

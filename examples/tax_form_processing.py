@@ -1,0 +1,57 @@
+"""Structured form processing: the D1 task at batch scale.
+
+Runs the pipeline over scanned 1988-package tax forms: identifies each
+document's form face from its title, extracts every filled field by
+(OCR-tolerant) descriptor matching within the segmented rows, and
+reports per-face accuracy — the regime where VS2's two-phase design
+reaches ~95/98 P/R in the paper.
+
+Run:  python examples/tax_form_processing.py
+"""
+
+from collections import defaultdict
+
+from repro.core import VS2Pipeline
+from repro.eval.metrics import PRF, match_extractions
+from repro.synth import generate_corpus
+from repro.synth.tax_forms import form_faces
+
+
+def main() -> None:
+    corpus = generate_corpus("D1", n=20, seed=3)
+    pipeline = VS2Pipeline("D1")
+    faces = {f.face_id: f for f in form_faces()}
+
+    per_face: dict = defaultdict(PRF)
+    overall = PRF()
+    for doc in corpus:
+        result = pipeline.run(doc)
+        scores = match_extractions(result.extractions, doc.annotations)
+        doc_prf = PRF()
+        for prf in scores.values():
+            doc_prf.add(PRF(prf.tp, prf.fp, prf.fn))
+        face_id = doc.metadata["face"]
+        per_face[face_id].add(PRF(doc_prf.tp, doc_prf.fp, doc_prf.fn))
+        overall.add(PRF(doc_prf.tp, doc_prf.fp, doc_prf.fn))
+
+    print(f"processed {len(corpus)} forms over {len(per_face)} of 20 faces")
+    print(f"overall field extraction: P={overall.precision:.2%} R={overall.recall:.2%}\n")
+    for face_id, prf in sorted(per_face.items()):
+        title = faces[face_id].title
+        print(f"   face {face_id:2d} {title[:44]:44s} "
+              f"P={prf.precision:6.2%} R={prf.recall:6.2%} ({prf.tp} fields)")
+
+    # Show a filled record for one document.
+    sample = pipeline.run(corpus[0])
+    print(f"\nsample record from {corpus[0].doc_id} (first 10 fields):")
+    for key, value in list(sorted(sample.as_key_values().items()))[:10]:
+        face_id = int(key.split(":")[1])
+        line_no = int(key.split(":")[2])
+        descriptor = next(
+            f.descriptor for f in faces[face_id].fields if f.entity_type == key
+        )
+        print(f"   {descriptor[:38]:38s} = {value!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""VS2 — visual segmentation for information extraction.
+
+A from-scratch reproduction of Sarkhel & Nandi, "Visual Segmentation
+for Information Extraction from Heterogeneous Visually Rich Documents"
+(SIGMOD 2019), including every substrate the system depends on.
+
+Typical use::
+
+    from repro import VS2Pipeline, generate_corpus
+
+    doc = generate_corpus("D2", n=1, seed=42)[0]
+    result = VS2Pipeline("D2").run(doc)
+    print(result.as_key_values())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — VS2-Segment, VS2-Select, the pipeline;
+* :mod:`repro.synth` — synthetic D1/D2/D3 corpora with ground truth;
+* :mod:`repro.ocr` — simulated OCR, deskewing, layout analysis;
+* :mod:`repro.baselines` — the paper's segmentation/extraction competitors;
+* :mod:`repro.eval` — the §6.2 evaluation protocol;
+* :mod:`repro.harness` — one runner per paper table/figure.
+"""
+
+from repro.core import VS2Config, VS2Pipeline, VS2Segmenter, VS2Selector
+from repro.synth import generate_corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VS2Pipeline",
+    "VS2Segmenter",
+    "VS2Selector",
+    "VS2Config",
+    "generate_corpus",
+    "__version__",
+]

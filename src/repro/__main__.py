@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``extract``   run the VS2 pipeline over a synthetic corpus and print
+              the extracted key-value pairs per document
+``table``     regenerate one of the paper's tables (2, 5, 6, 7, 8, 9)
+``figure``    regenerate Fig. 3 or Figs. 4/6
+``render``    rasterise a synthetic document to a PPM image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core import VS2Pipeline
+    from repro.synth import generate_corpus
+
+    corpus = generate_corpus(args.dataset, n=args.n, seed=args.seed)
+    pipeline = VS2Pipeline(args.dataset)
+    for doc in corpus:
+        result = pipeline.run(doc)
+        print(f"== {doc.doc_id} ({doc.source}) ==")
+        for key, value in sorted(result.as_key_values().items()):
+            print(f"  {key:22s} {value[:70]!r}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        ExperimentContext,
+        table2,
+        table5,
+        table6,
+        table7,
+        table8,
+        table9,
+    )
+
+    runners = {"2": table2, "5": table5, "6": table6, "7": table7, "8": table8, "9": table9}
+    runner = runners[args.number]
+    if args.number == "2":
+        print(runner(seed=args.seed).format())
+        return 0
+    context = ExperimentContext(
+        {"D1": args.n_d1, "D2": args.n_d2, "D3": args.n_d3}, seed=args.seed
+    )
+    print(runner(context).format())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import ExperimentContext, figure3, figure4_and_6
+
+    context = ExperimentContext({"D2": max(args.doc_index + 1, 4)}, seed=args.seed)
+    fig = figure3(context, args.doc_index) if args.number == "3" else figure4_and_6(
+        context, args.doc_index
+    )
+    print(fig.format())
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.doc.render import rasterize, save_ppm
+    from repro.synth import generate_corpus
+
+    doc = generate_corpus(args.dataset, n=args.index + 1, seed=args.seed)[args.index]
+    canvas = rasterize(doc, scale=args.scale)
+    save_ppm(canvas, args.output)
+    print(f"wrote {args.output} ({canvas.shape[1]}x{canvas.shape[0]})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the module CLI."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("extract", help="run VS2 over a synthetic corpus")
+    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_extract)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", choices=["2", "5", "6", "7", "8", "9"])
+    p.add_argument("--n-d1", type=int, default=24)
+    p.add_argument("--n-d2", type=int, default=16)
+    p.add_argument("--n-d3", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", choices=["3", "4"])
+    p.add_argument("--doc-index", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("render", help="rasterise a synthetic document to PPM")
+    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--output", default="document.ppm")
+    p.set_defaults(fn=_cmd_render)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

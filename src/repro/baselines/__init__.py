@@ -1,0 +1,10 @@
+"""Baseline systems the paper compares against.
+
+``segmentation`` — the five Table 5 competitors (A1 text-only
+clustering, A2 XY-Cut, A3 Voronoi tessellation, A4 VIPS, A5 Tesseract
+layout analysis — the latter lives in :mod:`repro.ocr.layout_analysis`).
+
+``extraction`` — the Table 7 competitors (ClausIE, FSM, the ML-based
+HTML extractor of Zhou et al., the visual+textual SVM of Apostolova et
+al., ReportMiner) plus the text-only baseline of Tables 6/8.
+"""

@@ -1,0 +1,36 @@
+"""End-to-end extraction baselines (Tables 6, 7, 8).
+
+All baselines consume the same *observed* (OCR-transcribed) document
+view as VS2 and emit :class:`repro.core.select.Extraction` records:
+
+=====================  =================================================
+``textonly``           Tesseract layout + Tables 3/4 patterns + Lesk —
+                       the ΔF1 reference of Tables 6 and 8
+``clausie``            ClausIE [10]: clause-based rules over the linear
+                       transcription (text-only)
+``fsm``                frequent-subtree-mining patterns over the linear
+                       transcription (text-only)
+``ml_based``           Zhou et al. [49]: SVM over HTML node features
+                       (HTML-convertible documents only)
+``apostolova``         Apostolova et al. [2]: SVM over combined visual
+                       and textual block features (60/40 split)
+``reportminer``        ReportMiner [22]: per-template positional masks
+                       induced from a 60% split
+=====================  =================================================
+"""
+
+from repro.baselines.extraction.textonly import TextOnlyExtractor
+from repro.baselines.extraction.clausie import ClausIEExtractor
+from repro.baselines.extraction.fsm import FsmExtractor
+from repro.baselines.extraction.ml_based import MlBasedExtractor
+from repro.baselines.extraction.apostolova import ApostolovaExtractor
+from repro.baselines.extraction.reportminer import ReportMinerExtractor
+
+__all__ = [
+    "TextOnlyExtractor",
+    "ClausIEExtractor",
+    "FsmExtractor",
+    "MlBasedExtractor",
+    "ApostolovaExtractor",
+    "ReportMinerExtractor",
+]

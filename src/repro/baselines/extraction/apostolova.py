@@ -1,0 +1,142 @@
+"""Baseline: combined visual + textual SVM (Apostolova et al. [2]).
+
+"They proposed a combination of textual and visual features to train
+an SVM classifier ... trained on the dataset (60%-40% split) using
+some visual and textual features of the document" (§6.4).
+
+Candidate regions are Tesseract layout blocks; each is encoded with
+the visual+textual vector of :mod:`.features`; a linear SVM assigns
+entity types, and the top-scoring block per entity is extracted.
+
+On D1 the entity space is the 1369 form fields, far too many classes
+for per-class hyperplanes over form-sized training sets; following the
+positional nature of their visual features on fixed forms, the D1 path
+pairs a form-face detector with per-field positional prototypes
+(the SVM's position features collapse to exactly this on rigid
+templates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.extraction.base import identify_face_from_text
+from repro.baselines.extraction.features import block_feature_vector
+from repro.core.select import Extraction
+from repro.doc import Document
+from repro.geometry import BBox
+from repro.ml import LinearSVM, StandardScaler
+from repro.ocr.layout_analysis import tesseract_blocks
+
+_OTHER = "__other__"
+
+
+class ApostolovaExtractor:
+    """SVM over visual+textual block features (60/40 protocol)."""
+
+    def __init__(self, dataset: str, seed: int = 0):
+        self.dataset = dataset.upper()
+        self.seed = seed
+        self.model: Optional[LinearSVM] = None
+        self.scaler = StandardScaler()
+        # D1 path: face id → entity → mean centroid prototype.
+        self.prototypes: Dict[int, Dict[str, Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, train_docs: Sequence[Document]) -> "ApostolovaExtractor":
+        """Train on annotated documents (the paper's 60% split)."""
+        if self.dataset == "D1":
+            return self._fit_prototypes(train_docs)
+        features: List[np.ndarray] = []
+        labels: List[str] = []
+        for doc in train_docs:
+            for box in tesseract_blocks(doc):
+                features.append(block_feature_vector(doc, box))
+                labels.append(self._label_for(box, doc))
+        if not features or len(set(labels)) < 2:
+            raise ValueError("not enough labelled blocks to train on")
+        x = self.scaler.fit_transform(np.stack(features))
+        self.model = LinearSVM(c=2.0, epochs=40, seed=self.seed).fit(x, labels)
+        return self
+
+    @staticmethod
+    def _label_for(box: BBox, doc: Document) -> str:
+        best: Tuple[float, str] = (0.0, _OTHER)
+        for a in doc.annotations:
+            iou = box.iou(a.bbox)
+            if iou > max(best[0], 0.4):
+                best = (iou, a.entity_type)
+        return best[1]
+
+    def _fit_prototypes(self, train_docs: Sequence[Document]) -> "ApostolovaExtractor":
+        sums: Dict[int, Dict[str, List[float]]] = {}
+        for doc in train_docs:
+            face = doc.metadata.get("face")
+            if face is None:
+                detected = identify_face_from_text(doc)
+                face = detected.face_id if detected else None
+            if face is None:
+                continue
+            per_face = sums.setdefault(int(face), {})
+            for a in doc.annotations:
+                cx, cy = a.bbox.centroid
+                acc = per_face.setdefault(a.entity_type, [0.0, 0.0, 0.0])
+                acc[0] += cx
+                acc[1] += cy
+                acc[2] += 1.0
+        self.prototypes = {
+            face: {
+                entity: (acc[0] / acc[2], acc[1] / acc[2])
+                for entity, acc in per_face.items()
+            }
+            for face, per_face in sums.items()
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    def extract(self, doc: Document) -> List[Extraction]:
+        """Top-scoring block per entity from the trained classifier."""
+        if self.dataset == "D1":
+            return self._extract_by_prototypes(doc)
+        if self.model is None:
+            raise RuntimeError("fit() the extractor before extracting")
+        blocks = tesseract_blocks(doc)
+        if not blocks:
+            return []
+        x = self.scaler.transform(
+            np.stack([block_feature_vector(doc, b) for b in blocks])
+        )
+        scores = self.model.decision_function(x)
+        classes = self.model.classes_
+        out: List[Extraction] = []
+        for k, entity_type in enumerate(classes):
+            if entity_type == _OTHER or len(classes) == 2:
+                continue
+            best = int(np.argmax(scores[:, k]))
+            if scores[best, k] < -0.25:
+                continue
+            box = blocks[best]
+            out.append(
+                Extraction(entity_type, doc.text_of(box), box, box, float(scores[best, k]))
+            )
+        return out
+
+    def _extract_by_prototypes(self, doc: Document) -> List[Extraction]:
+        face = identify_face_from_text(doc)
+        if face is None or face.face_id not in self.prototypes:
+            return []
+        blocks = tesseract_blocks(doc)
+        if not blocks:
+            return []
+        centroids = np.array([b.centroid for b in blocks])
+        out: List[Extraction] = []
+        for entity_type, (px, py) in self.prototypes[face.face_id].items():
+            distances = np.abs(centroids[:, 0] - px) + np.abs(centroids[:, 1] - py)
+            best = int(np.argmin(distances))
+            if distances[best] > 60.0:
+                continue
+            box = blocks[best]
+            out.append(Extraction(entity_type, doc.text_of(box), box, box, 0.7))
+        return out

@@ -1,0 +1,106 @@
+"""Feature extraction shared by the trained baselines.
+
+Apostolova et al. [2] combine visual and textual features of candidate
+regions; Zhou et al. [49] use HTML/DOM features.  Both are realised
+here as fixed-length numeric vectors so the from-scratch linear models
+of :mod:`repro.ml` can train on them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.doc import Document
+from repro.geometry import BBox
+from repro.html import HtmlNode
+from repro.nlp import gazetteers as gaz
+from repro.nlp.geocode import has_valid_geocode
+from repro.nlp.ner import EMAIL_RE, PHONE_RE
+from repro.nlp.timex import has_timex
+from repro.nlp.tokenizer import words
+
+_TAGS = ("div", "p", "span", "li", "td", "h1", "h2", "h3", "a", "ul", "table", "tr")
+
+
+def text_features(text: str) -> List[float]:
+    """Textual features of a candidate region (shared by both SVMs)."""
+    ws = words(text)
+    n = len(ws)
+    n_chars = max(len(text), 1)
+    digits = sum(ch.isdigit() for ch in text)
+    caps = sum(1 for w in text.split() if w[:1].isupper())
+    return [
+        min(n / 40.0, 1.0),
+        digits / n_chars,
+        caps / max(len(text.split()), 1),
+        1.0 if PHONE_RE.search(text) else 0.0,
+        1.0 if EMAIL_RE.search(text) else 0.0,
+        1.0 if has_timex(text) else 0.0,
+        1.0 if has_valid_geocode(text) else 0.0,
+        sum(1 for w in ws if w in gaz.FIRST_NAMES or w in gaz.LAST_NAMES) / max(n, 1),
+        sum(1 for w in ws if w in gaz.EVENT_WORDS) / max(n, 1),
+        sum(1 for w in ws if w in gaz.PROPERTY_WORDS) / max(n, 1),
+        sum(1 for w in ws if w in gaz.CONTACT_WORDS) / max(n, 1),
+        sum(1 for w in ws if w in gaz.STREET_SUFFIXES) / max(n, 1),
+    ]
+
+
+def visual_features(doc: Document, box: BBox) -> List[float]:
+    """Visual features of a region (Apostolova et al. style)."""
+    words_in = doc.words_in(box)
+    mean_font = float(np.mean([w.font_size for w in words_in])) if words_in else 0.0
+    mean_l = float(np.mean([w.color.l for w in words_in])) if words_in else 100.0
+    density = len(words_in) / max(box.area, 1.0)
+    return [
+        box.x / doc.width,
+        box.y / doc.height,
+        box.w / doc.width,
+        box.h / doc.height,
+        mean_font / 60.0,
+        mean_l / 100.0,
+        min(density * 1000.0, 3.0),
+    ]
+
+
+def block_feature_vector(doc: Document, box: BBox) -> np.ndarray:
+    """Visual + textual vector for one block (Apostolova)."""
+    return np.array(visual_features(doc, box) + text_features(doc.text_of(box)))
+
+
+def dom_feature_vector(node: HtmlNode, root: HtmlNode, page_w: float, page_h: float) -> np.ndarray:
+    """DOM + textual vector for one HTML node (Zhou et al.)."""
+    tag_onehot = [1.0 if node.tag == t else 0.0 for t in _TAGS]
+    depth = 0.0
+    # depth via walk: count ancestors by searching (DOM nodes lack parent
+    # links; bounded scan is fine at page scale)
+    for candidate in root.walk():
+        if any(child is node for child in candidate.children):
+            depth = 1.0
+            break
+    box = node.bbox
+    geom = [
+        (box.x / page_w) if box else 0.0,
+        (box.y / page_h) if box else 0.0,
+        (box.w / page_w) if box else 0.0,
+        (box.h / page_h) if box else 0.0,
+    ]
+    has_class = [1.0 if node.attrs.get("class") else 0.0]
+    return np.array(tag_onehot + [depth] + geom + has_class + text_features(node.text()))
+
+
+def candidate_dom_nodes(root: HtmlNode) -> Sequence[HtmlNode]:
+    """Leaf-ish DOM nodes with geometry and text — Zhou's candidates."""
+    out = []
+    for node in root.walk():
+        if node.bbox is None or node.tag in ("html", "body"):
+            continue
+        has_block_child = any(
+            isinstance(c, HtmlNode) and c.bbox is not None for c in node.children
+        )
+        if has_block_child:
+            continue
+        if node.text().strip():
+            out.append(node)
+    return out

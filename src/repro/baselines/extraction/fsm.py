@@ -1,0 +1,74 @@
+"""Baseline: text-only frequent subtree mining (FSM) [31, 48].
+
+"For every named entity to be extracted, it finds the most frequent
+subtrees within the dependency trees for entries against that named
+entity in the holdout corpus.  The syntactic patterns defined by these
+subtrees are then searched within the transcribed text of a test
+document" (§6.4).
+
+This is VS2's *distant supervision* component without VS2's visual
+half: mined patterns run over linear-transcription clauses instead of
+logical blocks, and the first hit wins.  On D1 the mined "patterns"
+degenerate to the descriptor strings, searched anywhere in the line —
+which works on forms (85 / 90.75 in Table 7) because descriptors are
+distinctive even when columns interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.extraction.base import descriptor_extractions, sentence_units
+from repro.core.holdout import HoldoutCorpus, build_holdout_corpus
+from repro.core.patterns import SyntacticPattern, learn_patterns_from_holdout
+from repro.core.select import Extraction
+from repro.doc import Document
+from repro.nlp.tokenizer import normalize_text
+
+
+class FsmExtractor:
+    """Mined-pattern search over linear transcription clauses."""
+
+    def __init__(
+        self,
+        dataset: str,
+        holdout: Optional[HoldoutCorpus] = None,
+        patterns: Optional[Dict[str, SyntacticPattern]] = None,
+        max_holdout_entries: int = 40,
+    ):
+        self.dataset = dataset.upper()
+        if self.dataset == "D1":
+            self.patterns = {}
+            return
+        if patterns is not None:
+            self.patterns = patterns
+            return
+        if holdout is None:
+            holdout = build_holdout_corpus(
+                self.dataset, max_entries_per_entity=max_holdout_entries
+            )
+        self.patterns = learn_patterns_from_holdout(holdout)
+
+    def extract(self, doc: Document) -> List[Extraction]:
+        """Strongest mined-pattern match per entity across clause units."""
+        units = sentence_units(doc)
+        if self.dataset == "D1":
+            return descriptor_extractions(doc, units)
+        out: List[Extraction] = []
+        for entity_type, pattern in self.patterns.items():
+            best = None
+            for unit in units:
+                text = normalize_text(unit.text)
+                if not text:
+                    continue
+                matches = pattern.find(text)
+                if not matches:
+                    continue
+                m = max(matches, key=lambda x: x.strength)
+                if best is None or m.strength > best[0].strength:
+                    best = (m, unit)
+            if best is not None:
+                m, unit = best
+                span = unit.span_bbox(m.start, m.end)
+                out.append(Extraction(entity_type, m.text, span, span, m.strength))
+        return out

@@ -1,0 +1,107 @@
+"""Baseline: supervised ML over HTML features (Zhou et al. [49]).
+
+"Every non-HTML document needs to be converted to HTML format for this
+approach.  Hence it could not be applied for the first dataset D1.
+...we only consider those documents in D2 that are in PDF format"
+(§6.4).  Candidates are leaf DOM nodes; a softmax classifier over DOM +
+textual features assigns entity types; the top-probability node per
+entity is extracted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.extraction.features import candidate_dom_nodes, dom_feature_vector
+from repro.baselines.segmentation.vips import html_convert
+from repro.core.select import Extraction
+from repro.doc import Document
+from repro.html import HtmlNode
+from repro.ml import SoftmaxRegression, StandardScaler
+
+_OTHER = "__other__"
+
+
+def _html_view(doc: Document) -> Optional[HtmlNode]:
+    if doc.html is not None:
+        return doc.html
+    if doc.source == "pdf":
+        return html_convert(doc)
+    return None
+
+
+class MlBasedExtractor:
+    """Fit on annotated documents, extract from unseen ones."""
+
+    def __init__(self, dataset: str, seed: int = 0):
+        self.dataset = dataset.upper()
+        if self.dataset == "D1":
+            raise ValueError("the ML-based baseline cannot be applied to D1 (no HTML view)")
+        self.seed = seed
+        self.model: Optional[SoftmaxRegression] = None
+        self.scaler = StandardScaler()
+
+    def applicable(self, doc: Document) -> bool:
+        """Whether the document has (or can be converted to) an HTML view."""
+        return _html_view(doc) is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, train_docs: Sequence[Document]) -> "MlBasedExtractor":
+        """Train the DOM-node classifier on annotated documents."""
+        features: List[np.ndarray] = []
+        labels: List[str] = []
+        for doc in train_docs:
+            root = _html_view(doc)
+            if root is None:
+                continue
+            for node in candidate_dom_nodes(root):
+                features.append(dom_feature_vector(node, root, doc.width, doc.height))
+                labels.append(self._label_for(node, doc))
+        if not features or len(set(labels)) < 2:
+            raise ValueError("not enough labelled HTML nodes to train on")
+        x = self.scaler.fit_transform(np.stack(features))
+        self.model = SoftmaxRegression(epochs=250, learning_rate=0.6).fit(x, labels)
+        return self
+
+    @staticmethod
+    def _label_for(node: HtmlNode, doc: Document) -> str:
+        best: Tuple[float, str] = (0.0, _OTHER)
+        for a in doc.annotations:
+            if node.bbox is None:
+                continue
+            iou = node.bbox.iou(a.bbox)
+            if iou > max(best[0], 0.4):
+                best = (iou, a.entity_type)
+        return best[1]
+
+    # ------------------------------------------------------------------
+    def extract(self, doc: Document) -> List[Extraction]:
+        """Highest-probability DOM node per entity type."""
+        if self.model is None:
+            raise RuntimeError("fit() the extractor before extracting")
+        root = _html_view(doc)
+        if root is None:
+            return []
+        nodes = list(candidate_dom_nodes(root))
+        if not nodes:
+            return []
+        x = self.scaler.transform(
+            np.stack([dom_feature_vector(n, root, doc.width, doc.height) for n in nodes])
+        )
+        probs = self.model.predict_proba(x)
+        classes = self.model.classes_
+        out: List[Extraction] = []
+        for k, entity_type in enumerate(classes):
+            if entity_type == _OTHER:
+                continue
+            best = int(np.argmax(probs[:, k]))
+            if probs[best, k] < 0.1:
+                continue
+            node = nodes[best]
+            box = node.bbox if node.bbox is not None else doc.page_bbox
+            out.append(
+                Extraction(entity_type, node.text(), box, box, float(probs[best, k]))
+            )
+        return out

@@ -1,0 +1,19 @@
+"""Segmentation baselines (Table 5).
+
+Every baseline exposes the same interface as
+:meth:`repro.core.segment.VS2Segmenter.block_bboxes`: document in,
+list of block bounding-box proposals out.
+"""
+
+from repro.baselines.segmentation.text_clusters import text_cluster_blocks
+from repro.baselines.segmentation.xycut import xycut_blocks
+from repro.baselines.segmentation.voronoi import voronoi_blocks
+from repro.baselines.segmentation.vips import html_convert, vips_blocks
+
+__all__ = [
+    "text_cluster_blocks",
+    "xycut_blocks",
+    "voronoi_blocks",
+    "vips_blocks",
+    "html_convert",
+]

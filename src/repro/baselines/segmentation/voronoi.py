@@ -1,0 +1,99 @@
+"""Baseline A3: Voronoi-tessellation page segmentation (Kise-style).
+
+"Recursively segments an input document into smaller Voronoi areas.
+Summary statistics such as the distribution of font size, area ratio,
+angular distance are taken into consideration" (§6.3).
+
+We realise it as the standard point-Voronoi formulation: a Delaunay
+neighbourhood graph over word centroids (scipy), with edges cut when
+the inter-word distance is large against the corpus-statistics
+thresholds or the font-size ratio across the edge is extreme.  The
+connected components of the surviving graph are the blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.doc import Document
+from repro.geometry import BBox, enclosing_bbox
+
+
+def _horizontal_gap_mode(words, edges) -> float:
+    """Median gap over near-horizontal edges — the intra-line spacing
+    mode of Kise's gap distribution (vertical and diagonal edges would
+    pull the estimate toward inter-line distances)."""
+    gaps = []
+    for a, b in edges:
+        dy = abs(words[a].bbox.centroid[1] - words[b].bbox.centroid[1])
+        if dy < 0.6 * min(words[a].bbox.h, words[b].bbox.h):
+            gaps.append(words[a].bbox.gap_distance(words[b].bbox))
+    return float(np.median(gaps)) if gaps else 1.0
+
+
+def voronoi_blocks(
+    doc: Document,
+    distance_factor: float = 2.4,
+    font_ratio_limit: float = 2.2,
+) -> List[BBox]:
+    """Block proposals via Delaunay-graph edge cutting.
+
+    ``distance_factor`` scales the adaptive distance threshold
+    (estimated from the distribution of nearest-neighbour gaps);
+    ``font_ratio_limit`` cuts edges whose endpoint heights differ by
+    more than this ratio.
+    """
+    from scipy.spatial import Delaunay
+
+    words = doc.text_elements
+    if not words:
+        return []
+    if len(words) < 4:
+        return [enclosing_bbox([w.bbox for w in words])]
+
+    points = np.array([w.bbox.centroid for w in words])
+    # Delaunay needs non-degenerate input; jitter exact duplicates.
+    rng = np.random.default_rng(0)
+    points = points + rng.uniform(-0.01, 0.01, size=points.shape)
+    try:
+        tri = Delaunay(points)
+    except Exception:
+        return [enclosing_bbox([w.bbox for w in words])]
+
+    edges = set()
+    for simplex in tri.simplices:
+        for i in range(3):
+            a, b = int(simplex[i]), int(simplex[(i + 1) % 3])
+            edges.add((min(a, b), max(a, b)))
+
+    gaps = np.array(
+        [words[a].bbox.gap_distance(words[b].bbox) for a, b in edges]
+    )
+    base_threshold = distance_factor * max(_horizontal_gap_mode(words, edges), 1.0)
+
+    parent = list(range(len(words)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        parent[find(x)] = find(y)
+
+    for (a, b), gap in zip(edges, gaps):
+        ha, hb = words[a].bbox.h, words[b].bbox.h
+        ratio = max(ha, hb) / max(min(ha, hb), 1.0)
+        # Font-relative slack: line spacing scales with type size (the
+        # paper's "distribution of font size" input to this baseline).
+        threshold = max(base_threshold, 0.8 * min(ha, hb))
+        if gap <= threshold and ratio <= font_ratio_limit:
+            union(a, b)
+
+    groups: dict = {}
+    for i in range(len(words)):
+        groups.setdefault(find(i), []).append(i)
+    return [enclosing_bbox([words[i].bbox for i in g]) for g in groups.values()]

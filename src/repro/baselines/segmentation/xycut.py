@@ -1,0 +1,85 @@
+"""Baseline A2: recursive XY-Cut [18].
+
+The classic top-down algorithm: project ink onto each axis, split at
+the widest empty valley exceeding a minimum width, recurse.  Unlike
+VS2-Segment it only sees rectangular whitespace aligned with the axes —
+no slanted cuts, no clustering, no semantics — so it fails on rotated
+captures and on areas not delineated by straight whitespace (the paper's
+comparison point for "blocks not separated by a rectangular whitespace
+separator").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.doc import Document
+from repro.doc.elements import AtomicElement
+from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
+
+
+def xycut_blocks(
+    doc: Document,
+    min_gap_y: float = 8.0,
+    min_gap_x: float = 18.0,
+    cell: float = 2.0,
+    max_depth: int = 12,
+) -> List[BBox]:
+    """Recursive XY-cut block proposals for ``doc``.
+
+    ``min_gap_y`` / ``min_gap_x`` — minimum valley widths (layout
+    units) for horizontal and vertical splits; the vertical threshold
+    is larger because inter-word spaces are wider than inter-line gaps.
+    """
+    atoms = [e for e in doc.elements if e.is_textual]
+    if not atoms:
+        return []
+    blocks: List[BBox] = []
+    _recurse(atoms, (min_gap_y, min_gap_x), cell, max_depth, blocks)
+    return blocks
+
+
+def _recurse(
+    atoms: Sequence[AtomicElement],
+    min_gaps,
+    cell: float,
+    depth: int,
+    out: List[BBox],
+) -> None:
+    min_gap_y, min_gap_x = min_gaps
+    frame = enclosing_bbox([a.bbox for a in atoms])
+    if depth <= 0 or len(atoms) <= 1:
+        out.append(frame)
+        return
+    local = [a.bbox.translate(-frame.x, -frame.y) for a in atoms]
+    grid = OccupancyGrid.from_bboxes(local, max(frame.w, cell), max(frame.h, cell), cell)
+
+    best = None  # (gap_units, orientation, mid_units)
+    for start, length in grid.empty_row_runs():
+        if start == 0 or start + length >= grid.n_rows:
+            continue
+        gap = length * cell
+        if gap >= min_gap_y and (best is None or gap > best[0]):
+            best = (gap, "horizontal", (start + length / 2.0) * cell)
+    for start, length in grid.empty_col_runs():
+        if start == 0 or start + length >= grid.n_cols:
+            continue
+        gap = length * cell
+        if gap >= min_gap_x and (best is None or gap > best[0]):
+            best = (gap, "vertical", (start + length / 2.0) * cell)
+
+    if best is None:
+        out.append(frame)
+        return
+    _, orientation, mid = best
+    first: List[AtomicElement] = []
+    second: List[AtomicElement] = []
+    for a in atoms:
+        cx, cy = a.bbox.centroid
+        coordinate = (cy - frame.y) if orientation == "horizontal" else (cx - frame.x)
+        (first if coordinate <= mid else second).append(a)
+    if not first or not second:
+        out.append(frame)
+        return
+    _recurse(first, min_gaps, cell, depth - 1, out)
+    _recurse(second, min_gaps, cell, depth - 1, out)

@@ -1,0 +1,18 @@
+"""Colour handling.
+
+The paper represents the average colour of a visual area in the LAB
+colourspace (§4.1.1, Table 1) because perceptual distances there are
+approximately Euclidean.  This package provides the sRGB → CIE L*a*b*
+conversion from scratch plus small helpers for averaging and comparing
+colours of document elements.
+"""
+
+from repro.colors.lab import (
+    LabColor,
+    delta_e,
+    lab_to_rgb,
+    mean_lab,
+    rgb_to_lab,
+)
+
+__all__ = ["LabColor", "rgb_to_lab", "lab_to_rgb", "delta_e", "mean_lab"]

@@ -1,0 +1,113 @@
+"""sRGB ↔ CIE L*a*b* conversion, implemented from first principles.
+
+The pipeline is the standard one: sRGB (0–255) → linear RGB (inverse
+companding) → CIE XYZ (D65 illuminant, 2° observer) → L*a*b*.  Only the
+forward direction is needed by VS2's features; the inverse is provided
+for round-trip testing and for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+# sRGB → XYZ matrix, D65 illuminant (IEC 61966-2-1).
+_RGB_TO_XYZ = np.array(
+    [
+        [0.4124564, 0.3575761, 0.1804375],
+        [0.2126729, 0.7151522, 0.0721750],
+        [0.0193339, 0.1191920, 0.9503041],
+    ]
+)
+_XYZ_TO_RGB = np.linalg.inv(_RGB_TO_XYZ)
+
+# D65 reference white.
+_WHITE = np.array([0.95047, 1.00000, 1.08883])
+
+_EPSILON = 216.0 / 24389.0  # (6/29)^3
+_KAPPA = 24389.0 / 27.0  # (29/3)^3
+
+
+@dataclass(frozen=True)
+class LabColor:
+    """A CIE L*a*b* triple.  ``l`` in [0, 100]; ``a``/``b`` roughly ±128."""
+
+    l: float
+    a: float
+    b: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.l, self.a, self.b])
+
+    def distance(self, other: "LabColor") -> float:
+        """CIE76 ΔE — Euclidean distance in L*a*b*."""
+        return float(np.linalg.norm(self.as_array() - other.as_array()))
+
+
+def _srgb_to_linear(channel: np.ndarray) -> np.ndarray:
+    """Inverse sRGB companding on channels scaled to [0, 1]."""
+    return np.where(channel <= 0.04045, channel / 12.92, ((channel + 0.055) / 1.055) ** 2.4)
+
+
+def _linear_to_srgb(channel: np.ndarray) -> np.ndarray:
+    return np.where(
+        channel <= 0.0031308,
+        channel * 12.92,
+        1.055 * np.power(np.clip(channel, 0.0, None), 1.0 / 2.4) - 0.055,
+    )
+
+
+def _f(t: np.ndarray) -> np.ndarray:
+    return np.where(t > _EPSILON, np.cbrt(t), (_KAPPA * t + 16.0) / 116.0)
+
+
+def _f_inv(t: np.ndarray) -> np.ndarray:
+    t3 = t**3
+    return np.where(t3 > _EPSILON, t3, (116.0 * t - 16.0) / _KAPPA)
+
+
+def rgb_to_lab(rgb: Tuple[float, float, float]) -> LabColor:
+    """Convert an sRGB triple with channels in 0–255 to L*a*b*."""
+    arr = np.asarray(rgb, dtype=float) / 255.0
+    if arr.shape != (3,):
+        raise ValueError("rgb_to_lab expects a 3-channel colour")
+    if np.any(arr < 0) or np.any(arr > 1):
+        raise ValueError(f"rgb channels out of range: {rgb}")
+    xyz = _RGB_TO_XYZ @ _srgb_to_linear(arr)
+    fx, fy, fz = _f(xyz / _WHITE)
+    return LabColor(
+        l=float(116.0 * fy - 16.0),
+        a=float(500.0 * (fx - fy)),
+        b=float(200.0 * (fy - fz)),
+    )
+
+
+def lab_to_rgb(lab: LabColor) -> Tuple[int, int, int]:
+    """Convert L*a*b* back to an sRGB triple (0–255, clipped)."""
+    fy = (lab.l + 16.0) / 116.0
+    fx = fy + lab.a / 500.0
+    fz = fy - lab.b / 200.0
+    xyz = _f_inv(np.array([fx, fy, fz])) * _WHITE
+    rgb = _linear_to_srgb(_XYZ_TO_RGB @ xyz)
+    rgb = np.clip(rgb, 0.0, 1.0) * 255.0
+    return tuple(int(round(v)) for v in rgb)  # type: ignore[return-value]
+
+
+def delta_e(a: LabColor, b: LabColor) -> float:
+    """CIE76 colour difference."""
+    return a.distance(b)
+
+
+def mean_lab(colors: Iterable[LabColor]) -> LabColor:
+    """Average colour of a visual area (Table 1's ``color`` feature).
+
+    Averaging is done in L*a*b* directly, which is adequate for the
+    near-uniform text/background colours of documents.
+    """
+    arrs = [c.as_array() for c in colors]
+    if not arrs:
+        return LabColor(0.0, 0.0, 0.0)
+    mean = np.mean(arrs, axis=0)
+    return LabColor(float(mean[0]), float(mean[1]), float(mean[2]))

@@ -1,0 +1,35 @@
+"""VS2 — the paper's primary contribution.
+
+Two phases (§5):
+
+1. **VS2-Segment** (:mod:`repro.core.segment`) encodes a visually rich
+   document as a bag of *logical blocks* via hierarchical segmentation:
+   explicit delimiters (Algorithm 1, :mod:`repro.core.delimiters`),
+   implicit-modifier clustering (:mod:`repro.core.clustering`, Table 1
+   features in :mod:`repro.core.features`) and semantic merging
+   (Eq. 1, :mod:`repro.core.merging`).
+2. **VS2-Select** (:mod:`repro.core.select`) searches learned
+   lexico-syntactic patterns (:mod:`repro.core.patterns`, distant
+   supervision from the holdout corpus of :mod:`repro.core.holdout`)
+   within each block and resolves conflicts by multimodal
+   disambiguation (:mod:`repro.core.disambiguate`) against interest
+   points (:mod:`repro.core.interest_points`).
+
+:class:`repro.core.pipeline.VS2Pipeline` wires both phases end to end.
+"""
+
+from repro.core.config import SegmentConfig, SelectConfig, VS2Config
+from repro.core.segment import VS2Segmenter
+from repro.core.select import Extraction, VS2Selector
+from repro.core.pipeline import PipelineResult, VS2Pipeline
+
+__all__ = [
+    "SegmentConfig",
+    "SelectConfig",
+    "VS2Config",
+    "VS2Segmenter",
+    "VS2Selector",
+    "Extraction",
+    "VS2Pipeline",
+    "PipelineResult",
+]

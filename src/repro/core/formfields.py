@@ -1,0 +1,47 @@
+"""Word-level form-field descriptor matching (shared by VS2's D1 path
+and the text-only baselines).
+
+D1 extraction matches field descriptors by "exact string match"
+(§5.2.1) — read modulo OCR noise.  Matching at *word* level keeps the
+raw (formatted) value text and its bounding box exact: the descriptor
+is located as a fuzzy word subsequence, and the words that follow are
+the field value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.doc.elements import TextElement
+from repro.nlp.fuzzy import normalize_for_match, ocr_fold, similarity_ratio
+
+
+def find_descriptor_span(
+    words: Sequence[TextElement],
+    descriptor: str,
+    min_ratio: float = 0.8,
+) -> Optional[Tuple[int, int, float]]:
+    """Locate ``descriptor`` as a fuzzy word subsequence of ``words``.
+
+    Returns ``(start_word, end_word, ratio)`` for the best-matching
+    window, or ``None``.  An OCR-folded first-token prefilter keeps the
+    edit-distance work bounded (descriptors start with line numbers).
+    """
+    desc_norm = normalize_for_match(descriptor)
+    desc_tokens = desc_norm.split()
+    if not desc_tokens:
+        return None
+    first_fold = ocr_fold(desc_tokens[0])
+    n = len(desc_tokens)
+    best: Optional[Tuple[int, int, float]] = None
+    for i, w in enumerate(words):
+        if ocr_fold(w.text) != first_fold:
+            continue
+        for length in (n, n - 1, n + 1):
+            if length < 1 or i + length > len(words):
+                continue
+            window = normalize_for_match(" ".join(x.text for x in words[i : i + length]))
+            ratio = similarity_ratio(window, desc_norm)
+            if ratio >= min_ratio and (best is None or ratio > best[2]):
+                best = (i, i + length, ratio)
+    return best

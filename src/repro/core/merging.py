@@ -1,0 +1,167 @@
+"""Semantic merging (§5.1.2, Eq. 1).
+
+Recursive segmentation over-segments — especially on noisy
+transcriptions — so VS2 merges sibling areas that carry similar
+semantics.  The *semantic contribution* of a node ``n_i`` is
+
+    SC(n_i) = Σ_j cos(n_i, n_j) − Σ_k cos(n_i, n_k)        (Eq. 1)
+
+where ``n_j`` ranges over siblings and ``n_k`` over same-level
+non-siblings; node vectors are mean word embeddings of their text
+(pre-trained Word2Vec in the paper, our default embedding here).  When
+``SC(n_i) > θ_h`` the node merges with its most similar sibling,
+provided the two are not visually separated.  The threshold schedule is
+the paper's footnote:
+
+    θ_h = θ_min + (θ_max − θ_min) / 10 · h,     h = layout-tree height
+
+so deeper (finer) trees demand more evidence before merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SegmentConfig
+from repro.doc.layout_tree import LayoutNode, LayoutTree
+from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
+from repro.geometry import enclosing_bbox
+
+
+def merge_threshold(height: int, config: SegmentConfig) -> float:
+    """θ_h for a tree of the given height."""
+    return config.theta_min + (config.theta_max - config.theta_min) / 10.0 * height
+
+
+def node_vector(node: LayoutNode, embedding: WordEmbedding, cache: Dict[int, np.ndarray]) -> np.ndarray:
+    vec = cache.get(node.node_id)
+    if vec is None:
+        vec = embedding.embed_text(node.text())
+        cache[node.node_id] = vec
+    return vec
+
+
+def semantic_contribution(
+    node: LayoutNode,
+    level_nodes: List[LayoutNode],
+    embedding: WordEmbedding,
+    cache: Dict[int, np.ndarray],
+) -> float:
+    """Eq. 1 for ``node`` against its level of the tree.
+
+    The printed equation sums cosine similarities; raw sums scale with
+    the sibling count, so a literal reading lets SC cross any fixed
+    threshold merely by having many siblings.  We therefore read the
+    two Σ terms as *averages* over their index sets — the
+    scale-invariant interpretation under which the θ ∈ [0, 1] schedule
+    of the footnote is meaningful.
+    """
+    v = node_vector(node, embedding, cache)
+    siblings = set(id(s) for s in node.siblings())
+    sibling_sims: List[float] = []
+    other_sims: List[float] = []
+    for other in level_nodes:
+        if other is node:
+            continue
+        sim = cosine_similarity(v, node_vector(other, embedding, cache))
+        if id(other) in siblings:
+            sibling_sims.append(sim)
+        else:
+            other_sims.append(sim)
+    # The sibling term uses the *best* sibling (the merge partner the
+    # next step would pick); the non-sibling term stays an average.  A
+    # literal mean over heterogeneous siblings would let unrelated
+    # siblings veto a clearly co-fragmented pair.
+    best_sib = float(np.max(sibling_sims)) if sibling_sims else 0.0
+    mean_other = float(np.mean(other_sims)) if other_sims else 0.0
+    return best_sib - mean_other
+
+
+def _not_visually_separated(a: LayoutNode, b: LayoutNode, config: SegmentConfig) -> bool:
+    gap = a.bbox.gap_distance(b.bbox)
+    font = max(a.mean_font_size(), b.mean_font_size(), 1.0)
+    return gap <= config.merge_gap_ratio * font
+
+
+def _merge_nodes(parent: LayoutNode, a: LayoutNode, b: LayoutNode) -> LayoutNode:
+    """Replace siblings ``a`` and ``b`` under ``parent`` by their union."""
+    merged = LayoutNode(
+        bbox=a.bbox.union(b.bbox),
+        atoms=a.atoms + b.atoms,
+        kind="merged",
+    )
+    # The merged node is a leaf-level union: children of the originals
+    # collapse into it (the paper replaces both nodes by the merged one).
+    new_children = []
+    for child in parent.children:
+        if child is a:
+            new_children.append(merged)
+        elif child is b:
+            continue
+        else:
+            new_children.append(child)
+    parent.replace_children(new_children)
+    if merged.atoms:
+        merged.bbox = enclosing_bbox([x.bbox for x in merged.atoms])
+    return merged
+
+
+def semantic_merge(tree: LayoutTree, config: SegmentConfig, embedding: Optional[WordEmbedding] = None) -> int:
+    """Run the merging fixpoint over ``tree``; returns merges performed.
+
+    Each pass walks levels deepest-first; a pass that performs no merge
+    terminates the loop.
+    """
+    if embedding is None:
+        embedding = default_embedding()
+    cache: Dict[int, np.ndarray] = {}
+    total = 0
+    for _pass in range(32):  # fixpoint bound (defensive)
+        height = tree.height
+        theta = merge_threshold(height, config)
+        merged_this_pass = 0
+        for level in range(height, 0, -1):
+            level_nodes = tree.nodes_at_level(level)
+            textual = [n for n in level_nodes if n.text_atoms]
+            for node in list(textual):
+                if node.parent is None or not any(c is node for c in node.parent.children):
+                    continue  # already consumed by a merge
+                # Only leaves (logical-block candidates) merge — merging
+                # internal nodes would discard their sub-structure.  The
+                # guards against wrong merges are Eq. 1's contribution
+                # threshold, the pairwise similarity gate and the
+                # visual-separation test below.
+                if not node.is_leaf:
+                    continue
+                siblings = [s for s in node.siblings() if s.is_leaf and s.text_atoms]
+                if not siblings:
+                    continue
+                sc = semantic_contribution(node, textual, embedding, cache)
+                if sc <= theta:
+                    continue
+                v = node_vector(node, embedding, cache)
+                candidates = sorted(
+                    siblings,
+                    key=lambda s: -cosine_similarity(v, node_vector(s, embedding, cache)),
+                )
+                for partner in candidates:
+                    sim = cosine_similarity(v, node_vector(partner, embedding, cache))
+                    # The θ schedule gates the *contribution*; the pair
+                    # itself must genuinely share semantics, or tightly
+                    # adjacent but semantically distinct areas (title vs
+                    # schedule line) would re-merge.
+                    if sim > max(theta, 0.3) and _not_visually_separated(node, partner, config):
+                        merged = _merge_nodes(node.parent, node, partner)
+                        cache.pop(merged.node_id, None)
+                        merged_this_pass += 1
+                        break
+        total += merged_this_pass
+        # Merging two of a node's children can leave a unary chain
+        # whose surviving leaf would be invisible to its aunt nodes on
+        # the next pass; collapse chains before re-walking.
+        tree.collapse_unary()
+        if merged_this_pass == 0:
+            break
+    return total

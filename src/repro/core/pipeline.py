@@ -1,0 +1,88 @@
+"""The end-to-end VS2 pipeline (Fig. 2).
+
+Input: a visually rich document.  Steps: clean (skew correction, §1's
+Example 1.1) and transcribe (simulated OCR), segment into logical
+blocks (VS2-Segment), search-and-select the named entities
+(VS2-Select).  Output: key-value extractions, localised in the
+*original* document frame so they compare directly against annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import VS2Config
+from repro.core.segment import VS2Segmenter
+from repro.core.select import Extraction, VS2Selector
+from repro.doc import Document
+from repro.doc.layout_tree import LayoutNode, LayoutTree
+from repro.embeddings import WordEmbedding, default_embedding
+from repro.ocr import OcrEngine, OcrResult
+from repro.ocr.deskew import deskew, rotate_back
+
+
+@dataclass
+class PipelineResult:
+    """Everything one run produces (kept for inspection/figures).
+
+    ``tree`` / ``blocks`` live in the cleaned (deskewed) frame;
+    ``extractions`` are mapped back to the original frame.
+    """
+
+    doc_id: str
+    extractions: List[Extraction]
+    tree: LayoutTree
+    blocks: List[LayoutNode]
+    ocr: OcrResult
+    observed: Document
+    skew_angle: float
+
+    def as_key_values(self) -> Dict[str, str]:
+        """The paper's deliverable: a loadable list of key-value pairs."""
+        return {e.entity_type: e.text for e in self.extractions}
+
+
+class VS2Pipeline:
+    """clean → OCR → VS2-Segment → VS2-Select, wired per dataset."""
+
+    def __init__(
+        self,
+        dataset: str,
+        config: Optional[VS2Config] = None,
+        ocr_engine: Optional[OcrEngine] = None,
+        embedding: Optional[WordEmbedding] = None,
+    ):
+        self.dataset = dataset.upper()
+        self.config = config or VS2Config.for_dataset(self.dataset)
+        self.embedding = embedding or default_embedding()
+        self.ocr = ocr_engine or OcrEngine(seed=self.config.ocr_seed)
+        self.segmenter = VS2Segmenter(self.config.segment, self.embedding)
+        self.selector = VS2Selector(
+            self.dataset, self.config.select, embedding=self.embedding
+        )
+
+    def run(self, doc: Document) -> PipelineResult:
+        """Extract every named entity of the dataset's vocabulary from
+        one document.  ``doc`` ground truth is never consulted."""
+        ocr = self.ocr.transcribe(doc)
+        observed, angle = deskew(ocr.as_document(doc))
+        tree = self.segmenter.segment(observed)
+        blocks = tree.logical_blocks()
+        extractions = self.selector.extract(observed, blocks)
+        if angle != 0.0:
+            extractions = [
+                Extraction(
+                    e.entity_type,
+                    e.text,
+                    rotate_back(e.bbox, angle, observed),
+                    rotate_back(e.span_bbox, angle, observed),
+                    e.score,
+                )
+                for e in extractions
+            ]
+        return PipelineResult(doc.doc_id, extractions, tree, blocks, ocr, observed, angle)
+
+    def run_corpus(self, docs: Sequence[Document]) -> List[PipelineResult]:
+        """Run the pipeline over a document collection."""
+        return [self.run(doc) for doc in docs]

@@ -1,0 +1,141 @@
+"""Extraction records: the paper's database-loadable deliverable.
+
+§1: "our goal is to extract a list of key-value pairs from the
+document ... This list of key-value pairs can be loaded into a database
+after schema mapping."  This module provides the serialisation layer a
+downstream consumer needs: JSON-lines export/import of extraction
+records with provenance (document, box, confidence), plus simple schema
+mapping into typed values.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.core.select import Extraction
+from repro.geometry import BBox
+
+
+@dataclass(frozen=True)
+class ExtractionRecord:
+    """One key-value pair with provenance."""
+
+    doc_id: str
+    entity_type: str
+    text: str
+    x: float
+    y: float
+    w: float
+    h: float
+    score: float
+
+    @staticmethod
+    def from_extraction(doc_id: str, e: Extraction) -> "ExtractionRecord":
+        return ExtractionRecord(
+            doc_id, e.entity_type, e.text, e.bbox.x, e.bbox.y, e.bbox.w, e.bbox.h, e.score
+        )
+
+    @property
+    def bbox(self) -> BBox:
+        return BBox(self.x, self.y, self.w, self.h)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), ensure_ascii=False)
+
+    @staticmethod
+    def from_json(line: str) -> "ExtractionRecord":
+        return ExtractionRecord(**json.loads(line))
+
+
+def write_records(records: Iterable[ExtractionRecord], stream: TextIO) -> int:
+    """Write records as JSON lines; returns the count written."""
+    count = 0
+    for record in records:
+        stream.write(record.to_json() + "\n")
+        count += 1
+    return count
+
+
+def read_records(stream: TextIO) -> Iterator[ExtractionRecord]:
+    """Yield records from a JSON-lines stream."""
+    for line in stream:
+        line = line.strip()
+        if line:
+            yield ExtractionRecord.from_json(line)
+
+
+# ----------------------------------------------------------------------
+# Schema mapping
+# ----------------------------------------------------------------------
+_PHONE_DIGITS = re.compile(r"\d")
+
+
+def normalize_phone(text: str) -> Optional[str]:
+    """Canonical 10-digit phone, or ``None`` when not phone-shaped."""
+    digits = "".join(_PHONE_DIGITS.findall(text))
+    if len(digits) == 11 and digits.startswith("1"):
+        digits = digits[1:]
+    if len(digits) != 10:
+        return None
+    return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+
+
+def normalize_money(text: str) -> Optional[int]:
+    """Dollar amount as an integer, handling the ``$450K`` shorthand."""
+    m = re.search(r"\$?\s?([\d,]+(?:\.\d+)?)\s*([kKmM])?", text)
+    if not m or not m.group(1):
+        return None
+    try:
+        value = float(m.group(1).replace(",", ""))
+    except ValueError:
+        return None
+    suffix = (m.group(2) or "").lower()
+    if suffix == "k":
+        value *= 1_000
+    elif suffix == "m":
+        value *= 1_000_000
+    return int(value)
+
+
+def normalize_sqft(text: str) -> Optional[int]:
+    """Area in square feet from sqft/acre phrasings."""
+    lower = text.lower().replace(",", "")
+    m = re.search(r"([\d.]+)\s*(?:sq\s*ft|sqft|square feet|sq)", lower)
+    if m:
+        return int(float(m.group(1)))
+    m = re.search(r"([\d.]+)\s*acres?", lower)
+    if m:
+        return int(float(m.group(1)) * 43560)
+    return None
+
+
+#: Default schema: entity type → normaliser (identity when absent).
+DEFAULT_SCHEMA: Dict[str, Callable[[str], object]] = {
+    "broker_phone": normalize_phone,
+    "property_size": normalize_sqft,
+}
+
+
+def map_schema(
+    records: Iterable[ExtractionRecord],
+    schema: Optional[Dict[str, Callable[[str], object]]] = None,
+) -> List[Dict[str, object]]:
+    """Apply per-entity normalisers; unmappable values keep raw text
+    under ``<entity>_raw`` so nothing is silently dropped."""
+    schema = DEFAULT_SCHEMA if schema is None else schema
+    rows: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        row = rows.setdefault(record.doc_id, {"doc_id": record.doc_id})
+        mapper = schema.get(record.entity_type)
+        if mapper is None:
+            row[record.entity_type] = record.text
+            continue
+        value = mapper(record.text)
+        if value is None:
+            row[f"{record.entity_type}_raw"] = record.text
+        else:
+            row[record.entity_type] = value
+    return list(rows.values())

@@ -1,0 +1,185 @@
+"""VS2-Segment: the hierarchical page segmentation driver (§5.1.2).
+
+Each iteration of the recursion, on one visual area:
+
+1. **Explicit delimiters** — scan for consecutive valid horizontal and
+   vertical cut sets on the area's whitespace grid; Algorithm 1 decides
+   which are true separators; the area splits into the bands between
+   them (``kind="cut"`` children).
+2. **Implicit modifiers** — if no delimiter exists, cluster the area's
+   atoms on Table 1 features (``kind="cluster"`` children).
+3. Recurse into children until areas stop splitting.
+
+After convergence a **semantic merging** fixpoint (Eq. 1) repairs
+over-segmentation.  The leaves of the resulting tree are the logical
+blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.clustering import cluster_elements
+from repro.core.config import SegmentConfig
+from repro.core.delimiters import identify_visual_delimiters
+from repro.core.merging import semantic_merge
+from repro.doc import Document
+from repro.doc.elements import AtomicElement
+from repro.doc.layout_tree import LayoutNode, LayoutTree
+from repro.embeddings import WordEmbedding
+from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
+from repro.geometry.cuts import CutSet, interior_cut_sets
+
+
+class VS2Segmenter:
+    """Segments a document into its layout tree / logical blocks."""
+
+    def __init__(self, config: Optional[SegmentConfig] = None, embedding: Optional[WordEmbedding] = None):
+        self.config = config or SegmentConfig()
+        self.embedding = embedding
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def segment(self, doc: Document) -> LayoutTree:
+        """Build the layout tree of ``doc``.
+
+        The input should be the *observed* document (OCR output view)
+        when simulating the full pipeline, or the source document when
+        studying segmentation in isolation.
+        """
+        atoms = list(doc.elements)
+        if atoms:
+            root_box = enclosing_bbox([a.bbox for a in atoms]).union(doc.page_bbox)
+        else:
+            root_box = doc.page_bbox
+        root = LayoutNode(bbox=root_box, atoms=atoms, kind="root")
+        self._recurse(root, depth=0)
+        tree = LayoutTree(root)
+        if self.config.use_semantic_merging:
+            semantic_merge(tree, self.config, self.embedding)
+        return tree
+
+    def logical_blocks(self, doc: Document) -> List[LayoutNode]:
+        return self.segment(doc).logical_blocks()
+
+    def block_bboxes(self, doc: Document) -> List[BBox]:
+        """Tight boxes of text-bearing logical blocks (the proposals
+        Table 5 evaluates)."""
+        boxes = []
+        for block in self.logical_blocks(doc):
+            if block.text_atoms:
+                boxes.append(enclosing_bbox([a.bbox for a in block.text_atoms]))
+        return boxes
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+    def _recurse(self, node: LayoutNode, depth: int) -> None:
+        if depth >= self.config.max_depth:
+            return
+        if len(node.atoms) < self.config.min_atoms_to_split:
+            return
+
+        groups = self._split_by_cuts(node)
+        kind = "cut"
+        if groups is None and self.config.use_visual_clustering:
+            groups = self._split_by_clustering(node)
+            kind = "cluster"
+        if not groups or len(groups) < 2:
+            return
+        for group in groups:
+            child = LayoutNode(
+                bbox=enclosing_bbox([a.bbox for a in group]),
+                atoms=list(group),
+                kind=kind,
+            )
+            node.add_child(child)
+        for child in node.children:
+            if len(child.atoms) < len(node.atoms):
+                self._recurse(child, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Explicit delimiters
+    # ------------------------------------------------------------------
+    def _split_by_cuts(self, node: LayoutNode) -> Optional[List[List[AtomicElement]]]:
+        """Split the area at its accepted visual delimiters.
+
+        Both orientations are scanned; the orientation holding the
+        widest accepted delimiter wins this iteration (the other one is
+        found again at the next recursion level).
+        """
+        frame = node.bbox
+        # Atom boxes rebased to the frame: the grid and every cut
+        # position live in frame-local coordinates.
+        local_boxes = [a.bbox.translate(-frame.x, -frame.y) for a in node.atoms]
+        grid = OccupancyGrid.from_bboxes(
+            local_boxes,
+            max(frame.w, self.config.cell),
+            max(frame.h, self.config.cell),
+            self.config.cell,
+        )
+        text_boxes = [a.bbox.translate(-frame.x, -frame.y) for a in node.atoms if a.is_textual]
+        ref_boxes = text_boxes or local_boxes
+
+        horizontal = identify_visual_delimiters(
+            interior_cut_sets(grid, "horizontal"), ref_boxes, self.config.min_h_gap_ratio
+        )
+        vertical = identify_visual_delimiters(
+            interior_cut_sets(grid, "vertical"), ref_boxes, self.config.min_v_gap_ratio
+        )
+        if not horizontal and not vertical:
+            return None
+
+        best_h = max((s.span_units for s in horizontal), default=0.0)
+        best_v = max((s.span_units for s in vertical), default=0.0)
+        if best_h >= best_v:
+            orientation, separators = "horizontal", horizontal
+        else:
+            orientation, separators = "vertical", vertical
+
+        groups = self._partition_by_separators(node.atoms, frame, separators, orientation)
+        if groups is not None and len(groups) < 2:
+            return None
+        return groups
+
+    @staticmethod
+    def _partition_by_separators(
+        atoms: Sequence[AtomicElement],
+        frame: BBox,
+        separators: Sequence[CutSet],
+        orientation: str,
+    ) -> Optional[List[List[AtomicElement]]]:
+        """Assign atoms to the bands between separator centre lines."""
+        if not separators:
+            return None
+        lines = sorted(separators, key=lambda s: s.mid_units)
+
+        def band_of(a: AtomicElement) -> int:
+            cx, cy = a.bbox.centroid
+            if orientation == "horizontal":
+                coordinate, crossing = cy - frame.y, cx - frame.x
+            else:
+                coordinate, crossing = cx - frame.x, cy - frame.y
+            band = 0
+            for line in lines:
+                if coordinate > line.line_value_at(crossing):
+                    band += 1
+            return band
+
+        groups: dict = {}
+        for atom in atoms:
+            groups.setdefault(band_of(atom), []).append(atom)
+        ordered = [groups[k] for k in sorted(groups)]
+        return [g for g in ordered if g]
+
+    # ------------------------------------------------------------------
+    # Implicit modifiers
+    # ------------------------------------------------------------------
+    def _split_by_clustering(self, node: LayoutNode) -> Optional[List[List[AtomicElement]]]:
+        clusters = cluster_elements(
+            node.atoms, node.bbox, font_type_weight=self.config.font_type_weight
+        )
+        if len(clusters) < 2:
+            return None
+        return clusters

@@ -1,0 +1,256 @@
+"""VS2-Select: search-and-select over logical blocks (§5.2, §5.3).
+
+For every named entity, its lexico-syntactic pattern is searched within
+the transcription of each logical block.  A single match is taken as
+is; multiple matches go through entity disambiguation — multimodal
+(Eq. 2 against interest points, the default), text-only Lesk, or none
+(first match), the latter two existing for the Table 9 ablations.
+
+Dataset D1 takes the descriptor path: the form face is identified from
+the form title, then each field descriptor is (fuzzily, to absorb OCR
+noise) matched as a block-text prefix and the remainder of the block is
+the field value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SelectConfig
+from repro.core.disambiguate import Eq2Weights, distance_to_interest_points
+from repro.core.interest_points import select_interest_points
+from repro.core.patterns import CURATED_PATTERNS, PatternMatch, SyntacticPattern
+from repro.doc import Document
+from repro.doc.document import group_into_lines
+from repro.doc.layout_tree import LayoutNode
+from repro.embeddings import WordEmbedding, default_embedding
+from repro.geometry import BBox, enclosing_bbox
+from repro.nlp.fuzzy import normalize_for_match, ocr_fold, similarity_ratio
+from repro.nlp.lesk import LeskCandidate, lesk_select
+from repro.nlp.tokenizer import normalize_text
+from repro.synth.corpus import entity_vocabulary
+from repro.synth.tax_forms import form_faces
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One extracted key-value pair.
+
+    ``bbox`` is the logical block's box (the localisation the two-phase
+    evaluation scores); ``span_bbox`` the tight box of the matched
+    words within it.
+    """
+
+    entity_type: str
+    text: str
+    bbox: BBox
+    span_bbox: BBox
+    score: float
+
+
+def block_text(block: LayoutNode) -> str:
+    return normalize_text(block.text())
+
+
+def span_bbox_of(block: LayoutNode, start: int, end: int) -> BBox:
+    """Box of the words covering character span [start, end) of the
+    block's reading-order transcription."""
+    offset = 0
+    covered = []
+    lines = group_into_lines(block.text_atoms)
+    for line_index, line in enumerate(lines):
+        if line_index > 0:
+            offset += 1  # newline
+        for word_index, word in enumerate(line):
+            if word_index > 0:
+                offset += 1  # space
+            w_start, w_end = offset, offset + len(word.text)
+            if w_start < end and w_end > start:
+                covered.append(word)
+            offset = w_end
+    if not covered:
+        return block.bbox
+    return enclosing_bbox([w.bbox for w in covered])
+
+
+@dataclass
+class Candidate:
+    block: LayoutNode
+    match: PatternMatch
+    block_index: int
+
+
+class VS2Selector:
+    """Distantly supervised search-and-select."""
+
+    def __init__(
+        self,
+        dataset: str,
+        config: Optional[SelectConfig] = None,
+        patterns: Optional[Dict[str, SyntacticPattern]] = None,
+        embedding: Optional[WordEmbedding] = None,
+    ):
+        self.dataset = dataset.upper()
+        self.config = config or SelectConfig()
+        self.embedding = embedding or default_embedding()
+        if patterns is not None:
+            self.patterns = patterns
+        elif self.dataset in ("D2", "D3"):
+            vocab = entity_vocabulary(self.dataset)
+            self.patterns = {e: CURATED_PATTERNS[e] for e in vocab}
+        else:
+            self.patterns = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def extract(self, doc: Document, blocks: Sequence[LayoutNode]) -> List[Extraction]:
+        """Search each entity's pattern over the logical blocks and pick
+        one match per entity (disambiguating when several fire)."""
+        if self.dataset == "D1":
+            return self._extract_form_fields(doc, blocks)
+        extractions: List[Extraction] = []
+        interest_points = select_interest_points(blocks, self.embedding)
+        page_diag = float(np.hypot(doc.width, doc.height))
+        weights = Eq2Weights.from_tuple(
+            self.config.eq2_weights.get(self.dataset, (0.25, 0.25, 0.25, 0.25))
+        )
+        for entity_type, pattern in self.patterns.items():
+            candidates = self._find_candidates(blocks, pattern)
+            chosen = self._choose(
+                candidates, entity_type, interest_points, weights, page_diag
+            )
+            if chosen is not None:
+                extractions.append(
+                    Extraction(
+                        entity_type=entity_type,
+                        text=chosen.match.text,
+                        bbox=chosen.block.bbox,
+                        span_bbox=span_bbox_of(
+                            chosen.block, chosen.match.start, chosen.match.end
+                        ),
+                        score=chosen.match.strength,
+                    )
+                )
+        return extractions
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _find_candidates(
+        self, blocks: Sequence[LayoutNode], pattern: SyntacticPattern
+    ) -> List[Candidate]:
+        candidates: List[Candidate] = []
+        for index, block in enumerate(blocks):
+            if not block.text_atoms:
+                continue
+            text = block_text(block)
+            for match in pattern.find(text):
+                candidates.append(Candidate(block, match, index))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Select
+    # ------------------------------------------------------------------
+    def _choose(
+        self,
+        candidates: List[Candidate],
+        entity_type: str,
+        interest_points: Sequence[LayoutNode],
+        weights: Eq2Weights,
+        page_diag: float,
+    ) -> Optional[Candidate]:
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        mode = self.config.disambiguation
+        if mode == "none":
+            return candidates[0]
+        if mode == "lesk":
+            lesk_candidates = [
+                LeskCandidate(c.match.text, block_text(c.block)) for c in candidates
+            ]
+            return candidates[lesk_select(lesk_candidates, entity_type)]
+        if mode != "multimodal":
+            raise ValueError(f"unknown disambiguation mode {mode!r}")
+        scored: List[Tuple[float, int]] = []
+        for i, c in enumerate(candidates):
+            distance = distance_to_interest_points(
+                c.block, interest_points, weights, page_diag, self.embedding
+            )
+            # Primary key: Eq. 2 proximity to an interest point; the
+            # pattern's own confidence discounts it so a weak match in
+            # a salient block cannot beat a strong match nearby.
+            scored.append((distance - 0.6 * c.match.strength, i))
+        scored.sort()
+        return candidates[scored[0][1]]
+
+    # ------------------------------------------------------------------
+    # D1: descriptor path
+    # ------------------------------------------------------------------
+    def _extract_form_fields(
+        self, doc: Document, blocks: Sequence[LayoutNode]
+    ) -> List[Extraction]:
+        face = self._identify_face(blocks)
+        if face is None:
+            return []
+        extractions: List[Extraction] = []
+        # A form row block starts with the field's line number; an
+        # OCR-folded first-token index prunes the descriptor x block
+        # matching from quadratic to near-linear.
+        from repro.core.formfields import find_descriptor_span
+        from repro.doc.document import group_into_lines
+
+        by_first_token: Dict[str, List[Tuple[LayoutNode, list]]] = {}
+        for b in blocks:
+            if not b.text_atoms:
+                continue
+            words = [w for line in group_into_lines(b.text_atoms) for w in line]
+            by_first_token.setdefault(ocr_fold(words[0].text), []).append((b, words))
+        for field in face.fields:
+            first = ocr_fold(normalize_for_match(field.descriptor).split()[0])
+            best: Optional[Tuple[float, LayoutNode, list, int]] = None
+            for b, words in by_first_token.get(first, []):
+                span = find_descriptor_span(words, field.descriptor, min_ratio=0.8)
+                if span is None:
+                    continue
+                _, end_w, ratio = span
+                value_words = words[end_w:]
+                if not value_words:
+                    continue
+                if best is None or ratio > best[0]:
+                    best = (ratio, b, value_words, end_w)
+            if best is None:
+                continue
+            ratio, block, value_words, _ = best
+            extractions.append(
+                Extraction(
+                    entity_type=field.entity_type,
+                    text=" ".join(w.text for w in value_words),
+                    bbox=block.bbox,
+                    span_bbox=enclosing_bbox([w.bbox for w in value_words]),
+                    score=ratio,
+                )
+            )
+        return extractions
+
+    def _identify_face(self, blocks: Sequence[LayoutNode]):
+        """Match the form-title block against the 20 known face titles."""
+        faces = form_faces()
+        best: Optional[Tuple[float, object]] = None
+        for block in blocks[:12]:  # titles live near the top of the page
+            text = normalize_for_match(block_text(block))
+            if not text:
+                continue
+            for face in faces:
+                title = normalize_for_match(face.title)
+                ratio = similarity_ratio(text[: len(title) + 6], title)
+                if best is None or ratio > best[0]:
+                    best = (ratio, face)
+        if best is None or best[0] < 0.6:
+            return None
+        return best[1]

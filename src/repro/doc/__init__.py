@@ -1,0 +1,42 @@
+"""The document model of the paper (§4).
+
+A visually rich document is modelled as ``D = (C, T)`` where ``C`` is
+the set of *visual contents* and ``T`` their *visual organisation*:
+
+* atomic elements — :class:`TextElement` (a word, carrying its text,
+  colour and bounding box) and :class:`ImageElement` (a bitmap region);
+* :class:`Document` — a page holding the atomic elements together with
+  ground-truth :class:`Annotation` records used only by evaluation;
+* :class:`LayoutTree` / :class:`LayoutNode` — the nested organisation
+  whose leaves are the *logical blocks*;
+* :mod:`repro.doc.render` — rasterisation of a document to an RGB pixel
+  array (for colour features and figure reproduction) and to ASCII art.
+"""
+
+from repro.doc.elements import AtomicElement, ImageElement, TextElement
+from repro.doc.annotations import Annotation
+from repro.doc.document import Document
+from repro.doc.layout_tree import LayoutNode, LayoutTree
+from repro.doc.render import ascii_render, rasterize
+from repro.doc.serialize import (
+    document_from_dict,
+    document_to_dict,
+    load_documents,
+    save_documents,
+)
+
+__all__ = [
+    "AtomicElement",
+    "TextElement",
+    "ImageElement",
+    "Annotation",
+    "Document",
+    "LayoutNode",
+    "LayoutTree",
+    "rasterize",
+    "ascii_render",
+    "document_to_dict",
+    "document_from_dict",
+    "save_documents",
+    "load_documents",
+]

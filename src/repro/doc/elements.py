@@ -1,0 +1,120 @@
+"""Atomic elements of the visual content (paper §4.1).
+
+The paper's smallest unit of visual content is the *atomic element*,
+either textual or image.  A textual element is a **word** represented as
+``(text-data, color, width, height)``; an image element is
+``(image-data, width, height)``.  We extend both with the position of
+their bounding box (the paper carries positions in the layout tree
+nodes; keeping them on the element simplifies reverse lookups) and with
+the style attributes the synthetic renderer needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.colors import LabColor, rgb_to_lab
+from repro.geometry import BBox
+
+_element_counter = itertools.count()
+
+_BLACK = rgb_to_lab((20, 20, 20))
+
+
+def _next_element_id() -> int:
+    return next(_element_counter)
+
+
+@dataclass(frozen=True)
+class TextElement:
+    """A word on the page.
+
+    Attributes
+    ----------
+    text:
+        The word's text data.
+    bbox:
+        Smallest bounding box enclosing the word.
+    color:
+        Average colour of the glyphs in LAB space (§4.1.1).
+    font_size:
+        Nominal glyph height in layout units; the paper's font-size
+        uniformity assumption within a logical block (§5.1.2) and the
+        interest-point height objective (§5.3.1) both key on this.
+    bold, italic:
+        Typographical emphasis flags, consumed by the renderer and by
+        baselines that use style features (Apostolova et al.).
+    font_family:
+        Face name; a free-form tag on synthetic documents.
+    """
+
+    text: str
+    bbox: BBox
+    color: LabColor = _BLACK
+    font_size: float = 12.0
+    bold: bool = False
+    italic: bool = False
+    font_family: str = "serif"
+    element_id: int = field(default_factory=_next_element_id)
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("a textual element holds at least one character")
+        if self.font_size <= 0:
+            raise ValueError("font_size must be positive")
+
+    @property
+    def is_textual(self) -> bool:
+        return True
+
+    @property
+    def width(self) -> float:
+        return self.bbox.w
+
+    @property
+    def height(self) -> float:
+        return self.bbox.h
+
+    def with_text(self, text: str) -> "TextElement":
+        """A copy carrying different text (used by the OCR noise model)."""
+        return replace(self, text=text)
+
+    def with_bbox(self, bbox: BBox) -> "TextElement":
+        return replace(self, bbox=bbox)
+
+
+@dataclass(frozen=True)
+class ImageElement:
+    """An image region on the page.
+
+    ``image_data`` is an opaque tag on synthetic documents (e.g.
+    ``"logo"``, ``"photo"``); the rasteriser turns it into a textured
+    block.  Its average colour participates in visual features exactly
+    like text colour does.
+    """
+
+    image_data: str
+    bbox: BBox
+    color: LabColor = _BLACK
+    element_id: int = field(default_factory=_next_element_id)
+
+    def __post_init__(self) -> None:
+        if self.bbox.area <= 0:
+            raise ValueError("an image element covers a positive area")
+
+    @property
+    def is_textual(self) -> bool:
+        return False
+
+    @property
+    def width(self) -> float:
+        return self.bbox.w
+
+    @property
+    def height(self) -> float:
+        return self.bbox.h
+
+
+AtomicElement = Union[TextElement, ImageElement]

@@ -1,0 +1,204 @@
+"""The hierarchical layout model (paper §4.2).
+
+The visual organisation of a document is a tree ``T_D = (V, E)``: an
+edge from a parent to a child means the child's visual area is enclosed
+by the parent's.  Non-leaf nodes are nested, semantically diverse areas;
+after VS2-Segment converges the **leaves are the logical blocks**.
+
+Each node is the paper's nested tuple ``(B, x, y, width, height)`` —
+the atoms it encloses plus its bounding box.  We keep the box as a
+:class:`~repro.geometry.BBox` and the atoms as element references.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.doc.elements import AtomicElement, TextElement
+from repro.geometry import BBox, enclosing_bbox
+
+_node_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class LayoutNode:
+    """A visual area in the layout tree.  Identity semantics (two nodes
+    with identical content are still distinct areas).
+
+    Attributes
+    ----------
+    bbox:
+        Smallest bounding box enclosing the area.
+    atoms:
+        Atomic elements appearing within the area (the paper's ``B``
+        set, recovered by reverse lookup).
+    children:
+        Sub-areas; empty for leaves (logical-block candidates).
+    kind:
+        How this node was produced — ``"root"``, ``"cut"`` (explicit
+        delimiter split), ``"cluster"`` (implicit-modifier clustering),
+        or ``"merged"`` (semantic merging).  Diagnostic only.
+    """
+
+    bbox: BBox
+    atoms: List[AtomicElement] = field(default_factory=list)
+    children: List["LayoutNode"] = field(default_factory=list)
+    kind: str = "root"
+    node_id: int = field(default_factory=lambda: next(_node_counter))
+    parent: Optional["LayoutNode"] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "LayoutNode") -> "LayoutNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def replace_children(self, children: Sequence["LayoutNode"]) -> None:
+        self.children = []
+        for child in children:
+            self.add_child(child)
+
+    def siblings(self) -> List["LayoutNode"]:
+        if self.parent is None:
+            return []
+        return [c for c in self.parent.children if c is not self]
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        node, d = self, 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def walk(self) -> Iterator["LayoutNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> List["LayoutNode"]:
+        return [n for n in self.walk() if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    @property
+    def text_atoms(self) -> List[TextElement]:
+        return [a for a in self.atoms if isinstance(a, TextElement)]
+
+    def text(self) -> str:
+        """Reading-order transcription of the node's words."""
+        from repro.doc.document import join_in_reading_order
+
+        return join_in_reading_order(self.text_atoms)
+
+    def word_count(self) -> int:
+        return len(self.text_atoms)
+
+    def word_density(self) -> float:
+        """Words per unit area — the third interest-point objective
+        (§5.3.1) seeks to *minimise* this."""
+        if self.bbox.area <= 0:
+            return 0.0
+        return self.word_count() / self.bbox.area
+
+    def mean_font_size(self) -> float:
+        sizes = [a.font_size for a in self.text_atoms]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def refit_bbox(self) -> None:
+        """Shrink the node's box to the smallest enclosure of its atoms."""
+        if self.atoms:
+            self.bbox = enclosing_bbox([a.bbox for a in self.atoms])
+
+
+@dataclass
+class LayoutTree:
+    """The document layout tree ``T_D``.
+
+    Convergent VS2-Segment output: the leaves of :attr:`root` are the
+    logical blocks of the document.
+    """
+
+    root: LayoutNode
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (edges).
+
+        The semantic-merge threshold schedule ``θ_h`` (§5.1.2 footnote)
+        is a function of this height.
+        """
+
+        def node_height(node: LayoutNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(node_height(c) for c in node.children)
+
+        return node_height(self.root)
+
+    def walk(self) -> Iterator[LayoutNode]:
+        return self.root.walk()
+
+    def leaves(self) -> List[LayoutNode]:
+        return self.root.leaves()
+
+    def logical_blocks(self) -> List[LayoutNode]:
+        """The paper's logical blocks: non-empty leaves of the tree."""
+        return [leaf for leaf in self.leaves() if leaf.atoms]
+
+    def nodes_at_level(self, level: int) -> List[LayoutNode]:
+        """All nodes at a given depth; Eq. 1 compares same-level nodes."""
+        return [n for n in self.walk() if n.depth() == level]
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def find(self, predicate: Callable[[LayoutNode], bool]) -> Optional[LayoutNode]:
+        for node in self.walk():
+            if predicate(node):
+                return node
+        return None
+
+    def collapse_unary(self) -> int:
+        """Hoist single-child nodes: a node whose area split into one
+        piece (e.g. after its other children merged away) is the same
+        visual area as that piece.  Returns the number of hoists."""
+        count = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in self.walk():
+                if len(node.children) == 1:
+                    child = node.children[0]
+                    node.atoms = child.atoms
+                    node.kind = child.kind
+                    node.bbox = child.bbox
+                    node.replace_children(child.children)
+                    count += 1
+                    changed = True
+                    break
+        return count
+
+    def validate_nesting(self) -> None:
+        """Every child's area must be enclosed by its parent's (with a
+        small tolerance for boxes refit after merging)."""
+        for node in self.walk():
+            frame = node.bbox.expand(1.0)
+            for child in node.children:
+                if not frame.contains_bbox(child.bbox):
+                    raise ValueError(
+                        f"child {child.node_id} escapes parent {node.node_id}: "
+                        f"{child.bbox} outside {node.bbox}"
+                    )

@@ -1,0 +1,176 @@
+"""Rasterisation of documents.
+
+Two renderers:
+
+* :func:`rasterize` — an RGB pixel array.  Words are drawn as simple
+  glyph-stroke patterns in their colour; images as textured blocks.
+  This is what colour features sample and what figure benches save.
+* :func:`ascii_render` — a coarse character grid used by the figure
+  benches (Fig. 4 / Fig. 6) to show layout trees and logical blocks in
+  a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.colors import LabColor, lab_to_rgb
+from repro.doc.document import Document
+from repro.doc.elements import ImageElement, TextElement
+from repro.geometry import BBox
+
+
+def rasterize(doc: Document, scale: float = 1.0) -> np.ndarray:
+    """Render ``doc`` to an ``(H, W, 3)`` uint8 RGB array.
+
+    Glyphs are approximated by vertical strokes at character pitch —
+    enough texture that average-colour sampling over a word box recovers
+    a blend of glyph and background colour, as real pixels would.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    height = max(1, int(round(doc.height * scale)))
+    width = max(1, int(round(doc.width * scale)))
+    canvas = np.empty((height, width, 3), dtype=np.uint8)
+    canvas[:, :] = lab_to_rgb(doc.background)
+
+    for element in doc.elements:
+        box = element.bbox.scale(scale)
+        x1, y1 = int(box.x), int(box.y)
+        x2, y2 = int(np.ceil(box.x2)), int(np.ceil(box.y2))
+        x1, y1 = max(x1, 0), max(y1, 0)
+        x2, y2 = min(x2, width), min(y2, height)
+        if x2 <= x1 or y2 <= y1:
+            continue
+        rgb = np.array(lab_to_rgb(element.color), dtype=np.uint8)
+        if isinstance(element, ImageElement):
+            _draw_textured_block(canvas, x1, y1, x2, y2, rgb)
+        elif isinstance(element, TextElement):
+            _draw_word(canvas, x1, y1, x2, y2, rgb, element)
+    return canvas
+
+
+def _draw_textured_block(
+    canvas: np.ndarray, x1: int, y1: int, x2: int, y2: int, rgb: np.ndarray
+) -> None:
+    """Fill a block with a light checker texture around the base colour."""
+    block = canvas[y1:y2, x1:x2]
+    block[:, :] = rgb
+    yy, xx = np.mgrid[y1:y2, x1:x2]
+    checker = ((yy // 4 + xx // 4) % 2).astype(bool)
+    lighter = np.clip(rgb.astype(int) + 25, 0, 255).astype(np.uint8)
+    block[checker] = lighter
+
+
+def _draw_word(
+    canvas: np.ndarray,
+    x1: int,
+    y1: int,
+    x2: int,
+    y2: int,
+    rgb: np.ndarray,
+    element: TextElement,
+) -> None:
+    """Draw pseudo-glyph strokes for a word.
+
+    One vertical stroke per character at the word's character pitch; a
+    horizontal mid-bar for bold text thickens the coverage.
+    """
+    n_chars = max(len(element.text), 1)
+    span = x2 - x1
+    pitch = max(span / n_chars, 1.0)
+    stroke_w = 2 if element.bold else 1
+    for i in range(n_chars):
+        sx = int(x1 + i * pitch)
+        canvas[y1:y2, sx : min(sx + stroke_w, x2)] = rgb
+    mid = (y1 + y2) // 2
+    canvas[mid : min(mid + 1, y2), x1:x2] = rgb
+
+
+def save_ppm(canvas: np.ndarray, path: str) -> None:
+    """Write an RGB array as a binary PPM (P6) image.
+
+    PPM needs no imaging dependency, and every common viewer and
+    converter reads it — the pixel-artifact escape hatch for figures.
+    """
+    if canvas.ndim != 3 or canvas.shape[2] != 3 or canvas.dtype != np.uint8:
+        raise ValueError("save_ppm expects an (H, W, 3) uint8 array")
+    height, width = canvas.shape[:2]
+    with open(path, "wb") as f:
+        f.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        f.write(canvas.tobytes())
+
+
+def average_color_in(canvas: np.ndarray, box: BBox) -> Tuple[float, float, float]:
+    """Mean RGB inside ``box`` on a rendered canvas (clipped to it)."""
+    h, w = canvas.shape[:2]
+    x1, y1 = max(int(box.x), 0), max(int(box.y), 0)
+    x2, y2 = min(int(np.ceil(box.x2)), w), min(int(np.ceil(box.y2)), h)
+    if x2 <= x1 or y2 <= y1:
+        return (255.0, 255.0, 255.0)
+    region = canvas[y1:y2, x1:x2].reshape(-1, 3)
+    mean = region.mean(axis=0)
+    return (float(mean[0]), float(mean[1]), float(mean[2]))
+
+
+def ascii_render(
+    doc: Document,
+    boxes: Optional[Sequence[BBox]] = None,
+    cols: int = 96,
+    rows: int = 48,
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Coarse ASCII view of a page: words as ``#``, images as ``@``,
+    overlay ``boxes`` as bordered rectangles (optionally labelled).
+
+    Used by the Fig. 4 / Fig. 6 benches to display the layout model and
+    the logical blocks / interest points without an image viewer.
+    """
+    grid = [[" "] * cols for _ in range(rows)]
+    sx = cols / doc.width
+    sy = rows / doc.height
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        return (
+            min(max(int(x * sx), 0), cols - 1),
+            min(max(int(y * sy), 0), rows - 1),
+        )
+
+    for element in doc.elements:
+        glyph = "#" if isinstance(element, TextElement) else "@"
+        c1, r1 = to_cell(element.bbox.x, element.bbox.y)
+        c2, r2 = to_cell(element.bbox.x2, element.bbox.y2)
+        for r in range(r1, r2 + 1):
+            for c in range(c1, c2 + 1):
+                grid[r][c] = glyph
+
+    for i, box in enumerate(boxes or []):
+        c1, r1 = to_cell(box.x, box.y)
+        c2, r2 = to_cell(box.x2, box.y2)
+        for c in range(c1, c2 + 1):
+            grid[r1][c] = "-" if grid[r1][c] == " " else grid[r1][c]
+            grid[r2][c] = "-" if grid[r2][c] == " " else grid[r2][c]
+        for r in range(r1, r2 + 1):
+            grid[r][c1] = "|" if grid[r][c1] == " " else grid[r][c1]
+            grid[r][c2] = "|" if grid[r][c2] == " " else grid[r][c2]
+        for corner_c, corner_r in ((c1, r1), (c2, r1), (c1, r2), (c2, r2)):
+            grid[corner_r][corner_c] = "+"
+        if labels and i < len(labels):
+            label = labels[i][: max(c2 - c1 - 1, 0)]
+            for j, ch in enumerate(label):
+                grid[r1][c1 + 1 + j] = ch
+
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_layout_overlay(doc: Document, boxes: Iterable[BBox]) -> List[str]:
+    """Text description of boxes over the page, one line per box."""
+    lines = []
+    for i, box in enumerate(boxes):
+        lines.append(
+            f"block[{i}] x={box.x:7.1f} y={box.y:7.1f} "
+            f"w={box.w:7.1f} h={box.h:7.1f}"
+        )
+    return lines

@@ -1,0 +1,134 @@
+"""Document (de)serialisation to JSON.
+
+Lets corpora, transcriptions and annotations round-trip through disk —
+what a downstream adopter needs to run the pipeline on their own data:
+produce this JSON from any OCR engine and feed it to
+:class:`repro.core.VS2Pipeline` without touching the synthetic
+generators.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO
+
+from repro.colors import LabColor
+from repro.doc.annotations import Annotation
+from repro.doc.document import Document
+from repro.doc.elements import ImageElement, TextElement
+from repro.geometry import BBox
+
+
+def _bbox_to_list(box: BBox) -> List[float]:
+    return [box.x, box.y, box.w, box.h]
+
+
+def _bbox_from_list(values: List[float]) -> BBox:
+    return BBox(*values)
+
+
+def element_to_dict(element) -> Dict[str, Any]:
+    """JSON-ready dict for one atomic element."""
+    if isinstance(element, TextElement):
+        return {
+            "kind": "text",
+            "text": element.text,
+            "bbox": _bbox_to_list(element.bbox),
+            "color": [element.color.l, element.color.a, element.color.b],
+            "font_size": element.font_size,
+            "bold": element.bold,
+            "italic": element.italic,
+            "font_family": element.font_family,
+        }
+    if isinstance(element, ImageElement):
+        return {
+            "kind": "image",
+            "image_data": element.image_data,
+            "bbox": _bbox_to_list(element.bbox),
+            "color": [element.color.l, element.color.a, element.color.b],
+        }
+    raise TypeError(f"unknown element type {type(element)!r}")
+
+
+def element_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`element_to_dict`."""
+    color = LabColor(*data["color"])
+    if data["kind"] == "text":
+        return TextElement(
+            text=data["text"],
+            bbox=_bbox_from_list(data["bbox"]),
+            color=color,
+            font_size=data["font_size"],
+            bold=data["bold"],
+            italic=data["italic"],
+            font_family=data["font_family"],
+        )
+    if data["kind"] == "image":
+        return ImageElement(data["image_data"], _bbox_from_list(data["bbox"]), color)
+    raise ValueError(f"unknown element kind {data['kind']!r}")
+
+
+def document_to_dict(doc: Document) -> Dict[str, Any]:
+    """JSON-ready dict for ``doc`` (the DOM, if any, is not included —
+    serialise HTML separately with :meth:`HtmlNode.to_html`)."""
+    return {
+        "doc_id": doc.doc_id,
+        "width": doc.width,
+        "height": doc.height,
+        "source": doc.source,
+        "dataset": doc.dataset,
+        "background": [doc.background.l, doc.background.a, doc.background.b],
+        "metadata": doc.metadata,
+        "elements": [element_to_dict(e) for e in doc.elements],
+        "annotations": [
+            {
+                "entity_type": a.entity_type,
+                "text": a.text,
+                "bbox": _bbox_to_list(a.bbox),
+                "field_descriptor": a.field_descriptor,
+            }
+            for a in doc.annotations
+        ],
+    }
+
+
+def document_from_dict(data: Dict[str, Any]) -> Document:
+    """Inverse of :func:`document_to_dict`."""
+    return Document(
+        doc_id=data["doc_id"],
+        width=data["width"],
+        height=data["height"],
+        elements=[element_from_dict(e) for e in data["elements"]],
+        annotations=[
+            Annotation(
+                a["entity_type"],
+                a["text"],
+                _bbox_from_list(a["bbox"]),
+                a.get("field_descriptor"),
+            )
+            for a in data["annotations"]
+        ],
+        source=data["source"],
+        dataset=data.get("dataset", ""),
+        background=LabColor(*data["background"]),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def save_documents(docs, stream: TextIO) -> int:
+    """Write documents as JSON lines; returns the count."""
+    count = 0
+    for doc in docs:
+        stream.write(json.dumps(document_to_dict(doc), ensure_ascii=False) + "\n")
+        count += 1
+    return count
+
+
+def load_documents(stream: TextIO) -> List[Document]:
+    """Read documents from a JSON-lines stream."""
+    docs = []
+    for line in stream:
+        line = line.strip()
+        if line:
+            docs.append(document_from_dict(json.loads(line)))
+    return docs

@@ -1,0 +1,130 @@
+"""Trainable co-occurrence embeddings (PPMI + truncated SVD).
+
+The from-scratch counterpart of *training* Word2Vec on a corpus.
+Levy & Goldberg showed skip-gram with negative sampling implicitly
+factorises a shifted PMI matrix, so PPMI + SVD is the standard
+closed-form stand-in: build a windowed co-occurrence matrix, weight it
+by positive pointwise mutual information, and factorise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.vectors import cosine_similarity
+from repro.nlp.tokenizer import words as tokenize_words
+
+
+class SvdEmbedding:
+    """Embeddings for a fixed vocabulary, produced by :func:`train_svd_embedding`."""
+
+    def __init__(self, vocabulary: Sequence[str], matrix: np.ndarray):
+        if len(vocabulary) != matrix.shape[0]:
+            raise ValueError("vocabulary / matrix size mismatch")
+        self.vocabulary = list(vocabulary)
+        self.matrix = matrix
+        self._index: Dict[str, int] = {w: i for i, w in enumerate(self.vocabulary)}
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.shape[1]
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._index
+
+    def embed(self, word: str) -> np.ndarray:
+        """Vector for ``word``; zero vector when out of vocabulary."""
+        idx = self._index.get(word.lower())
+        if idx is None:
+            return np.zeros(self.dim)
+        return self.matrix[idx]
+
+    def embed_text(self, text: str) -> np.ndarray:
+        vecs = [self.embed(w) for w in tokenize_words(text) if w.lower() in self._index]
+        if not vecs:
+            return np.zeros(self.dim)
+        return np.mean(vecs, axis=0)
+
+    def similarity(self, a: str, b: str) -> float:
+        return cosine_similarity(self.embed(a), self.embed(b))
+
+    def most_similar(self, word: str, k: int = 5) -> List[str]:
+        v = self.embed(word)
+        norm = np.linalg.norm(v)
+        if norm == 0:
+            return []
+        scores = self.matrix @ v
+        norms = np.linalg.norm(self.matrix, axis=1) * norm
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos = np.where(norms > 0, scores / norms, 0.0)
+        order = np.argsort(-cos)
+        out = []
+        for idx in order:
+            candidate = self.vocabulary[idx]
+            if candidate != word.lower():
+                out.append(candidate)
+            if len(out) == k:
+                break
+        return out
+
+
+def train_svd_embedding(
+    texts: Iterable[str],
+    dim: int = 32,
+    window: int = 4,
+    min_count: int = 2,
+    max_vocab: Optional[int] = 5000,
+) -> SvdEmbedding:
+    """Train PPMI + SVD embeddings on an iterable of texts.
+
+    Parameters
+    ----------
+    texts:
+        Corpus documents (e.g. holdout-corpus entries).
+    dim:
+        Embedding dimensionality (clipped to the vocabulary size).
+    window:
+        Symmetric co-occurrence window in tokens.
+    min_count:
+        Words rarer than this are dropped.
+    max_vocab:
+        Keep only the most frequent words (None = unbounded).
+    """
+    if dim < 1:
+        raise ValueError("dim must be positive")
+    token_lists = [tokenize_words(t) for t in texts]
+    counts = Counter(w for toks in token_lists for w in toks)
+    vocab = [w for w, c in counts.most_common(max_vocab) if c >= min_count]
+    if not vocab:
+        raise ValueError("corpus too small: empty vocabulary after filtering")
+    index = {w: i for i, w in enumerate(vocab)}
+    n = len(vocab)
+
+    cooc = np.zeros((n, n))
+    for toks in token_lists:
+        ids = [index.get(w, -1) for w in toks]
+        for i, wi in enumerate(ids):
+            if wi < 0:
+                continue
+            for j in range(max(0, i - window), min(len(ids), i + window + 1)):
+                wj = ids[j]
+                if j == i or wj < 0:
+                    continue
+                cooc[wi, wj] += 1.0 / abs(i - j)  # distance-decayed counts
+
+    total = cooc.sum()
+    if total == 0:
+        raise ValueError("corpus too small: no co-occurrences")
+    row = cooc.sum(axis=1, keepdims=True)
+    col = cooc.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((cooc * total) / (row @ col))
+    ppmi = np.where(np.isfinite(pmi), np.maximum(pmi, 0.0), 0.0)
+
+    k = min(dim, n - 1) if n > 1 else 1
+    u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+    vectors = u[:, :k] * np.sqrt(s[:k])[None, :]
+    return SvdEmbedding(vocab, vectors)

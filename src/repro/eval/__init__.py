@@ -1,0 +1,32 @@
+"""Evaluation protocol (§6.2).
+
+Two-phase evaluation against annotated ground truth:
+
+* **Localisation** (Table 5) — block proposals match a ground-truth
+  entity box when IoU > 0.65 (the PASCAL-VOC criterion [12]); labels
+  are ignored at this stage.
+* **End-to-end** (Tables 6–8) — an extraction is accurate when it is
+  localised (IoU > 0.65) *and* its predicted entity type matches the
+  ground-truth label.
+
+Both report precision and recall; Tables 6/8 add ΔF1 against the
+text-only baseline and §6.4's paired t-test (p < 0.05).
+"""
+
+from repro.eval.metrics import (
+    PRF,
+    end_to_end_scores,
+    f1_score,
+    match_extractions,
+    segmentation_scores,
+)
+from repro.eval.significance import paired_t_test
+
+__all__ = [
+    "PRF",
+    "f1_score",
+    "segmentation_scores",
+    "match_extractions",
+    "end_to_end_scores",
+    "paired_t_test",
+]

@@ -1,0 +1,166 @@
+"""Precision / recall computation for both evaluation phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.select import Extraction
+from repro.doc import Annotation, Document
+from repro.geometry import BBox, pairwise_iou
+
+IOU_THRESHOLD = 0.65
+
+
+@dataclass
+class PRF:
+    """Precision / recall / F1 with raw counts."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def add(self, other: "PRF") -> "PRF":
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+        return self
+
+    def __repr__(self) -> str:
+        return f"PRF(P={self.precision:.4f}, R={self.recall:.4f}, F1={self.f1:.4f})"
+
+
+def f1_score(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+# ----------------------------------------------------------------------
+# Phase 1: segmentation / localisation (Table 5)
+# ----------------------------------------------------------------------
+def segmentation_scores(
+    proposals: Sequence[BBox],
+    annotations: Sequence[Annotation],
+    iou_threshold: float = IOU_THRESHOLD,
+) -> PRF:
+    """Label-blind greedy one-to-one matching of proposals to GT boxes.
+
+    Pairs are matched best-IoU-first (VOC protocol); a proposal matched
+    to a GT box counts as a true positive, an unmatched proposal as a
+    false positive, an uncovered GT box as a false negative.
+    """
+    if not proposals:
+        return PRF(0, 0, len(annotations))
+    if not annotations:
+        return PRF(0, len(proposals), 0)
+    iou = pairwise_iou(list(proposals), [a.bbox for a in annotations])
+    pairs: List[Tuple[float, int, int]] = [
+        (float(iou[i, j]), i, j)
+        for i in range(len(proposals))
+        for j in range(len(annotations))
+        if iou[i, j] > iou_threshold
+    ]
+    pairs.sort(reverse=True)
+    used_p: set = set()
+    used_a: set = set()
+    tp = 0
+    for _, i, j in pairs:
+        if i in used_p or j in used_a:
+            continue
+        used_p.add(i)
+        used_a.add(j)
+        tp += 1
+    return PRF(tp, len(proposals) - tp, len(annotations) - tp)
+
+
+def corpus_segmentation_scores(
+    per_doc: Iterable[Tuple[Sequence[BBox], Sequence[Annotation]]],
+    iou_threshold: float = IOU_THRESHOLD,
+) -> PRF:
+    total = PRF()
+    for proposals, annotations in per_doc:
+        total.add(segmentation_scores(proposals, annotations, iou_threshold))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Phase 2: end-to-end (Tables 6, 7, 8)
+# ----------------------------------------------------------------------
+def match_extractions(
+    extractions: Sequence[Extraction],
+    annotations: Sequence[Annotation],
+    iou_threshold: float = IOU_THRESHOLD,
+) -> Dict[str, PRF]:
+    """Per-entity-type scores for one document.
+
+    An extraction is a true positive when a ground-truth annotation of
+    the same entity type overlaps it with IoU above the threshold.
+    """
+    scores: Dict[str, PRF] = {}
+    matched_annotations: set = set()
+    for e in extractions:
+        prf = scores.setdefault(e.entity_type, PRF())
+        hit = None
+        for idx, a in enumerate(annotations):
+            if idx in matched_annotations or a.entity_type != e.entity_type:
+                continue
+            if a.bbox.iou(e.bbox) > iou_threshold or a.bbox.iou(e.span_bbox) > iou_threshold:
+                hit = idx
+                break
+        if hit is None:
+            prf.fp += 1
+        else:
+            matched_annotations.add(hit)
+            prf.tp += 1
+    for idx, a in enumerate(annotations):
+        if idx not in matched_annotations:
+            scores.setdefault(a.entity_type, PRF()).fn += 1
+    return scores
+
+
+def end_to_end_scores(
+    results: Iterable[Tuple[Sequence[Extraction], Document]],
+    iou_threshold: float = IOU_THRESHOLD,
+) -> Tuple[PRF, Dict[str, PRF]]:
+    """Aggregate end-to-end scores over a corpus.
+
+    Returns the overall PRF and the per-entity-type breakdown.
+    """
+    overall = PRF()
+    per_entity: Dict[str, PRF] = {}
+    for extractions, doc in results:
+        doc_scores = match_extractions(extractions, doc.annotations, iou_threshold)
+        for entity_type, prf in doc_scores.items():
+            overall.add(PRF(prf.tp, prf.fp, prf.fn))
+            per_entity.setdefault(entity_type, PRF()).add(PRF(prf.tp, prf.fp, prf.fn))
+    return overall, per_entity
+
+
+def per_document_f1(
+    results: Iterable[Tuple[Sequence[Extraction], Document]],
+    iou_threshold: float = IOU_THRESHOLD,
+) -> List[float]:
+    """Document-level F1 series (input to the §6.4 paired t-test)."""
+    series = []
+    for extractions, doc in results:
+        doc_total = PRF()
+        for prf in match_extractions(extractions, doc.annotations, iou_threshold).values():
+            doc_total.add(PRF(prf.tp, prf.fp, prf.fn))
+        series.append(doc_total.f1)
+    return series

@@ -1,0 +1,43 @@
+"""Geometric primitives used throughout the VS2 reproduction.
+
+The segmentation half of VS2 is fundamentally geometric: documents are
+bags of bounding boxes, whitespace is the complement of those boxes on a
+discretised page grid, and explicit visual delimiters are *cuts* — paths
+through whitespace that traverse the page edge to edge (paper §5.1.1).
+This package provides those primitives:
+
+``BBox``
+    An immutable axis-aligned bounding box with the intersection /
+    union / IoU operations the evaluation protocol needs.
+``OccupancyGrid``
+    A discretised view of a page recording which cells are covered by
+    content, i.e. which positions are *whitespace positions*.
+``cuts``
+    Valid k-hop movements, horizontal/vertical cuts, and grouping of
+    consecutive cuts into candidate separators (Fig. 5 of the paper).
+"""
+
+from repro.geometry.bbox import BBox, Point, enclosing_bbox, pairwise_iou
+from repro.geometry.grid import OccupancyGrid
+from repro.geometry.cuts import (
+    CutSet,
+    consecutive_cut_sets,
+    find_horizontal_cuts,
+    find_vertical_cuts,
+    has_valid_horizontal_movement,
+    has_valid_vertical_movement,
+)
+
+__all__ = [
+    "BBox",
+    "Point",
+    "enclosing_bbox",
+    "pairwise_iou",
+    "OccupancyGrid",
+    "CutSet",
+    "consecutive_cut_sets",
+    "find_horizontal_cuts",
+    "find_vertical_cuts",
+    "has_valid_horizontal_movement",
+    "has_valid_vertical_movement",
+]

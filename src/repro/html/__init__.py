@@ -1,0 +1,21 @@
+"""A miniature HTML substrate.
+
+Three of the paper's moving parts need HTML:
+
+* the **holdout corpus** is populated by scraping fixed-format listing
+  pages and running a custom web wrapper over them (§5.2.1, Table 2);
+* the **VIPS baseline** (A4) segments HTML documents using tag-level
+  cues [4];
+* the **ML-based baseline** (Zhou et al. [49]) consumes HTML features,
+  and dataset D3 is natively HTML.
+
+This package provides a small DOM node type, a serialiser, a parser for
+the HTML subset our synthetic websites emit, and the web wrapper used
+to pull (entity, text) tuples out of fixed-format pages.
+"""
+
+from repro.html.dom import HtmlNode, el, text_of
+from repro.html.parser import parse_html
+from repro.html.wrapper import WrapperRule, extract_records
+
+__all__ = ["HtmlNode", "el", "text_of", "parse_html", "WrapperRule", "extract_records"]

@@ -1,0 +1,138 @@
+"""DOM node type and serialisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.geometry import BBox
+
+Child = Union["HtmlNode", str]
+
+#: Tags serialised without a closing tag.
+VOID_TAGS = frozenset({"br", "hr", "img", "input", "meta", "link"})
+
+#: Tags VIPS treats as block-level separators.
+BLOCK_TAGS = frozenset(
+    {
+        "html", "body", "div", "p", "table", "tr", "td", "th", "ul", "ol",
+        "li", "h1", "h2", "h3", "h4", "h5", "h6", "section", "header",
+        "footer", "article", "aside", "form", "hr",
+    }
+)
+
+
+@dataclass
+class HtmlNode:
+    """An element node.
+
+    ``bbox`` is the rendered box when the DOM was produced alongside a
+    layout (dataset D3) — ``None`` for scraped holdout pages, which are
+    never rendered.
+    """
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List[Child] = field(default_factory=list)
+    bbox: Optional[BBox] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: Child) -> "HtmlNode":
+        self.children.append(child)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def classes(self) -> List[str]:
+        return self.attrs.get("class", "").split()
+
+    def walk(self) -> Iterator["HtmlNode"]:
+        yield self
+        for child in self.children:
+            if isinstance(child, HtmlNode):
+                yield from child.walk()
+
+    def find_all(
+        self, tag: Optional[str] = None, class_: Optional[str] = None
+    ) -> List["HtmlNode"]:
+        found = []
+        for node in self.walk():
+            if tag is not None and node.tag != tag:
+                continue
+            if class_ is not None and class_ not in node.classes:
+                continue
+            found.append(node)
+        return found
+
+    def find(self, tag: Optional[str] = None, class_: Optional[str] = None) -> Optional["HtmlNode"]:
+        matches = self.find_all(tag, class_)
+        return matches[0] if matches else None
+
+    def text(self) -> str:
+        """Concatenated text content, block tags separated by newlines."""
+        parts: List[str] = []
+
+        def visit(node: "HtmlNode") -> None:
+            for child in node.children:
+                if isinstance(child, str):
+                    parts.append(child)
+                else:
+                    if child.tag in BLOCK_TAGS and parts and parts[-1] != "\n":
+                        parts.append("\n")
+                    visit(child)
+                    if child.tag in BLOCK_TAGS and parts and parts[-1] != "\n":
+                        parts.append("\n")
+
+        visit(self)
+        text = "".join(parts)
+        lines = [ln.strip() for ln in text.split("\n")]
+        return "\n".join(ln for ln in lines if ln)
+
+    def is_block(self) -> bool:
+        return self.tag in BLOCK_TAGS
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_html(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(f' {k}="{v}"' for k, v in self.attrs.items())
+        if self.tag in VOID_TAGS:
+            return f"{pad}<{self.tag}{attrs}>"
+        if all(isinstance(c, str) for c in self.children):
+            inner = "".join(self.children)  # type: ignore[arg-type]
+            return f"{pad}<{self.tag}{attrs}>{_escape(inner)}</{self.tag}>"
+        lines = [f"{pad}<{self.tag}{attrs}>"]
+        for child in self.children:
+            if isinstance(child, str):
+                lines.append("  " * (indent + 1) + _escape(child))
+            else:
+                lines.append(child.to_html(indent + 1))
+        lines.append(f"{pad}</{self.tag}>")
+        return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def unescape(text: str) -> str:
+    return text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+
+
+def el(tag: str, *children: Child, **attrs: str) -> HtmlNode:
+    """Terse element constructor: ``el('div', 'hi', class_='row')``."""
+    clean_attrs = {k.rstrip("_").replace("_", "-"): v for k, v in attrs.items()}
+    node = HtmlNode(tag, clean_attrs)
+    for child in children:
+        node.append(child)
+    return node
+
+
+def text_of(node: Optional[HtmlNode]) -> str:
+    """Safe text extraction (empty string for ``None``)."""
+    return node.text() if node is not None else ""

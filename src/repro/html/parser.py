@@ -1,0 +1,61 @@
+"""A small HTML parser (stack-based tokeniser).
+
+Covers the subset our synthetic websites serialise: nested elements,
+attributes in double quotes, void tags, text nodes and entity escapes.
+Round-trips with :meth:`HtmlNode.to_html` — the property tests assert
+``parse(serialize(dom)) ≡ dom`` up to whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.html.dom import VOID_TAGS, HtmlNode, unescape
+
+_TAG_RE = re.compile(r"<(/?)([a-zA-Z][a-zA-Z0-9]*)((?:\s+[a-zA-Z-]+=\"[^\"]*\")*)\s*(/?)>")
+_ATTR_RE = re.compile(r'([a-zA-Z-]+)="([^"]*)"')
+
+
+class HtmlParseError(ValueError):
+    """Raised on malformed input (mismatched or stray tags)."""
+
+
+def parse_html(source: str) -> HtmlNode:
+    """Parse ``source`` into a DOM tree.
+
+    A single root element is required; a virtual ``document`` root
+    wraps multi-rooted input.
+    """
+    root = HtmlNode("document")
+    stack: List[HtmlNode] = [root]
+    pos = 0
+    for m in _TAG_RE.finditer(source):
+        text = source[pos : m.start()]
+        if text.strip():
+            stack[-1].append(unescape(text.strip()))
+        pos = m.end()
+        closing, tag, attr_blob, self_closing = m.groups()
+        tag = tag.lower()
+        if closing:
+            if len(stack) < 2 or stack[-1].tag != tag:
+                open_tag = stack[-1].tag if len(stack) > 1 else None
+                raise HtmlParseError(f"mismatched </{tag}> (open: {open_tag})")
+            stack.pop()
+            continue
+        attrs = dict(_ATTR_RE.findall(attr_blob))
+        node = HtmlNode(tag, attrs)
+        stack[-1].append(node)
+        if not self_closing and tag not in VOID_TAGS:
+            stack.append(node)
+    tail = source[pos:]
+    if tail.strip():
+        stack[-1].append(unescape(tail.strip()))
+    if len(stack) != 1:
+        raise HtmlParseError(f"unclosed tag <{stack[-1].tag}>")
+    real_children = [c for c in root.children if isinstance(c, HtmlNode)]
+    if len(real_children) == 1 and not any(
+        isinstance(c, str) and c.strip() for c in root.children
+    ):
+        return real_children[0]
+    return root

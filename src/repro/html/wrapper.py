@@ -1,0 +1,70 @@
+"""The custom web wrapper of the holdout pipeline (§5.2.1, step c).
+
+Fixed-format listing pages render every record with the same tag/class
+skeleton, so extraction is a matter of selecting the record container
+and, inside each record, the element carrying each field.  A
+:class:`WrapperRule` names those selectors; :func:`extract_records`
+applies them — the Kushmerick-style wrapper induction the paper cites
+[19], with the induction step done by the "expert" who wrote the rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.html.dom import HtmlNode
+
+
+@dataclass(frozen=True)
+class WrapperRule:
+    """Selectors for one fixed-format page family.
+
+    Attributes
+    ----------
+    record_selector:
+        ``(tag, class)`` of the element wrapping one record; either
+        member may be ``None`` to match any.
+    field_selectors:
+        field name → ``(tag, class)`` inside the record.
+    """
+
+    record_selector: Tuple[Optional[str], Optional[str]]
+    field_selectors: Dict[str, Tuple[Optional[str], Optional[str]]] = field(
+        default_factory=dict
+    )
+
+
+def extract_records(root: HtmlNode, rule: WrapperRule) -> List[Dict[str, str]]:
+    """Apply ``rule`` to a page, returning one field dict per record.
+
+    Records missing a field map it to ``""`` — holdout construction
+    drops empties downstream.
+    """
+    tag, class_ = rule.record_selector
+    records = []
+    for container in root.find_all(tag, class_):
+        # Skip containers nested inside another matching container (the
+        # outermost match is the record).
+        fields: Dict[str, str] = {}
+        for name, (ftag, fclass) in rule.field_selectors.items():
+            node = container.find(ftag, fclass)
+            fields[name] = node.text() if node is not None else ""
+        records.append(fields)
+    return _drop_nested(root, rule, records)
+
+
+def _drop_nested(
+    root: HtmlNode, rule: WrapperRule, records: List[Dict[str, str]]
+) -> List[Dict[str, str]]:
+    tag, class_ = rule.record_selector
+    containers = root.find_all(tag, class_)
+    keep: List[Dict[str, str]] = []
+    seen_ids = set()
+    for container, record in zip(containers, records):
+        inner_ids = {id(n) for n in container.walk()} - {id(container)}
+        if id(container) in seen_ids:
+            continue
+        seen_ids |= inner_ids
+        keep.append(record)
+    return keep

@@ -1,0 +1,27 @@
+"""Frequent subtree mining.
+
+VS2-Select learns its lexico-syntactic patterns by mining *maximal
+frequent subtrees* across the annotated parse chunks of the holdout
+corpus (§5.2.1, citing TreeMiner [47]).  This package implements
+ordered labelled tree mining from scratch:
+
+* :mod:`repro.mining.trees` — the mining tree representation, Zaki's
+  preorder/backtrack string encoding, and induced/embedded ordered
+  subtree containment tests;
+* :mod:`repro.mining.treeminer` — frequent pattern enumeration by
+  rightmost-path extension with occurrence lists (the FREQT/TreeMiner
+  family), plus the maximality filter.
+"""
+
+from repro.mining.trees import MiningTree, contains_subtree, decode_tree, encode_tree
+from repro.mining.treeminer import FrequentPattern, maximal_patterns, mine_frequent_subtrees
+
+__all__ = [
+    "MiningTree",
+    "encode_tree",
+    "decode_tree",
+    "contains_subtree",
+    "FrequentPattern",
+    "mine_frequent_subtrees",
+    "maximal_patterns",
+]

@@ -1,0 +1,177 @@
+"""Frequent ordered-subtree mining by rightmost-path extension.
+
+The enumeration strategy is the FREQT / TreeMiner family: every
+frequent pattern with ``k`` nodes is grown from a frequent pattern with
+``k−1`` nodes by attaching one new node to a node on the *rightmost
+path*, which enumerates each ordered tree exactly once.  Occurrence
+lists carry full pattern→data node mappings so extensions can be
+validated locally without re-matching the whole pattern.
+
+Support is transaction-based: the number of distinct data trees
+containing the pattern (≥ ``min_support``).  :func:`maximal_patterns`
+then keeps only patterns not contained in another frequent pattern —
+the paper mines *maximal* frequent subtrees (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mining.trees import MiningTree, contains_subtree, decode_tree, encode_from_arrays
+
+
+@dataclass(frozen=True)
+class FrequentPattern:
+    """A mined pattern: its encoding and transaction support."""
+
+    encoding: Tuple[str, ...]
+    support: int
+
+    @property
+    def size(self) -> int:
+        return sum(1 for s in self.encoding if s != "-1")
+
+    def tree(self) -> MiningTree:
+        return decode_tree(self.encoding)
+
+    def __str__(self) -> str:
+        return f"{' '.join(self.encoding)}  (support={self.support})"
+
+
+# An occurrence maps pattern node index -> data node index, stored as a
+# tuple ordered by pattern node index.
+_Occurrence = Tuple[int, ...]
+
+
+class _Pattern:
+    """Mutable pattern under construction (preorder arrays)."""
+
+    __slots__ = ("labels", "parents")
+
+    def __init__(self, labels: List[str], parents: List[int]):
+        self.labels = labels
+        self.parents = parents
+
+    def rightmost_path(self) -> List[int]:
+        """Pattern node indices from the root to the rightmost leaf."""
+        path = [0]
+        children: Dict[int, int] = {}
+        for i, p in enumerate(self.parents):
+            if p >= 0:
+                children[p] = i  # last child in preorder = rightmost
+        node = 0
+        while node in children:
+            node = children[node]
+            path.append(node)
+        return path
+
+    def extend(self, attach_at: int, label: str) -> "_Pattern":
+        return _Pattern(self.labels + [label], self.parents + [attach_at])
+
+    def encode(self) -> Tuple[str, ...]:
+        return encode_from_arrays(self.labels, self.parents)
+
+
+def mine_frequent_subtrees(
+    trees: Sequence[MiningTree],
+    min_support: int,
+    max_nodes: int = 8,
+    max_patterns: int = 20000,
+) -> List[FrequentPattern]:
+    """All frequent induced ordered subtrees of ``trees``.
+
+    Parameters
+    ----------
+    trees:
+        The database of parse trees.
+    min_support:
+        Minimum number of distinct trees a pattern must occur in (≥ 1).
+    max_nodes:
+        Pattern size cap; syntactic patterns in Tables 3/4 are small, so
+        8 is generous.
+    max_patterns:
+        Safety valve against pathological databases.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if not trees:
+        return []
+
+    results: List[FrequentPattern] = []
+
+    # --- 1-node patterns -------------------------------------------------
+    label_occurrences: Dict[str, Dict[int, List[_Occurrence]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for tid, tree in enumerate(trees):
+        for node, label in enumerate(tree.labels):
+            label_occurrences[label][tid].append((node,))
+
+    frontier: List[Tuple[_Pattern, Dict[int, List[_Occurrence]]]] = []
+    for label, occs in sorted(label_occurrences.items()):
+        if len(occs) >= min_support:
+            pattern = _Pattern([label], [-1])
+            results.append(FrequentPattern(pattern.encode(), len(occs)))
+            frontier.append((pattern, dict(occs)))
+
+    # --- rightmost extension ---------------------------------------------
+    while frontier:
+        pattern, occurrences = frontier.pop()
+        if len(pattern.labels) >= max_nodes:
+            continue
+        if len(results) >= max_patterns:
+            break
+        rightmost = pattern.rightmost_path()
+        # Candidate extensions grouped by (attach position, new label).
+        grouped: Dict[Tuple[int, str], Dict[int, List[_Occurrence]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for tid, occ_list in occurrences.items():
+            tree = trees[tid]
+            for occ in occ_list:
+                rightmost_data = occ[-1]
+                for attach_at in rightmost:
+                    anchor = occ[attach_at]
+                    for child in tree.children[anchor]:
+                        # Rightmost growth: the new node must follow, in
+                        # preorder, everything already matched.
+                        if child <= rightmost_data:
+                            continue
+                        key = (attach_at, tree.labels[child])
+                        grouped[key][tid].append(occ + (child,))
+        for (attach_at, label), occs in sorted(grouped.items()):
+            if len(occs) < min_support:
+                continue
+            child_pattern = pattern.extend(attach_at, label)
+            results.append(FrequentPattern(child_pattern.encode(), len(occs)))
+            frontier.append((child_pattern, dict(occs)))
+
+    return results
+
+
+def maximal_patterns(patterns: Sequence[FrequentPattern]) -> List[FrequentPattern]:
+    """Patterns not contained (induced, ordered) in any larger frequent
+    pattern.  This is the paper's *maximal frequent subtree* output."""
+    decoded = [(p, p.tree()) for p in patterns]
+    decoded.sort(key=lambda item: -len(item[1]))
+    kept: List[Tuple[FrequentPattern, MiningTree]] = []
+    for pattern, tree in decoded:
+        contained = any(
+            len(big_tree) > len(tree) and contains_subtree(big_tree, tree)
+            for _, big_tree in kept
+        )
+        if not contained:
+            kept.append((pattern, tree))
+    kept.sort(key=lambda item: (-item[0].support, -len(item[1]), item[0].encoding))
+    return [p for p, _ in kept]
+
+
+def mine_maximal_subtrees(
+    trees: Sequence[MiningTree],
+    min_support: int,
+    max_nodes: int = 8,
+) -> List[FrequentPattern]:
+    """Convenience: mine then keep only maximal patterns."""
+    return maximal_patterns(mine_frequent_subtrees(trees, min_support, max_nodes))

@@ -1,0 +1,192 @@
+"""Ordered labelled trees for mining.
+
+A :class:`MiningTree` is a flat preorder array of nodes with parent
+links — the representation the miner's occurrence lists index into.
+Trees round-trip through Zaki's string encoding (labels in preorder
+with ``-1`` on backtrack), which is also how parse trees from
+:mod:`repro.nlp.parse` enter the miner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class MiningTree:
+    """An ordered labelled tree in preorder-array form.
+
+    ``labels[i]`` is the label of node ``i``; ``parents[i]`` its parent
+    index (``-1`` for the root); preorder order is the node index
+    order.  ``children`` is derived and kept for traversal speed.
+    """
+
+    labels: List[str]
+    parents: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.parents):
+            raise ValueError("labels/parents length mismatch")
+        if self.labels and self.parents[0] != -1:
+            raise ValueError("node 0 must be the root")
+        self.children: List[List[int]] = [[] for _ in self.labels]
+        for i, p in enumerate(self.parents):
+            if p >= i:
+                raise ValueError("parents must precede children in preorder")
+            if p >= 0:
+                self.children[p].append(i)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def depth_of(self, node: int) -> int:
+        d = 0
+        while self.parents[node] >= 0:
+            node = self.parents[node]
+            d += 1
+        return d
+
+    def encode(self) -> Tuple[str, ...]:
+        return encode_from_arrays(self.labels, self.parents)
+
+
+def encode_from_arrays(labels: Sequence[str], parents: Sequence[int]) -> Tuple[str, ...]:
+    """Zaki preorder/backtrack encoding of a preorder-array tree."""
+    children: List[List[int]] = [[] for _ in labels]
+    for i, p in enumerate(parents):
+        if p >= 0:
+            children[p].append(i)
+    out: List[str] = []
+
+    def visit(i: int) -> None:
+        out.append(labels[i])
+        for c in children[i]:
+            visit(c)
+        out.append("-1")
+
+    if labels:
+        visit(0)
+        out.pop()
+    return tuple(out)
+
+
+def encode_tree(parse_node) -> Tuple[str, ...]:
+    """Encode any object exposing ``label`` and ``children`` attributes
+    (e.g. :class:`repro.nlp.parse.ParseNode`)."""
+    out: List[str] = []
+
+    def visit(node) -> None:
+        out.append(node.label)
+        for child in node.children:
+            visit(child)
+        out.append("-1")
+
+    visit(parse_node)
+    out.pop()
+    return tuple(out)
+
+
+def decode_tree(encoding: Sequence[str]) -> MiningTree:
+    """Parse a Zaki encoding back into a :class:`MiningTree`."""
+    labels: List[str] = []
+    parents: List[int] = []
+    stack: List[int] = []
+    for symbol in encoding:
+        if symbol == "-1":
+            if not stack:
+                raise ValueError(f"unbalanced encoding: {encoding!r}")
+            stack.pop()
+        else:
+            if not stack and labels:
+                raise ValueError(f"encoding has multiple roots: {encoding!r}")
+            parent = stack[-1] if stack else -1
+            labels.append(symbol)
+            parents.append(parent)
+            stack.append(len(labels) - 1)
+    if len(stack) > 1:
+        raise ValueError(f"encoding does not close to a single root: {encoding!r}")
+    if not labels:
+        raise ValueError("empty encoding")
+    return MiningTree(labels, parents)
+
+
+def contains_subtree(
+    tree: MiningTree, pattern: MiningTree, embedded: bool = False
+) -> bool:
+    """Whether ``pattern`` occurs in ``tree`` as an ordered subtree.
+
+    ``embedded=False`` — induced matching: pattern edges map to
+    parent/child edges.  ``embedded=True`` — Zaki's embedded matching:
+    pattern edges map to ancestor/descendant paths.  Both preserve the
+    left-to-right order of siblings (gaps allowed).
+    """
+
+    def match_at(p: int, t: int) -> bool:
+        """Can pattern subtree rooted at p match data subtree rooted at t
+        (roots aligned)?"""
+        if pattern.labels[p] != tree.labels[t]:
+            return False
+        return match_children(pattern.children[p], t)
+
+    def candidate_roots(t: int) -> List[int]:
+        """Data nodes where a pattern child may attach under data node t."""
+        if not embedded:
+            return tree.children[t]
+        # embedded: any proper descendant of t, in preorder order
+        out: List[int] = []
+        stack = list(reversed(tree.children[t]))
+        while stack:
+            n = stack.pop()
+            out.append(n)
+            stack.extend(reversed(tree.children[n]))
+        return out
+
+    def match_children(pattern_kids: List[int], t: int) -> bool:
+        """Greedy-with-backtracking ordered matching of pattern children
+        into the candidate attachment points under data node t."""
+        candidates = candidate_roots(t)
+
+        def backtrack(pi: int, start: int) -> bool:
+            if pi == len(pattern_kids):
+                return True
+            for ci in range(start, len(candidates)):
+                c = candidates[ci]
+                if match_at(pattern_kids[pi], c):
+                    nxt = _next_disjoint_index(candidates, ci, c)
+                    if backtrack(pi + 1, nxt):
+                        return True
+            return False
+
+        def _next_disjoint_index(cands: List[int], ci: int, used_root: int) -> int:
+            """First candidate index after ``ci`` outside the subtree of
+            ``used_root`` (keeps embedded sibling matches disjoint)."""
+            if not embedded:
+                return ci + 1
+            end = used_root
+            # subtree of used_root = contiguous preorder block
+            stack = [used_root]
+            while stack:
+                n = stack.pop()
+                end = max(end, n)
+                stack.extend(tree.children[n])
+            j = ci + 1
+            while j < len(cands) and cands[j] <= end:
+                j += 1
+            return j
+
+        return backtrack(0, 0)
+
+    for t in range(len(tree)):
+        if match_at(0, t):
+            return True
+    return False
+
+
+def contains_encoded(
+    tree_encoding: Sequence[str], pattern_encoding: Sequence[str], embedded: bool = False
+) -> bool:
+    """Containment test straight from encodings."""
+    return contains_subtree(
+        decode_tree(tree_encoding), decode_tree(pattern_encoding), embedded
+    )

@@ -1,0 +1,18 @@
+"""A miniature ML toolbox (numpy-only, deterministic).
+
+Two of the paper's end-to-end competitors train SVM classifiers
+(Apostolova et al. [2] and Zhou et al. [49]); the implicit-modifier
+clustering of VS2-Segment needs a constrained clustering routine.  This
+package provides the pieces from scratch:
+
+* :class:`LinearSVM` — one-vs-rest linear SVM trained with SGD on the
+  hinge loss + L2;
+* :class:`SoftmaxRegression` — multinomial logistic regression;
+* :func:`kmeans` — Lloyd's algorithm with explicit seeding;
+* feature scaling helpers.
+"""
+
+from repro.ml.linear import LinearSVM, SoftmaxRegression, StandardScaler
+from repro.ml.cluster import kmeans
+
+__all__ = ["LinearSVM", "SoftmaxRegression", "StandardScaler", "kmeans"]

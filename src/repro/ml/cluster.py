@@ -1,0 +1,74 @@
+"""Clustering: Lloyd's k-means with explicit seeding."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    seeds: Optional[Sequence[int]] = None,
+    max_iter: int = 100,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``x`` into ``k`` groups.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` data matrix.
+    k:
+        Number of clusters (clipped to ``n``).
+    seeds:
+        Optional row indices to initialise the centres — VS2's
+        clustering step seeds from a 2×2 grid of medoids (§5.1.2), so
+        the caller controls initialisation.  When ``None``, k-means++-
+        style probabilistic seeding with the given ``seed`` is used.
+
+    Returns
+    -------
+    (labels, centers):
+        ``labels[i]`` is the cluster of row ``i``; ``centers`` is the
+        ``(k, d)`` centre matrix.
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n == 0:
+        return np.zeros(0, dtype=int), np.zeros((0, x.shape[1] if x.ndim == 2 else 0))
+    k = max(1, min(k, n))
+
+    if seeds is not None:
+        seeds = list(seeds)[:k]
+        centers = x[np.array(seeds)]
+        k = len(seeds)
+    else:
+        rng = np.random.default_rng(seed)
+        first = int(rng.integers(n))
+        chosen = [first]
+        for _ in range(k - 1):
+            d2 = np.min(
+                ((x[:, None, :] - x[np.array(chosen)][None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+            total = d2.sum()
+            if total <= 0:
+                break
+            probs = d2 / total
+            chosen.append(int(rng.choice(n, p=probs)))
+        centers = x[np.array(chosen)]
+        k = len(chosen)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iter):
+        dists = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = x[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return labels, centers

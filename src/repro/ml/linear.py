@@ -1,0 +1,147 @@
+"""Linear classifiers trained with SGD (numpy only)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling with stored statistics."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler not fitted")
+        return (np.asarray(x, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM (hinge loss, L2 regularisation, SGD).
+
+    Deterministic given ``seed``.  Binary problems train one
+    hyperplane; multi-class problems train one per class.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        epochs: int = 60,
+        learning_rate: float = 0.05,
+        seed: int = 0,
+    ):
+        if c <= 0:
+            raise ValueError("C must be positive")
+        self.c = c
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.classes_: List = []
+        self.weights_: Optional[np.ndarray] = None  # (n_classes, n_features)
+        self.bias_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "LinearSVM":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("bad training data shapes")
+        self.classes_ = sorted(set(y.tolist()))
+        n_classes = len(self.classes_)
+        n_features = x.shape[1]
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = np.random.default_rng(self.seed)
+        rows = 1 if n_classes == 2 else n_classes
+        self.weights_ = np.zeros((rows, n_features))
+        self.bias_ = np.zeros(rows)
+
+        for row in range(rows):
+            positive = self.classes_[1] if n_classes == 2 else self.classes_[row]
+            target = np.where(y == positive, 1.0, -1.0)
+            w = np.zeros(n_features)
+            b = 0.0
+            lam = 1.0 / (self.c * len(x))
+            step = 0
+            for _ in range(self.epochs):
+                order = rng.permutation(len(x))
+                for i in order:
+                    step += 1
+                    eta = self.learning_rate / (1.0 + self.learning_rate * lam * step)
+                    margin = target[i] * (x[i] @ w + b)
+                    w *= 1.0 - eta * lam
+                    if margin < 1.0:
+                        w += eta * target[i] * x[i]
+                        b += eta * target[i]
+            self.weights_[row] = w
+            self.bias_[row] = b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None or self.bias_ is None:
+            raise RuntimeError("model not fitted")
+        return np.asarray(x, dtype=float) @ self.weights_.T + self.bias_
+
+    def predict(self, x: np.ndarray) -> List:
+        scores = self.decision_function(x)
+        if len(self.classes_) == 2:
+            return [self.classes_[1] if s > 0 else self.classes_[0] for s in scores[:, 0]]
+        return [self.classes_[int(i)] for i in np.argmax(scores, axis=1)]
+
+
+class SoftmaxRegression:
+    """Multinomial logistic regression (full-batch gradient descent)."""
+
+    def __init__(self, epochs: int = 200, learning_rate: float = 0.5, l2: float = 1e-3):
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.classes_: List = []
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: Sequence) -> "SoftmaxRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = sorted(set(y.tolist()))
+        index = {c: i for i, c in enumerate(self.classes_)}
+        onehot = np.zeros((len(y), len(self.classes_)))
+        for i, label in enumerate(y):
+            onehot[i, index[label]] = 1.0
+        n_features = x.shape[1]
+        self.weights_ = np.zeros((n_features, len(self.classes_)))
+        self.bias_ = np.zeros(len(self.classes_))
+        for _ in range(self.epochs):
+            probs = self._probs(x)
+            grad_w = x.T @ (probs - onehot) / len(x) + self.l2 * self.weights_
+            grad_b = (probs - onehot).mean(axis=0)
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def _probs(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None or self.bias_ is None:
+            raise RuntimeError("model not fitted")
+        logits = x @ self.weights_ + self.bias_
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._probs(np.asarray(x, dtype=float))
+
+    def predict(self, x: np.ndarray) -> List:
+        return [self.classes_[int(i)] for i in np.argmax(self.predict_proba(x), axis=1)]

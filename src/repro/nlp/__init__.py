@@ -1,0 +1,51 @@
+"""The natural-language substrate.
+
+The paper leans on off-the-shelf NLP tooling — tokenisation, POS
+tagging, chunking, dependency parsing, Stanford-style NER, SUTime
+(TIMEX3), a geocoder, WordNet hypernyms, VerbNet senses and the Lesk
+disambiguator.  None of those ship in this offline environment, so this
+package implements the needed slices from scratch.  The goal is not
+linguistic fidelity but *interface fidelity*: the same tag vocabulary
+and the same failure modes (e.g. NER false positives on OCR noise) that
+the paper's pipeline exhibits.
+
+Module map:
+
+=================  ====================================================
+``tokenizer``      word / sentence tokenisation and normalisation
+``gazetteers``     name / place / organisation word lists
+``pos``            lexicon + suffix-rule POS tagger (Penn tags)
+``chunker``        NP / VP chunking, SVO detection over tag patterns
+``parse``          shallow constituent trees for subtree mining
+``dependency``     rule-based dependency parser (arc per token)
+``ner``            rule + gazetteer named entity recogniser
+``timex``          TIMEX3-style date/time recognition
+``geocode``        postal-address (geocode tag) recognition
+``hypernyms``      mini hypernym taxonomy (WordNet stand-in)
+``verbnet``        mini verb-sense lexicon (VerbNet stand-in)
+``lesk``           Lesk gloss-overlap disambiguation (text baseline)
+=================  ====================================================
+"""
+
+from repro.nlp.tokenizer import Token, normalize_text, sentences, tokenize
+from repro.nlp.pos import pos_tag
+from repro.nlp.chunker import Chunk, chunk
+from repro.nlp.ner import Entity, recognize_entities
+from repro.nlp.parse import ParseNode, parse_sentence
+from repro.nlp.dependency import DepNode, parse_dependencies
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "sentences",
+    "normalize_text",
+    "pos_tag",
+    "Chunk",
+    "chunk",
+    "Entity",
+    "recognize_entities",
+    "ParseNode",
+    "parse_sentence",
+    "DepNode",
+    "parse_dependencies",
+]

@@ -1,0 +1,169 @@
+"""Shallow chunking: noun phrases, verb phrases, SVO triples.
+
+The lexico-syntactic patterns of Tables 3 and 4 are stated over chunks:
+*"Noun phrase with numeric (CD) or textual (JJ) modifiers"*, *"Verb
+phrase"*, *"SVO"*.  This module finds those chunks with a small
+grammar over POS tag sequences, the standard regex-chunking approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nlp.pos import pos_tag
+from repro.nlp.tokenizer import Token
+
+_NP_DET = {"DT", "PRP$"}
+_NP_MOD = {"JJ", "JJR", "JJS", "CD", "VBG", "VBN"}
+_NP_HEAD = {"NN", "NNS", "NNP", "NNPS"}
+_VP_VERB = {"VB", "VBD", "VBG", "VBN", "VBZ", "MD"}
+
+
+@dataclass
+class Chunk:
+    """A contiguous chunk of tagged tokens.
+
+    Attributes
+    ----------
+    label:
+        ``"NP"``, ``"VP"`` or ``"O"`` (outside any phrase).
+    tokens:
+        The (token, tag) pairs inside the chunk.
+    """
+
+    label: str
+    tokens: List[Tuple[Token, str]] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return " ".join(t.text for t, _ in self.tokens)
+
+    @property
+    def tags(self) -> List[str]:
+        return [tag for _, tag in self.tokens]
+
+    @property
+    def start(self) -> int:
+        return self.tokens[0][0].start
+
+    @property
+    def end(self) -> int:
+        return self.tokens[-1][0].end
+
+    @property
+    def head(self) -> Optional[Token]:
+        """Right-most head-tag token for NPs, first verb for VPs."""
+        pool = _NP_HEAD if self.label == "NP" else _VP_VERB
+        ordered = reversed(self.tokens) if self.label == "NP" else iter(self.tokens)
+        for token, tag in ordered:
+            if tag in pool:
+                return token
+        return None
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def has_modifier(self) -> bool:
+        """Whether the chunk carries a CD or JJ modifier (Tables 3/4)."""
+        return any(t in ("CD", "JJ", "JJR", "JJS") for t in self.tags)
+
+    def word_texts(self) -> List[str]:
+        return [t.lower for t, _ in self.tokens if t.is_word]
+
+
+def chunk(text_or_tagged) -> List[Chunk]:
+    """Chunk a sentence into NP / VP / O spans.
+
+    NP grammar: ``DT? MOD* HEAD+ (IN NP)?`` without the PP attachment
+    (kept flat).  VP grammar: ``MD? VERB+ RB?``.
+    """
+    if isinstance(text_or_tagged, str):
+        tagged = pos_tag(text_or_tagged)
+    else:
+        tagged = list(text_or_tagged)
+
+    chunks: List[Chunk] = []
+    i = 0
+    n = len(tagged)
+    while i < n:
+        token, tag = tagged[i]
+        if tag in _NP_DET or tag in _NP_MOD or tag in _NP_HEAD:
+            j = i
+            saw_head = False
+            while j < n:
+                _, t = tagged[j]
+                if t in _NP_HEAD:
+                    saw_head = True
+                    j += 1
+                elif not saw_head and (t in _NP_DET or t in _NP_MOD):
+                    j += 1
+                elif saw_head and t in _NP_MOD and t == "CD":
+                    # trailing numerics stay in the NP ("suite 210")
+                    j += 1
+                else:
+                    break
+            if saw_head:
+                chunks.append(Chunk("NP", tagged[i:j]))
+                i = j
+                continue
+            # Modifier run with no head (e.g. bare "2,465" or "free") —
+            # numeric-led runs still form a (headless) NP candidate.
+            if tagged[i][1] == "CD":
+                chunks.append(Chunk("NP", tagged[i:j] or [tagged[i]]))
+                i = max(j, i + 1)
+                continue
+        if tag in _VP_VERB:
+            j = i
+            while j < n and tagged[j][1] in _VP_VERB:
+                j += 1
+            if j < n and tagged[j][1] == "RB":
+                j += 1
+            chunks.append(Chunk("VP", tagged[i:j]))
+            i = j
+            continue
+        chunks.append(Chunk("O", [tagged[i]]))
+        i += 1
+    return _merge_outside_runs(chunks)
+
+
+def _merge_outside_runs(chunks: List[Chunk]) -> List[Chunk]:
+    merged: List[Chunk] = []
+    for c in chunks:
+        if c.label == "O" and merged and merged[-1].label == "O":
+            merged[-1].tokens.extend(c.tokens)
+        else:
+            merged.append(c)
+    return merged
+
+
+@dataclass(frozen=True)
+class SvoTriple:
+    """A subject–verb–object triple over chunks."""
+
+    subject: Chunk
+    verb: Chunk
+    obj: Chunk
+
+    @property
+    def text(self) -> str:
+        return f"{self.subject.text} {self.verb.text} {self.obj.text}"
+
+
+def find_svo(chunks: Sequence[Chunk]) -> List[SvoTriple]:
+    """NP VP NP sequences — the paper's *SVO* pattern (Table 3)."""
+    triples: List[SvoTriple] = []
+    content = [c for c in chunks if c.label != "O"]
+    for i in range(len(content) - 2):
+        a, b, c = content[i], content[i + 1], content[i + 2]
+        if a.label == "NP" and b.label == "VP" and c.label == "NP":
+            triples.append(SvoTriple(a, b, c))
+    return triples
+
+
+def noun_phrases(text: str) -> List[Chunk]:
+    return [c for c in chunk(text) if c.label == "NP"]
+
+
+def verb_phrases(text: str) -> List[Chunk]:
+    return [c for c in chunk(text) if c.label == "VP"]

@@ -1,0 +1,203 @@
+"""A rule-based dependency parser (the paper's "dependency trees").
+
+§5.2 constructs dependency trees during preprocessing and §5.2.1 mines
+"the maximal frequent subtrees within the dependency trees" — so the
+mining database can be built from dependency structure, not only the
+shallow chunk trees of :mod:`repro.nlp.parse`.  This parser produces
+projective head/dependent arcs with a small arc-standard rule set over
+POS tags and chunks:
+
+* the main verb of the first VP heads the sentence (``root``);
+* NP heads attach their determiners (``det``), adjective/participle
+  modifiers (``amod``), numerals (``nummod``) and compound nouns
+  (``compound``);
+* NPs left of the root verb attach as ``nsubj``, right as ``obj``;
+* prepositions head their NP (``pobj``) and attach to the nearest
+  verb or noun on their left (``prep``);
+* everything else attaches to the nearest content head (``dep``).
+
+That covers the constructions the corpora's language actually uses —
+the same scope trade-off every rule-based stand-in in this repo makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mining.trees import MiningTree
+from repro.nlp.chunker import Chunk, chunk
+from repro.nlp.tokenizer import Token
+
+_NP_HEAD = {"NN", "NNS", "NNP", "NNPS"}
+_VERB = {"VB", "VBD", "VBG", "VBN", "VBZ", "MD"}
+
+
+@dataclass
+class DepNode:
+    """One token with its syntactic head."""
+
+    token: Token
+    tag: str
+    head: int  # index into the sentence's node list; -1 for the root
+    relation: str
+
+
+def parse_dependencies(text: str) -> List[DepNode]:
+    """Dependency-parse one sentence/line into a list of nodes.
+
+    Always returns a single-rooted projective tree (the root's head is
+    ``-1``); degenerate inputs root their first token.
+    """
+    chunks = chunk(text)
+    tagged = [(t, tag) for c in chunks for (t, tag) in c.tokens]
+    if not tagged:
+        return []
+    nodes = [DepNode(t, tag, -1, "dep") for t, tag in tagged]
+
+    # Flatten chunk structure with global token indices.
+    spans: List[tuple] = []  # (chunk, [global indices])
+    cursor = 0
+    for c in chunks:
+        indices = list(range(cursor, cursor + len(c.tokens)))
+        spans.append((c, indices))
+        cursor += len(c.tokens)
+
+    root = _find_root(nodes, spans)
+
+    # Intra-NP attachments.
+    np_heads: List[int] = []
+    for c, indices in spans:
+        if c.label != "NP":
+            continue
+        head = _np_head_index(nodes, indices)
+        np_heads.append(head)
+        for i in indices:
+            if i == head:
+                continue
+            tag = nodes[i].tag
+            if tag in ("DT", "PRP$"):
+                _attach(nodes, i, head, "det")
+            elif tag == "CD":
+                _attach(nodes, i, head, "nummod")
+            elif tag in ("JJ", "JJR", "JJS", "VBG", "VBN"):
+                _attach(nodes, i, head, "amod")
+            elif tag in _NP_HEAD:
+                _attach(nodes, i, head, "compound")
+            else:
+                _attach(nodes, i, head, "dep")
+
+    # Verb-phrase internals: auxiliaries attach to the main verb.
+    for c, indices in spans:
+        if c.label != "VP":
+            continue
+        main = indices[-1]
+        for i in indices[:-1]:
+            _attach(nodes, i, main, "aux")
+
+    # Clause-level attachments.
+    for head in np_heads:
+        if head == root:
+            continue
+        relation = "nsubj" if head < root else "obj"
+        if nodes[head].head == -1 or nodes[head].head == head:
+            _attach(nodes, head, root, relation)
+
+    # Prepositions and leftovers.
+    for i, node in enumerate(nodes):
+        if i == root or node.head != -1:
+            continue
+        if node.tag == "IN":
+            left = _nearest_content(nodes, i, direction=-1) or root
+            _attach(nodes, i, left, "prep")
+            right_np = _nearest_np_head(np_heads, i, nodes)
+            if right_np is not None and nodes[right_np].head == root:
+                _attach(nodes, right_np, i, "pobj")
+        else:
+            _attach(nodes, i, _nearest_content(nodes, i, direction=-1) or root, "dep")
+
+    nodes[root].head = -1
+    nodes[root].relation = "root"
+    _break_cycles(nodes, root)
+    return nodes
+
+
+def _attach(nodes: List[DepNode], child: int, head: int, relation: str) -> None:
+    if child == head:
+        return
+    nodes[child].head = head
+    nodes[child].relation = relation
+
+
+def _find_root(nodes: List[DepNode], spans) -> int:
+    for c, indices in spans:
+        if c.label == "VP":
+            return indices[-1]
+    for c, indices in spans:
+        if c.label == "NP":
+            return _np_head_index(nodes, indices)
+    return 0
+
+
+def _np_head_index(nodes: List[DepNode], indices: List[int]) -> int:
+    for i in reversed(indices):
+        if nodes[i].tag in _NP_HEAD:
+            return i
+    return indices[-1]
+
+
+def _nearest_content(nodes: List[DepNode], i: int, direction: int) -> Optional[int]:
+    j = i + direction
+    while 0 <= j < len(nodes):
+        if nodes[j].tag in _NP_HEAD or nodes[j].tag in _VERB:
+            return j
+        j += direction
+    return None
+
+
+def _nearest_np_head(np_heads: List[int], i: int, nodes: List[DepNode]) -> Optional[int]:
+    following = [h for h in np_heads if h > i]
+    return min(following) if following else None
+
+
+def _break_cycles(nodes: List[DepNode], root: int) -> None:
+    """Defensive: re-root any node whose head chain never reaches the
+    root (rule interactions on adversarial input)."""
+    for i in range(len(nodes)):
+        seen = set()
+        j = i
+        while j != -1 and j != root:
+            if j in seen:
+                nodes[i].head = root
+                nodes[i].relation = "dep"
+                break
+            seen.add(j)
+            j = nodes[j].head
+
+
+def dependency_mining_tree(text: str) -> MiningTree:
+    """The dependency tree as a :class:`MiningTree` for subtree mining.
+
+    Node labels are ``relation:TAG`` pairs, the vocabulary dependency-
+    pattern mining keys on ("nsubj:NNP", "pobj:NN", ...).
+    """
+    nodes = parse_dependencies(text)
+    if not nodes:
+        return MiningTree(["S"], [-1])
+    order: List[int] = []
+    children: dict = {}
+    root = next(i for i, n in enumerate(nodes) if n.head == -1)
+
+    def visit(i: int) -> None:
+        order.append(i)
+        for j, n in enumerate(nodes):
+            if n.head == i:
+                visit(j)
+
+    visit(root)
+    labels = [f"{nodes[i].relation}:{nodes[i].tag}" for i in order]
+    position = {token_index: pos for pos, token_index in enumerate(order)}
+    parents = [
+        -1 if nodes[i].head == -1 else position[nodes[i].head] for i in order
+    ]
+    return MiningTree(labels, parents)

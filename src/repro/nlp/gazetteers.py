@@ -1,0 +1,179 @@
+"""Gazetteers: word lists shared by the NER and the synthetic corpora.
+
+These play the role of the lexical resources bundled with Stanford NER
+and the Google Maps geocoder in the paper's pipeline.  The synthetic
+data providers sample from supersets of these lists (including
+out-of-gazetteer names), so recognisers cannot simply memorise the
+generator's vocabulary — they must also use shape and context rules.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+FIRST_NAMES: FrozenSet[str] = frozenset(
+    """
+    james mary john patricia robert jennifer michael linda william elizabeth
+    david barbara richard susan joseph jessica thomas sarah charles karen
+    christopher nancy daniel lisa matthew betty anthony margaret mark sandra
+    donald ashley steven kimberly paul emily andrew donna joshua michelle
+    kenneth dorothy kevin carol brian amanda george melissa edward deborah
+    ronald stephanie timothy rebecca jason sharon jeffrey laura ryan cynthia
+    jacob kathleen gary amy nicholas shirley eric angela jonathan helen
+    stephen anna larry brenda justin pamela scott nicole brandon emma
+    benjamin samantha samuel katherine gregory christine frank debra
+    alexander rachel raymond catherine patrick carolyn jack janet dennis ruth
+    jerry maria alice albert priya wei chen ahmed fatima carlos sofia hiroshi
+    yuki ivan olga ritesh arnab rajesh ananya dmitri ingrid pierre chloe
+    """.split()
+)
+
+LAST_NAMES: FrozenSet[str] = frozenset(
+    """
+    smith johnson williams brown jones garcia miller davis rodriguez martinez
+    hernandez lopez gonzalez wilson anderson thomas taylor moore jackson
+    martin lee perez thompson white harris sanchez clark ramirez lewis
+    robinson walker young allen king wright scott torres nguyen hill flores
+    green adams nelson baker hall rivera campbell mitchell carter roberts
+    gomez phillips evans turner diaz parker cruz edwards collins reyes
+    stewart morris morales murphy cook rogers gutierrez ortiz morgan cooper
+    peterson bailey reed kelly howard ramos kim cox ward richardson watson
+    brooks chavez wood james bennett gray mendoza ruiz hughes price alvarez
+    castillo sanders patel myers long ross foster jimenez sarkhel nandi
+    banerjee chatterjee kumar sharma gupta tanaka suzuki petrov novak weber
+    """.split()
+)
+
+NAME_PREFIXES: FrozenSet[str] = frozenset(
+    ["mr", "mrs", "ms", "dr", "prof", "professor", "rev", "sir", "madam"]
+)
+
+ORG_SUFFIXES: FrozenSet[str] = frozenset(
+    """
+    inc llc ltd corp corporation company co group associates partners realty
+    properties holdings enterprises agency brokers foundation institute
+    university college department society association club committee council
+    center centre laboratory labs studio studios church ministries
+    """.split()
+)
+
+ORG_HEAD_WORDS: FrozenSet[str] = frozenset(
+    """
+    acme apex summit pinnacle horizon vanguard keystone landmark gateway
+    heritage liberty premier metro urban pacific atlantic midwest northern
+    southern eastern western global national regional united allied first
+    capital crown sterling beacon cornerstone legacy frontier evergreen
+    cascade aurora meridian catalyst nexus quantum vertex zenith
+    """.split()
+)
+
+CITIES: FrozenSet[str] = frozenset(
+    """
+    columbus cleveland cincinnati dayton toledo akron chicago detroit
+    indianapolis pittsburgh buffalo rochester albany syracuse boston
+    hartford providence newark trenton philadelphia baltimore richmond
+    charlotte raleigh atlanta nashville memphis louisville stlouis
+    minneapolis milwaukee madison desmoines omaha wichita tulsa denver
+    phoenix tucson seattle portland sacramento oakland fresno dallas austin
+    houston miami orlando tampa brooklyn queens manhattan bronx amsterdam
+    dublin westerville hilliard gahanna bexley whitehall reynoldsburg
+    """.split()
+)
+
+STATES: FrozenSet[str] = frozenset(
+    """
+    alabama alaska arizona arkansas california colorado connecticut delaware
+    florida georgia hawaii idaho illinois indiana iowa kansas kentucky
+    louisiana maine maryland massachusetts michigan minnesota mississippi
+    missouri montana nebraska nevada ohio oklahoma oregon pennsylvania
+    tennessee texas utah vermont virginia washington wisconsin wyoming
+    """.split()
+)
+
+STATE_ABBREVS: FrozenSet[str] = frozenset(
+    """
+    al ak az ar ca co ct de fl ga hi id il in ia ks ky la me md ma mi mn ms
+    mo mt ne nv nh nj nm ny nc nd oh ok or pa ri sc sd tn tx ut vt va wa wv
+    wi wy dc
+    """.split()
+)
+
+STREET_SUFFIXES: FrozenSet[str] = frozenset(
+    """
+    street st avenue ave boulevard blvd drive dr lane ln road rd court ct
+    circle cir place pl way parkway pkwy terrace ter trail trl highway hwy
+    square sq plaza alley loop crossing xing
+    """.split()
+)
+
+STREET_NAMES: FrozenSet[str] = frozenset(
+    """
+    main oak maple cedar pine elm washington park lake hill river church
+    walnut spring north south high ridge view sunset meadow forest franklin
+    jefferson lincoln madison jackson grant cherry chestnut willow sycamore
+    dogwood magnolia juniper birch aspen hawthorn laurel poplar hickory
+    """.split()
+)
+
+VENUE_WORDS: FrozenSet[str] = frozenset(
+    """
+    hall auditorium theater theatre stadium arena pavilion ballroom gallery
+    library museum park plaza campus room lounge cafe tavern grill lobby
+    rooftop garden terrace amphitheater conservatory atrium gymnasium
+    """.split()
+)
+
+MONTHS: FrozenSet[str] = frozenset(
+    """
+    january february march april may june july august september october
+    november december jan feb mar apr jun jul aug sep sept oct nov dec
+    """.split()
+)
+
+WEEKDAYS: FrozenSet[str] = frozenset(
+    """
+    monday tuesday wednesday thursday friday saturday sunday mon tue tues
+    wed thu thur thurs fri sat sun
+    """.split()
+)
+
+TIME_WORDS: FrozenSet[str] = frozenset(
+    """
+    am pm noon midnight morning afternoon evening tonight today tomorrow
+    oclock doors start starts begins until till through
+    """.split()
+)
+
+EVENT_WORDS: FrozenSet[str] = frozenset(
+    """
+    concert festival workshop seminar lecture conference symposium meetup
+    fundraiser gala exhibition fair show performance recital screening
+    marathon tournament hackathon webinar colloquium talk session keynote
+    celebration party reception opening premiere reading signing class
+    refreshments seating admission performances proceeds raffle
+    intermission artists audience attendees doors rsvp welcome tickets
+    drinks prizes ages students families jazz folk blues poetry film
+    science history art food wine craft coding photography pottery dance
+    chess astronomy robotics gardening
+    """.split()
+)
+
+PROPERTY_WORDS: FrozenSet[str] = frozenset(
+    """
+    bedroom bedrooms bed beds bath baths bathroom bathrooms acre acres sqft
+    footage garage basement attic kitchen fireplace hardwood granite floor
+    floors lot land building office retail warehouse suite unit condo
+    apartment townhouse duplex ranch colonial storage parking deck patio
+    pool hvac zoning zoned lease leased listing listed sale price details
+    commercial residential renovated finishes visibility highway investor
+    windows signage vacant plan acreage frontage tenant tenants space
+    spaces opportunity available spacious prime investment
+    """.split()
+)
+
+CONTACT_WORDS: FrozenSet[str] = frozenset(
+    """
+    contact call phone tel telephone fax email mail mobile cell office
+    broker agent realtor listing information info inquiries rsvp visit
+    """.split()
+)

@@ -1,0 +1,117 @@
+"""Postal address recognition — the paper's *geocode tag* provider.
+
+The paper augments 'Location' entities with a geocode tag via the
+Google Maps API [24]; Tables 3/4 then pattern-match "noun phrases with
+valid geocode tags" for *Event Place* and *Property Address*.  This
+module recognises US-style postal addresses with street-grammar rules
+plus the city/state gazetteers, and scores a confidence in lieu of a
+remote geocoder's validity bit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.nlp import gazetteers as gaz
+
+_STREET_SUFFIX_RE = "|".join(sorted(gaz.STREET_SUFFIXES, key=len, reverse=True))
+
+# "1234 North Maple Street" (+ optional unit, city, state, zip)
+_ADDRESS_RE = re.compile(
+    rf"""
+    \b(?P<number>\d{{1,6}})\s+
+    (?P<street>(?:[A-Z][A-Za-z]*\.?\s+){{0,3}}[A-Z][A-Za-z]*)\s+
+    (?P<suffix>(?i:{_STREET_SUFFIX_RE})\b\.?)
+    (?P<unit>[,\s]+(?:suite|ste|unit|apt|floor|fl|\#)\.?\s*\w+)?
+    (?P<city>[,\s]+[A-Z][A-Za-z]+(?:\s[A-Z][A-Za-z]+)?)?
+    (?P<state>[,\s]+(?:[A-Z]{{2}}|[A-Z][a-z]+))?
+    (?P<zip>[,\s]+\d{{5}}(?:-\d{{4}})?)?
+    """,
+    re.VERBOSE,
+)
+
+# City, ST 12345 (address tail without a street line)
+_CITY_STATE_RE = re.compile(
+    r"\b(?P<city>[A-Z][A-Za-z]+(?:\s[A-Z][A-Za-z]+)?)\s*,\s*"
+    r"(?P<state>[A-Z]{2}|[A-Z][a-z]{3,})\.?\s*(?P<zip>\d{5}(?:-\d{4})?)?\b"
+)
+
+
+@dataclass(frozen=True)
+class GeocodeMatch:
+    """A recognised address span with a validity confidence in [0, 1]."""
+
+    text: str
+    start: int
+    end: int
+    confidence: float
+    has_street: bool
+
+    @property
+    def is_valid(self) -> bool:
+        """The stand-in for the geocoder's "resolves to a place" bit."""
+        return self.confidence >= 0.5
+
+
+def _score_street_match(m: "re.Match[str]") -> float:
+    score = 0.5  # number + street + suffix already matched
+    street_words = m.group("street").lower().split()
+    if any(w.strip(".") in gaz.STREET_NAMES for w in street_words):
+        score += 0.15
+    city = (m.group("city") or "").strip(", ").lower()
+    if city and city.split()[0] in gaz.CITIES:
+        score += 0.15
+    state = (m.group("state") or "").strip(", ").lower()
+    if state in gaz.STATE_ABBREVS or state in gaz.STATES:
+        score += 0.1
+    if m.group("zip"):
+        score += 0.1
+    return min(score, 1.0)
+
+
+def recognize_addresses(text: str) -> List[GeocodeMatch]:
+    """All address-like spans in ``text`` with confidences."""
+    matches: List[GeocodeMatch] = []
+    claimed: List[range] = []
+    for m in _ADDRESS_RE.finditer(text):
+        matches.append(
+            GeocodeMatch(
+                m.group(0).strip(" ,"),
+                m.start(),
+                m.end(),
+                _score_street_match(m),
+                has_street=True,
+            )
+        )
+        claimed.append(range(m.start(), m.end()))
+    for m in _CITY_STATE_RE.finditer(text):
+        if any(set(range(m.start(), m.end())) & set(c) for c in claimed):
+            continue
+        city = m.group("city").lower()
+        state = m.group("state").lower()
+        confidence = 0.3
+        if city.split()[0] in gaz.CITIES:
+            confidence += 0.25
+        if state in gaz.STATE_ABBREVS or state in gaz.STATES:
+            confidence += 0.2
+        if m.group("zip"):
+            confidence += 0.15
+        matches.append(
+            GeocodeMatch(m.group(0).strip(" ,"), m.start(), m.end(), confidence, False)
+        )
+    matches.sort(key=lambda g: g.start)
+    return matches
+
+
+def geocode(text: str) -> Optional[GeocodeMatch]:
+    """Best valid address in ``text``, or ``None``."""
+    candidates = [g for g in recognize_addresses(text) if g.is_valid]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda g: (g.confidence, g.has_street, -g.start))
+
+
+def has_valid_geocode(text: str) -> bool:
+    return geocode(text) is not None

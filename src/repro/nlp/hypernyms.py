@@ -1,0 +1,182 @@
+"""A miniature hypernym taxonomy (WordNet stand-in).
+
+The paper annotates noun POS tags with their hypernym senses [42] and
+Table 4 matches *Property Size* on "noun POS tags with senses measure /
+structure / estate in the hypernym tree".  This module provides a small
+hand-built IS-A taxonomy over the vocabulary the corpora use, with the
+same query surface: the chain of hypernyms of a noun, and a test for
+whether a noun falls under a given sense.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+#: child → parent.  Roots point to "entity".
+_PARENT: Dict[str, str] = {
+    # measure subtree
+    "measure": "abstraction",
+    "unit": "measure",
+    "area_unit": "unit",
+    "acre": "area_unit",
+    "acres": "area_unit",
+    "sqft": "area_unit",
+    "footage": "area_unit",
+    "dimension": "measure",
+    "size": "dimension",
+    "count": "measure",
+    "quantity": "measure",
+    "price": "measure",
+    "cost": "price",
+    "fee": "price",
+    "rent": "price",
+    # structure subtree
+    "structure": "artifact",
+    "building": "structure",
+    "house": "building",
+    "home": "building",
+    "office": "building",
+    "warehouse": "building",
+    "condo": "building",
+    "apartment": "building",
+    "townhouse": "building",
+    "duplex": "building",
+    "suite": "structure",
+    "unit_room": "structure",
+    "room": "structure",
+    "rooms": "structure",
+    "bedroom": "room",
+    "bedrooms": "room",
+    "bathroom": "room",
+    "bathrooms": "room",
+    "bath": "room",
+    "baths": "room",
+    "bed": "furniture",
+    "beds": "furniture",
+    "kitchen": "room",
+    "basement": "room",
+    "attic": "room",
+    "garage": "structure",
+    "deck": "structure",
+    "patio": "structure",
+    "floor": "structure",
+    "floors": "structure",
+    "furniture": "artifact",
+    # estate subtree
+    "estate": "possession",
+    "property": "estate",
+    "properties": "estate",
+    "land": "estate",
+    "lot": "estate",
+    "parcel": "estate",
+    "listing": "estate",
+    "acreage": "estate",
+    "real_estate": "estate",
+    # people / organisations
+    "person": "entity",
+    "broker": "person",
+    "agent": "person",
+    "realtor": "person",
+    "organizer": "person",
+    "speaker": "person",
+    "artist": "person",
+    "organization": "entity",
+    "company": "organization",
+    "agency": "organization",
+    "university": "organization",
+    "department": "organization",
+    "club": "organization",
+    # events
+    "event": "abstraction",
+    "concert": "event",
+    "festival": "event",
+    "workshop": "event",
+    "seminar": "event",
+    "lecture": "event",
+    "conference": "event",
+    "talk": "event",
+    "class": "event",
+    "party": "event",
+    "show": "event",
+    "gala": "event",
+    "fundraiser": "event",
+    # time / place
+    "time": "abstraction",
+    "date": "time",
+    "location": "entity",
+    "place": "location",
+    "address": "location",
+    "venue": "location",
+    "street": "location",
+    "city": "location",
+    # misc upper ontology
+    "artifact": "entity",
+    "abstraction": "entity",
+    "possession": "entity",
+    "communication": "abstraction",
+    "document": "communication",
+    "form": "document",
+    "flyer": "document",
+    "poster": "document",
+}
+
+#: Surface-word aliases mapped onto taxonomy nodes.
+_ALIASES: Dict[str, str] = {
+    "sq": "sqft",
+    "ft": "sqft",
+    "sf": "sqft",
+    "square": "sqft",
+    "br": "bedroom",
+    "ba": "bathroom",
+    "bldg": "building",
+    "apt": "apartment",
+    "homes": "home",
+    "houses": "house",
+    "lots": "lot",
+    "units": "unit_room",
+    "suites": "suite",
+    "listings": "listing",
+}
+
+
+def _node_of(word: str) -> Optional[str]:
+    lower = word.lower().strip(".,")
+    if lower in _PARENT or lower == "entity":
+        return lower
+    return _ALIASES.get(lower)
+
+
+def hypernym_chain(word: str) -> List[str]:
+    """The hypernym path from ``word``'s node up to ``entity``.
+
+    Empty when the word is not in the taxonomy.
+    """
+    node = _node_of(word)
+    if node is None:
+        return []
+    chain = [node]
+    seen: Set[str] = {node}
+    while node in _PARENT:
+        node = _PARENT[node]
+        if node in seen:  # defensive: taxonomy must stay acyclic
+            raise ValueError(f"cycle in hypernym taxonomy at {node!r}")
+        seen.add(node)
+        chain.append(node)
+    return chain
+
+
+def has_sense(word: str, sense: str) -> bool:
+    """Whether ``word`` IS-A ``sense`` in the taxonomy (Table 4 test)."""
+    return sense in hypernym_chain(word)
+
+
+def any_has_sense(words, senses) -> bool:
+    sense_set = set(senses)
+    for w in words:
+        if sense_set & set(hypernym_chain(w)):
+            return True
+    return False
+
+
+def known_words() -> Set[str]:
+    return set(_PARENT) | set(_ALIASES)

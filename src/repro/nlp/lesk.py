@@ -1,0 +1,82 @@
+"""Lesk gloss-overlap disambiguation (the text-only baseline's ranker).
+
+The paper's text-only baseline resolves multiple matched patterns with
+Lesk [3], a dictionary-based word-sense disambiguation method: the
+candidate whose *context* shares the most words with the sense *gloss*
+wins.  For entity-candidate ranking we use the adapted form: each named
+entity type carries a gloss (a bag of indicative context words), each
+candidate is scored by the overlap between the words around its match
+and that gloss, and the top-scoring candidate is selected.
+
+This is deliberately text-only: it sees the linearised transcription
+and nothing of the page geometry, exactly the limitation §5.3 argues
+makes it unsuited to visually rich documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.nlp.tokenizer import STOPWORDS, words
+
+#: Glosses per entity type: the context vocabulary a dictionary entry
+#: for that concept would use.  Mirrors the Tables 3/4 descriptions.
+ENTITY_GLOSSES: Dict[str, str] = {
+    "event_title": "name title of the event show concert festival workshop announcement headline",
+    "event_place": "place venue location address where hall room street city held hosted at",
+    "event_time": "time date when schedule doors start begins pm am evening day month",
+    "event_organizer": "organizer host presented hosted organized by sponsor department club society",
+    "event_description": "description details about join us featuring what expect admission free tickets",
+    "broker_name": "broker agent realtor contact name listing by call",
+    "broker_phone": "phone call telephone contact number tel cell office",
+    "broker_email": "email mail contact inquiries address at",
+    "property_address": "address located location street city state property site",
+    "property_size": "size square feet sqft acres beds baths bedrooms bathrooms lot area",
+    "property_description": "description property features building space office retail parking includes",
+}
+
+
+@dataclass(frozen=True)
+class LeskCandidate:
+    """A candidate match with its surrounding context."""
+
+    text: str
+    context: str
+
+
+def gloss_overlap(context: str, gloss: str) -> int:
+    """Number of distinct non-stopword words shared by context and gloss."""
+    a = {w for w in words(context) if w not in STOPWORDS}
+    b = {w for w in words(gloss) if w not in STOPWORDS}
+    return len(a & b)
+
+
+def lesk_rank(
+    candidates: Sequence[LeskCandidate],
+    entity_type: str,
+    glosses: Dict[str, str] = ENTITY_GLOSSES,
+) -> List[int]:
+    """Indices of ``candidates`` ordered best-first by gloss overlap.
+
+    Ties preserve input order (document order), matching the common
+    "first plausible mention wins" behaviour of text IE pipelines.
+    """
+    gloss = glosses.get(entity_type, "")
+    scored = [
+        (gloss_overlap(c.context, gloss) + gloss_overlap(c.text, gloss), -i)
+        for i, c in enumerate(candidates)
+    ]
+    order = sorted(range(len(candidates)), key=lambda i: scored[i], reverse=True)
+    return order
+
+
+def lesk_select(
+    candidates: Sequence[LeskCandidate],
+    entity_type: str,
+    glosses: Dict[str, str] = ENTITY_GLOSSES,
+) -> int:
+    """Index of the best candidate (raises on empty input)."""
+    if not candidates:
+        raise ValueError("lesk_select needs at least one candidate")
+    return lesk_rank(candidates, entity_type, glosses)[0]

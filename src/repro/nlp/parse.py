@@ -1,0 +1,150 @@
+"""Shallow parse trees for frequent-subtree mining.
+
+§5.2.1 of the paper annotates holdout text with lexical and syntactic
+features — chunks, dependency trees, NE tags, geocode tags, hypernym
+senses, VerbNet senses — and then mines maximal frequent subtrees
+across the chunks.  This module builds the trees those miners consume:
+
+::
+
+    S
+    ├── NP
+    │   ├── DT
+    │   └── NN ── HYP:structure
+    └── VP
+        └── VBD ── VN:create
+
+Node labels are drawn from a small vocabulary (chunk labels, POS tags,
+and annotation tags like ``NE:PERSON`` / ``GEO:VALID`` / ``TIMEX:DATE``
+/ ``HYP:measure`` / ``VN:captain``), so mined subtrees are directly
+interpretable as the lexico-syntactic patterns of Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.nlp import hypernyms, verbnet
+from repro.nlp.chunker import Chunk, chunk
+from repro.nlp.geocode import has_valid_geocode
+from repro.nlp.ner import recognize_entities
+from repro.nlp.timex import recognize_timex
+from repro.nlp.tokenizer import Token
+
+
+@dataclass
+class ParseNode:
+    """A node in a shallow parse tree."""
+
+    label: str
+    children: List["ParseNode"] = field(default_factory=list)
+    token: Optional[Token] = None
+
+    def add(self, child: "ParseNode") -> "ParseNode":
+        self.children.append(child)
+        return child
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self) -> Iterator["ParseNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def labels(self) -> List[str]:
+        return [n.label for n in self.walk()]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def preorder_encoding(self) -> List[str]:
+        """TreeMiner string encoding: labels in preorder with ``-1``
+        markers on backtrack (Zaki's format [47])."""
+        out: List[str] = []
+
+        def visit(node: "ParseNode") -> None:
+            out.append(node.label)
+            for child in node.children:
+                visit(child)
+            out.append("-1")
+
+        visit(self)
+        out.pop()  # no trailing backtrack past the root
+        return out
+
+    def pretty(self, indent: int = 0) -> str:
+        line = "  " * indent + self.label
+        if self.token is not None:
+            line += f" [{self.token.text}]"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def _annotate_token(node: ParseNode, token: Token, tag: str) -> None:
+    """Attach semantic annotation children to a token node."""
+    if tag.startswith("NN"):
+        chain = hypernyms.hypernym_chain(token.text)
+        # Attach the most informative (deepest-but-general) senses the
+        # pattern language uses; immediate node + mid-level sense.
+        for sense in ("measure", "structure", "estate", "event", "person", "location", "time"):
+            if sense in chain:
+                node.add(ParseNode(f"HYP:{sense}"))
+    if tag.startswith("VB"):
+        for sense in verbnet.verb_senses(token.text):
+            node.add(ParseNode(f"VN:{sense}"))
+    if tag == "CD":
+        node.add(ParseNode("NUM"))
+
+
+def parse_sentence(text: str) -> ParseNode:
+    """Build the annotated shallow parse tree of one sentence/line."""
+    root = ParseNode("S")
+    chunks = chunk(text)
+    entities = recognize_entities(text)
+    timexes = recognize_timex(text)
+
+    def entity_covering(start: int, end: int) -> Optional[str]:
+        for e in entities:
+            if e.start <= start and end <= e.end:
+                return e.label
+        return None
+
+    for c in chunks:
+        chunk_node = root.add(ParseNode(c.label))
+        for token, tag in c.tokens:
+            token_node = chunk_node.add(ParseNode(tag, token=token))
+            _annotate_token(token_node, token, tag)
+            label = entity_covering(token.start, token.end)
+            if label is not None:
+                token_node.add(ParseNode(f"NE:{label}"))
+        # Chunk-level annotations used by Tables 3/4 patterns.
+        if c.label == "NP":
+            if has_valid_geocode(c.text):
+                chunk_node.add(ParseNode("GEO:VALID"))
+            if any(t.start <= c.start and c.end <= t.end for t in timexes) or any(
+                c.start <= t.start and t.end <= c.end for t in timexes
+            ):
+                kinds = {
+                    t.timex_type
+                    for t in timexes
+                    if not (t.end <= c.start or t.start >= c.end)
+                }
+                for kind in sorted(kinds):
+                    chunk_node.add(ParseNode(f"TIMEX:{kind}"))
+    return root
+
+
+def parse_chunks(text: str) -> List[ParseNode]:
+    """One tree per chunk (the paper mines subtrees *across chunks*)."""
+    tree = parse_sentence(text)
+    return [c for c in tree.children]
+
+
+def chunks_of(text: str) -> List[Chunk]:
+    """Convenience re-export used by pattern matchers."""
+    return chunk(text)

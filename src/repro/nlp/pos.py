@@ -1,0 +1,210 @@
+"""A lexicon + suffix-rule part-of-speech tagger (Penn tag subset).
+
+Plays the role of the off-the-shelf tagger in the paper's NLP stack.
+Tagging proceeds in three layers: a closed-class lexicon, an open-class
+lexicon of common words, then shape/suffix fallback rules.  A final
+contextual repair pass fixes the classic noun/verb ambiguities that the
+pattern matchers of Tables 3/4 are sensitive to (e.g. ``to <verb>``,
+``<determiner> <noun>``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.nlp import gazetteers as gaz
+from repro.nlp.tokenizer import Token, tokenize
+
+#: Tags emitted by this tagger.
+TAGSET = (
+    "NN NNS NNP NNPS VB VBD VBG VBN VBZ MD JJ JJR JJS RB CD DT IN CC PRP "
+    "PRP$ TO EX WDT SYM PUNCT UH"
+).split()
+
+_CLOSED: Dict[str, str] = {}
+for _w in "the a an this that these those each every some any no".split():
+    _CLOSED[_w] = "DT"
+for _w in (
+    "of in on at by for with from into over under about against between "
+    "through during before after above below up down out off near upon "
+    "within without along across behind beyond per via"
+).split():
+    _CLOSED[_w] = "IN"
+for _w in "and or but nor yet so".split():
+    _CLOSED[_w] = "CC"
+for _w in "i you he she it we they me him her us them".split():
+    _CLOSED[_w] = "PRP"
+for _w in "my your his its our their".split():
+    _CLOSED[_w] = "PRP$"
+for _w in "will would can could shall should may might must".split():
+    _CLOSED[_w] = "MD"
+for _w in "who whom which what whose".split():
+    _CLOSED[_w] = "WDT"
+_CLOSED["to"] = "TO"
+_CLOSED["there"] = "EX"
+_CLOSED["not"] = "RB"
+
+_COMMON_VERBS = frozenset(
+    """
+    be is are was were been being am have has had do does did go goes went
+    gone make makes made take takes took get gets got see sees saw come
+    comes came know knows knew give gives gave find finds found think
+    thinks thought tell tells told become became show shows showed leave
+    left feel felt put bring brings brought begin begins began keep keeps
+    kept hold holds held write writes wrote stand stood hear heard let
+    mean means meant set meet meets met run runs ran pay pays paid sit
+    include includes included continue offer offers offered present
+    presents presented host hosts hosted organize organizes organized
+    sponsor sponsors sponsored feature features featured join joins joined
+    attend attends attended register registers registered invite invites
+    invited celebrate celebrates learn learns learned perform performs
+    performed lead leads led direct directs directed create creates
+    created found founded establish established captain captains sell
+    sells sold buy buys bought list lists call calls called contact
+    contacts contacted visit visits visited welcome welcomes welcomed
+    enjoy enjoys enjoyed explore explores discover discovers provide
+    provides provided serve serves served open opens opened close closes
+    closed start starts started end ends ended announce announces
+    announced presents introducing
+    """.split()
+)
+
+_COMMON_NOUNS = frozenset(
+    set("""
+    event time place date year day week month name address phone email
+    number price cost fee ticket tickets admission entry info information
+    details detail description title organizer speaker artist band music
+    food drinks family kids children adults students people person group
+    community city town state street home house property estate listing
+    agent broker office space size area room rooms water heat power line
+    form tax income wage credit deduction refund amount total schedule
+    page return spouse dependent employer interest dividend business
+    school work life world part form question answer example kind
+    """.split())
+    | set(gaz.EVENT_WORDS)
+    | set(gaz.PROPERTY_WORDS)
+    | set(gaz.VENUE_WORDS)
+)
+
+_COMMON_ADJECTIVES = frozenset(
+    """
+    new free live local annual great grand open public special first
+    second third last next big small large little good best famous
+    beautiful spacious modern updated renovated charming cozy bright
+    prime commercial residential available historic downtown quiet
+    convenient affordable luxury private gross net taxable joint single
+    married federal early late final official national live
+    """.split()
+)
+
+_COMMON_ADVERBS = frozenset(
+    """
+    very too also just only now then here soon daily weekly monthly
+    tonight today tomorrow yesterday always never often really currently
+    newly fully recently
+    """.split()
+)
+
+
+def _suffix_tag(word: str) -> str:
+    """Open-class fallback by suffix shape."""
+    lower = word.lower()
+    if lower.endswith("ing") and len(lower) > 4:
+        return "VBG"
+    if lower.endswith("ed") and len(lower) > 3:
+        return "VBD"
+    if lower.endswith("ly") and len(lower) > 3:
+        return "RB"
+    if lower.endswith(("tion", "sion", "ment", "ness", "ship", "ance", "ence")):
+        return "NN"
+    if lower.endswith(("ous", "ful", "ive", "ible", "able", "ic", "ish")):
+        return "JJ"
+    if lower.endswith("est") and len(lower) > 4:
+        return "JJS"
+    if lower.endswith("er") and len(lower) > 4 and lower[:-2] in _COMMON_ADJECTIVES:
+        return "JJR"
+    if lower.endswith("s") and len(lower) > 3 and not lower.endswith("ss"):
+        return "NNS"
+    return "NN"
+
+
+def _is_name_like(word: str) -> bool:
+    lower = word.lower().strip(".")
+    return (
+        lower in gaz.FIRST_NAMES
+        or lower in gaz.LAST_NAMES
+        or lower in gaz.CITIES
+        or lower in gaz.STATES
+        or lower in gaz.ORG_HEAD_WORDS
+        or lower in gaz.NAME_PREFIXES
+    )
+
+
+def _base_tag(token: Token) -> str:
+    text = token.text
+    lower = token.lower
+
+    if not token.is_word:
+        return "SYM" if text in "$€£#%&+" else "PUNCT"
+    if token.is_numeric:
+        return "CD"
+    # Ordinals and mixed numerics (3rd, 12th, 1040EZ, 2-bed).
+    if any(ch.isdigit() for ch in text):
+        if lower.endswith(("st", "nd", "rd", "th")) and lower[:-2].isdigit():
+            return "CD"
+        return "CD" if sum(ch.isdigit() for ch in text) >= len(text) / 2 else "NN"
+    if lower in _CLOSED:
+        return _CLOSED[lower]
+    if _is_name_like(text) and token.is_capitalized:
+        return "NNP"
+    if lower in _COMMON_VERBS:
+        if lower.endswith("s") and lower not in ("is", "was", "has", "does"):
+            return "VBZ"
+        if lower.endswith("ing"):
+            return "VBG"
+        if lower.endswith("ed"):
+            return "VBD"
+        return "VB"
+    if lower in _COMMON_ADJECTIVES:
+        return "JJ"
+    if lower in _COMMON_ADVERBS:
+        return "RB"
+    if lower in _COMMON_NOUNS:
+        return "NNS" if lower.endswith("s") and lower[:-1] in _COMMON_NOUNS else "NN"
+    if token.is_all_caps and len(text) >= 2:
+        return "NNP"
+    if token.is_capitalized:
+        return "NNP"
+    return _suffix_tag(text)
+
+
+def _repair(tagged: List[Tuple[Token, str]]) -> List[Tuple[Token, str]]:
+    """Contextual repairs for the ambiguities that matter downstream."""
+    out = list(tagged)
+    for i, (token, tag) in enumerate(out):
+        prev_tag = out[i - 1][1] if i > 0 else None
+        # "to <base verb>" — infinitive.
+        if prev_tag == "TO" and tag in ("NN", "NNP") and token.lower in _COMMON_VERBS:
+            out[i] = (token, "VB")
+        # Determiner forces a nominal reading of a verb-shaped word.
+        elif prev_tag == "DT" and tag in ("VB", "VBZ"):
+            out[i] = (token, "NN" if tag == "VB" else "NNS")
+        # Past participle after a form of "be"/"have".
+        elif (
+            tag == "VBD"
+            and prev_tag in ("VBZ", "VB", "MD")
+            and i > 0
+            and out[i - 1][0].lower in ("is", "are", "was", "were", "been", "be", "has", "have", "had")
+        ):
+            out[i] = (token, "VBN")
+    return out
+
+
+def pos_tag(text_or_tokens) -> List[Tuple[Token, str]]:
+    """Tag a string or a pre-tokenised list; returns (token, tag) pairs."""
+    if isinstance(text_or_tokens, str):
+        tokens: Sequence[Token] = tokenize(text_or_tokens)
+    else:
+        tokens = text_or_tokens
+    tagged = [(t, _base_tag(t)) for t in tokens]
+    return _repair(tagged)

@@ -1,0 +1,143 @@
+"""TIMEX3-style temporal expression recognition (SUTime stand-in).
+
+Table 3's pattern for *Event Time* is "noun phrases with valid TIMEX3
+tags" [5].  This recogniser finds dates, clock times and ranges in text
+and assigns them coarse TIMEX3 classes (``DATE``, ``TIME``,
+``DURATION``) with a normalised value where derivable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.nlp import gazetteers as gaz
+
+_MONTH_NUM = {
+    m: i + 1
+    for i, names in enumerate(
+        [
+            ("january", "jan"),
+            ("february", "feb"),
+            ("march", "mar"),
+            ("april", "apr"),
+            ("may",),
+            ("june", "jun"),
+            ("july", "jul"),
+            ("august", "aug"),
+            ("september", "sep", "sept"),
+            ("october", "oct"),
+            ("november", "nov"),
+            ("december", "dec"),
+        ]
+    )
+    for m in names
+}
+
+_CLOCK = r"(?:[01]?\d|2[0-3])(?::[0-5]\d)?\s*(?:a\.?m\.?|p\.?m\.?|AM|PM|am|pm)"
+_CLOCK_24 = r"(?:[01]?\d|2[0-3]):[0-5]\d"
+
+_PATTERNS = [
+    # 7:30 pm - 9:00 pm / 7 pm to 9 pm
+    ("DURATION", re.compile(rf"{_CLOCK}\s*(?:-|–|to|until|till)\s*{_CLOCK}", re.I)),
+    ("TIME", re.compile(rf"\b{_CLOCK}\b", re.I)),
+    ("TIME", re.compile(rf"\b{_CLOCK_24}\b")),
+    # April 12, 2026 / Apr 12 / 12 April 2026
+    (
+        "DATE",
+        re.compile(
+            r"\b(?:" + "|".join(sorted(_MONTH_NUM, key=len, reverse=True)) + r")\.?\s+\d{1,2}(?:st|nd|rd|th)?(?:\s*,?\s*\d{4})?\b",
+            re.I,
+        ),
+    ),
+    (
+        "DATE",
+        re.compile(
+            r"\b\d{1,2}(?:st|nd|rd|th)?\s+(?:"
+            + "|".join(sorted(_MONTH_NUM, key=len, reverse=True))
+            + r")\.?(?:\s*,?\s*\d{4})?\b",
+            re.I,
+        ),
+    ),
+    # 04/12/2026, 4-12-26
+    ("DATE", re.compile(r"\b\d{1,2}[/-]\d{1,2}[/-]\d{2,4}\b")),
+    # ISO
+    ("DATE", re.compile(r"\b\d{4}-\d{2}-\d{2}\b")),
+    # Weekday mentions ("Saturday", "every Friday")
+    (
+        "DATE",
+        re.compile(
+            r"\b(?:" + "|".join(sorted(gaz.WEEKDAYS, key=len, reverse=True)) + r")\b",
+            re.I,
+        ),
+    ),
+    ("TIME", re.compile(r"\b(?:noon|midnight|doors\s+(?:open\s+)?at)\b", re.I)),
+]
+
+
+@dataclass(frozen=True)
+class Timex:
+    """A recognised temporal expression."""
+
+    text: str
+    start: int
+    end: int
+    timex_type: str  # DATE | TIME | DURATION
+    value: Optional[str] = None  # normalised value when derivable
+
+
+def _normalize(kind: str, text: str) -> Optional[str]:
+    lower = text.lower()
+    m = re.match(r"(\d{1,2})[/-](\d{1,2})[/-](\d{2,4})$", lower)
+    if m:
+        mm, dd, yy = (int(g) for g in m.groups())
+        if yy < 100:
+            yy += 2000
+        if 1 <= mm <= 12 and 1 <= dd <= 31:
+            return f"{yy:04d}-{mm:02d}-{dd:02d}"
+    m = re.match(r"([a-z]+)\.?\s+(\d{1,2})(?:st|nd|rd|th)?(?:\s*,?\s*(\d{4}))?$", lower)
+    if m and m.group(1) in _MONTH_NUM:
+        mm = _MONTH_NUM[m.group(1)]
+        dd = int(m.group(2))
+        yy = m.group(3)
+        if 1 <= dd <= 31:
+            return f"{yy or 'XXXX'}-{mm:02d}-{dd:02d}"
+    if kind == "TIME":
+        m = re.match(r"(\d{1,2})(?::(\d{2}))?\s*(a\.?m\.?|p\.?m\.?)?", lower)
+        if m:
+            hh = int(m.group(1))
+            mins = int(m.group(2) or 0)
+            mer = (m.group(3) or "").replace(".", "")
+            if mer == "pm" and hh < 12:
+                hh += 12
+            if mer == "am" and hh == 12:
+                hh = 0
+            if 0 <= hh <= 23 and 0 <= mins <= 59:
+                return f"T{hh:02d}:{mins:02d}"
+    return None
+
+
+def recognize_timex(text: str) -> List[Timex]:
+    """All temporal expressions in ``text``, left to right, non-overlapping.
+
+    Longer/earlier-listed patterns win overlaps (so a time range beats
+    its component clock times).
+    """
+    found: List[Timex] = []
+    claimed: List[range] = []
+    for kind, pattern in _PATTERNS:
+        for m in pattern.finditer(text):
+            span = range(m.start(), m.end())
+            if any(set(span) & set(c) for c in claimed):
+                continue
+            claimed.append(span)
+            found.append(
+                Timex(m.group(0), m.start(), m.end(), kind, _normalize(kind, m.group(0)))
+            )
+    found.sort(key=lambda t: t.start)
+    return found
+
+
+def has_timex(text: str) -> bool:
+    return bool(recognize_timex(text))

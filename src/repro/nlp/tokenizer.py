@@ -1,0 +1,107 @@
+"""Tokenisation and text normalisation.
+
+VS2-Select preprocesses every block transcription the same way the
+paper describes (§5.2): normalise, split into sentences/lines, tokenise
+into words, drop stopwords where asked.  Tokens keep their character
+offsets so matched patterns can be mapped back to page coordinates.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+from typing import Iterable, List
+
+STOPWORDS = frozenset(
+    """
+    a an the and or but if then than that this these those of in on at by
+    for with from to into over under as is are was were be been being am
+    do does did will would can could should may might must have has had
+    it its he she they them his her their our your my we you i not no nor
+    so such there here when where which who whom what why how all any both
+    each few more most other some own same s t don now
+    """.split()
+)
+
+# A word is letters/digits possibly holding internal apostrophes, hyphens,
+# periods (abbreviations, decimals), @ and domain dots (emails survive as
+# single tokens), or a standalone punctuation mark.
+_TOKEN_RE = re.compile(
+    r"\d{1,3}(?:,\d{3})+(?:\.\d+)?"  # comma-grouped numbers stay whole
+    r"|[A-Za-z0-9][A-Za-z0-9@._'\-/]*[A-Za-z0-9]|[A-Za-z0-9]|[$€£#%&+]|[^\sA-Za-z0-9]"
+)
+
+_SENTENCE_SPLIT_RE = re.compile(r"(?<=[.!?;])\s+|\n+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its source-character span."""
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_word(self) -> bool:
+        return any(ch.isalnum() for ch in self.text)
+
+    @property
+    def is_capitalized(self) -> bool:
+        return bool(self.text) and self.text[0].isupper()
+
+    @property
+    def is_all_caps(self) -> bool:
+        letters = [c for c in self.text if c.isalpha()]
+        return bool(letters) and all(c.isupper() for c in letters)
+
+    @property
+    def is_numeric(self) -> bool:
+        stripped = self.text.replace(",", "").replace(".", "").replace("/", "")
+        return bool(stripped) and stripped.isdigit()
+
+
+def normalize_text(text: str) -> str:
+    """Unicode-normalise, unify quotes/dashes, collapse runs of spaces.
+
+    This mirrors the cleaning the paper applies before semantic parsing
+    (§5.2: "the transcribed text is normalized").
+    """
+    text = unicodedata.normalize("NFKC", text)
+    text = text.replace("’", "'").replace("‘", "'")
+    text = text.replace("“", '"').replace("”", '"')
+    text = text.replace("–", "-").replace("—", "-")
+    text = re.sub(r"[ \t]+", " ", text)
+    text = re.sub(r" ?\n ?", "\n", text)
+    return text.strip()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into :class:`Token` objects with offsets."""
+    return [Token(m.group(0), m.start(), m.end()) for m in _TOKEN_RE.finditer(text)]
+
+
+def sentences(text: str) -> List[str]:
+    """Split on sentence punctuation and newlines.
+
+    Visually rich documents rarely carry full sentence punctuation; the
+    newline split treats each layout line as a sentence-like unit, which
+    is exactly the "ill-defined context boundaries" behaviour the paper
+    attributes to transcribed visual documents (Fig. 3).
+    """
+    parts = _SENTENCE_SPLIT_RE.split(text)
+    return [p.strip() for p in parts if p and p.strip()]
+
+
+def remove_stopwords(tokens: Iterable[Token]) -> List[Token]:
+    return [t for t in tokens if t.lower not in STOPWORDS]
+
+
+def words(text: str) -> List[str]:
+    """Lower-cased word tokens only (no punctuation)."""
+    return [t.lower for t in tokenize(text) if t.is_word]

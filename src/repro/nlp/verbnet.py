@@ -1,0 +1,99 @@
+"""A miniature verb-sense lexicon (VerbNet stand-in).
+
+Table 3 matches *Event Organizer* on "verb phrase with captain / create
+/ reflexive_appearance verb-senses [38]".  This module maps verbs to
+VerbNet-style class names; the three classes the paper names are
+populated with the verbs organisers actually use on posters ("hosted
+by", "presented by", "organized by", ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+_CLASSES: Dict[str, FrozenSet[str]] = {
+    # VerbNet 'captain-29.8': acting in a leading capacity.
+    "captain": frozenset(
+        """
+        captain chair chairs chaired lead leads led direct directs directed
+        head heads headed manage manages managed host hosts hosted
+        organize organizes organized coordinate coordinates coordinated
+        moderate moderates moderated supervise supervised
+        """.split()
+    ),
+    # VerbNet 'create-26.4': bringing something into existence.
+    "create": frozenset(
+        """
+        create creates created produce produces produced found founded
+        establish establishes established launch launches launched
+        develop develops developed curate curates curated compose
+        composed author authored design designs designed build built
+        """.split()
+    ),
+    # VerbNet 'reflexive_appearance-48.1.2': presenting / showing.
+    "reflexive_appearance": frozenset(
+        """
+        present presents presented show shows showed showcase showcases
+        showcased feature features featured display displays displayed
+        exhibit exhibits exhibited introduce introduces introduced
+        premiere premieres premiered perform performs performed appear
+        appears appeared
+        """.split()
+    ),
+    # Supporting classes used by other patterns / the holdout annotator.
+    "contribute": frozenset(
+        """
+        sponsor sponsors sponsored support supports supported fund funds
+        funded donate donates donated benefit benefits benefited
+        """.split()
+    ),
+    "invite": frozenset(
+        """
+        invite invites invited welcome welcomes welcomed join joins joined
+        attend attends attended register registers registered rsvp
+        """.split()
+    ),
+    "transfer": frozenset(
+        """
+        sell sells sold buy buys bought lease leases leased rent rents
+        rented list lists listed offer offers offered
+        """.split()
+    ),
+    "communicate": frozenset(
+        """
+        call calls called contact contacts contacted email emails emailed
+        visit visits visited inquire inquires inquired ask asks asked
+        """.split()
+    ),
+}
+
+_VERB_TO_CLASSES: Dict[str, Set[str]] = {}
+for _cls, _verbs in _CLASSES.items():
+    for _v in _verbs:
+        _VERB_TO_CLASSES.setdefault(_v, set()).add(_cls)
+
+#: The classes Table 3 names for the Event Organizer pattern.
+ORGANIZER_SENSES = ("captain", "create", "reflexive_appearance")
+
+
+def verb_senses(verb: str) -> List[str]:
+    """VerbNet-style class names for ``verb`` (empty if unknown)."""
+    return sorted(_VERB_TO_CLASSES.get(verb.lower().strip(".,"), set()))
+
+
+def has_sense(verb: str, sense: str) -> bool:
+    if sense not in _CLASSES:
+        raise KeyError(f"unknown verb class {sense!r}")
+    return verb.lower().strip(".,") in _CLASSES[sense]
+
+
+def any_has_sense(verbs, senses) -> bool:
+    for v in verbs:
+        classes = _VERB_TO_CLASSES.get(v.lower().strip(".,"))
+        if classes and classes & set(senses):
+            return True
+    return False
+
+
+def known_classes() -> List[str]:
+    return sorted(_CLASSES)

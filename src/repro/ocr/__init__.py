@@ -1,0 +1,33 @@
+"""Simulated OCR (the Tesseract [41] stand-in).
+
+The paper's pipeline runs on OCR output, and its error analysis keys on
+transcription quality: low-quality transcription causes
+over-segmentation by inhibiting semantic merging (§6.3) and floods the
+text-only baseline with NER false positives (Fig. 3).  This package
+reproduces those effects:
+
+* :class:`OcrEngine` — word-level transcription with a configurable
+  noise model (character confusions, case flips, word drops/splits/
+  merges, bounding-box jitter) keyed to the document's source kind
+  (``mobile`` ≫ ``scan`` > ``pdf``/``html``);
+* :class:`OcrResult` — the transcription: noisy word elements, a
+  whole-page reading-order linearisation (which destroys column
+  context — the text-only failure mode), and per-region text;
+* :mod:`repro.ocr.layout_analysis` — a Tesseract-style page layout
+  analyser (lines → blocks), used as segmentation baseline A5 and as
+  the text-only extraction baseline's segmenter.
+"""
+
+from repro.ocr.engine import NoiseProfile, OcrEngine, OcrResult
+from repro.ocr.deskew import deskew, estimate_skew, rotate_back
+from repro.ocr.layout_analysis import tesseract_blocks
+
+__all__ = [
+    "OcrEngine",
+    "OcrResult",
+    "NoiseProfile",
+    "tesseract_blocks",
+    "deskew",
+    "estimate_skew",
+    "rotate_back",
+]

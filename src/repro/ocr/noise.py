@@ -1,0 +1,67 @@
+"""OCR noise primitives: character confusions and word corruption."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Classic glyph confusions (symmetric pairs listed one way).
+CONFUSIONS: Dict[str, str] = {
+    "l": "1", "1": "l", "I": "l", "i": "l",
+    "O": "0", "0": "O", "o": "0",
+    "S": "5", "5": "S", "s": "5",
+    "B": "8", "8": "B",
+    "Z": "2", "2": "Z",
+    "g": "9", "9": "g",
+    "e": "c", "c": "e",
+    "a": "o", "u": "v", "v": "u",
+    "n": "h", "h": "b", "t": "f", "f": "t",
+    "G": "C", "C": "G", "E": "F",
+    "D": "O", "Q": "O",
+}
+
+#: Multi-character confusions applied at lower probability.
+MULTI_CONFUSIONS: List[Tuple[str, str]] = [
+    ("rn", "m"),
+    ("m", "rn"),
+    ("cl", "d"),
+    ("vv", "w"),
+    ("w", "vv"),
+    ("ii", "u"),
+]
+
+
+def corrupt_word(word: str, rng: np.random.Generator, char_p: float, case_p: float) -> str:
+    """Apply character-level OCR noise to one word.
+
+    ``char_p`` — per-character confusion probability; ``case_p`` —
+    per-character case-flip probability.  Multi-character confusions
+    fire at ``char_p / 4`` per eligible position.
+    """
+    if char_p <= 0 and case_p <= 0:
+        return word
+    chars = list(word)
+    i = 0
+    out: List[str] = []
+    while i < len(chars):
+        replaced = False
+        if rng.random() < char_p / 4.0:
+            pair = chars[i] + (chars[i + 1] if i + 1 < len(chars) else "")
+            for src, dst in MULTI_CONFUSIONS:
+                if pair.startswith(src):
+                    out.append(dst)
+                    i += len(src)
+                    replaced = True
+                    break
+        if replaced:
+            continue
+        ch = chars[i]
+        if rng.random() < char_p and ch in CONFUSIONS:
+            ch = CONFUSIONS[ch]
+        if rng.random() < case_p and ch.isalpha():
+            ch = ch.lower() if ch.isupper() else ch.upper()
+        out.append(ch)
+        i += 1
+    result = "".join(out)
+    return result if result else word

@@ -1,0 +1,18 @@
+"""Multi-objective optimisation utilities.
+
+Interest-point selection (§5.3.1) is an *optimal subset selection*
+problem solved by non-dominated sorting [25]: logical blocks are scored
+on three objectives and the first-order Pareto front is the selected
+subset.  This package implements dominance tests, fast non-dominated
+sorting into ranked fronts, and crowding distance (useful when a front
+must be thinned).
+"""
+
+from repro.optimize.pareto import (
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    pareto_front,
+)
+
+__all__ = ["dominates", "pareto_front", "non_dominated_sort", "crowding_distance"]

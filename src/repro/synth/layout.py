@@ -1,0 +1,148 @@
+"""Layout engine for synthetic documents.
+
+Turns strings into positioned :class:`TextElement` words using a fixed
+character-metric model (monospace-ish: advance ≈ 0.52 em).  Provides
+word wrapping into a column, centred lines, and label/value pairs for
+form rows.  Every function returns both the elements and the tight
+bounding box of what was placed, so generators can stack blocks and
+record ground-truth boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.colors import LabColor, rgb_to_lab
+from repro.doc.elements import TextElement
+from repro.geometry import BBox, enclosing_bbox
+
+#: Horizontal advance per character as a fraction of the font size.
+CHAR_ASPECT = 0.52
+#: Space between words as a fraction of the font size.
+SPACE_ASPECT = 0.30
+#: Line advance as a fraction of the font size.
+LINE_ADVANCE = 1.35
+
+BLACK = rgb_to_lab((25, 25, 25))
+
+
+def word_width(word: str, font_size: float) -> float:
+    return max(len(word), 1) * CHAR_ASPECT * font_size
+
+
+@dataclass
+class TextStyle:
+    """Typographic parameters of a placed run."""
+
+    font_size: float = 12.0
+    color: LabColor = BLACK
+    bold: bool = False
+    italic: bool = False
+    font_family: str = "serif"
+
+    def element(self, word: str, x: float, y: float) -> TextElement:
+        return TextElement(
+            text=word,
+            bbox=BBox(x, y, word_width(word, self.font_size), self.font_size),
+            color=self.color,
+            font_size=self.font_size,
+            bold=self.bold,
+            italic=self.italic,
+            font_family=self.font_family,
+        )
+
+
+def layout_line(
+    text: str, x: float, y: float, style: TextStyle
+) -> Tuple[List[TextElement], BBox]:
+    """Place one line of words starting at ``(x, y)``; no wrapping."""
+    elements: List[TextElement] = []
+    cursor = x
+    for word in text.split():
+        element = style.element(word, cursor, y)
+        elements.append(element)
+        cursor = element.bbox.x2 + SPACE_ASPECT * style.font_size
+    if not elements:
+        return [], BBox(x, y, 0, style.font_size)
+    return elements, enclosing_bbox([e.bbox for e in elements])
+
+
+def layout_paragraph(
+    text: str,
+    x: float,
+    y: float,
+    max_width: float,
+    style: TextStyle,
+    align: str = "left",
+) -> Tuple[List[TextElement], BBox]:
+    """Wrap ``text`` into a column of width ``max_width``.
+
+    ``align`` is ``"left"`` or ``"center"``.  Words wider than the
+    column are placed on their own line (never split).
+    """
+    if max_width <= 0:
+        raise ValueError("max_width must be positive")
+    words = text.split()
+    if not words:
+        return [], BBox(x, y, 0, style.font_size)
+
+    space = SPACE_ASPECT * style.font_size
+    lines: List[List[str]] = [[]]
+    widths: List[float] = [0.0]
+    for word in words:
+        w = word_width(word, style.font_size)
+        needed = w if not lines[-1] else widths[-1] + space + w
+        if lines[-1] and needed > max_width:
+            lines.append([word])
+            widths.append(w)
+        else:
+            lines[-1].append(word)
+            widths[-1] = needed
+    elements: List[TextElement] = []
+    line_y = y
+    for line, width in zip(lines, widths):
+        line_x = x
+        if align == "center":
+            line_x = x + max(max_width - width, 0) / 2.0
+        line_elements, _ = layout_line(" ".join(line), line_x, line_y, style)
+        elements.extend(line_elements)
+        line_y += LINE_ADVANCE * style.font_size
+    return elements, enclosing_bbox([e.bbox for e in elements])
+
+
+def layout_centered_line(
+    text: str, center_x: float, y: float, style: TextStyle
+) -> Tuple[List[TextElement], BBox]:
+    """One line centred on ``center_x``."""
+    words = text.split()
+    total = sum(word_width(w, style.font_size) for w in words)
+    total += SPACE_ASPECT * style.font_size * max(len(words) - 1, 0)
+    return layout_line(text, center_x - total / 2.0, y, style)
+
+
+def layout_label_value(
+    label: str,
+    value: str,
+    x: float,
+    y: float,
+    value_offset: float,
+    label_style: TextStyle,
+    value_style: Optional[TextStyle] = None,
+) -> Tuple[List[TextElement], BBox, Optional[BBox]]:
+    """A form row: label at ``x``, value at ``x + value_offset``.
+
+    Returns (elements, row bbox, value bbox).  The value bbox is what
+    D1 ground truth annotates; ``None`` when the value is empty.
+    """
+    value_style = value_style or label_style
+    elements, _ = layout_line(label, x, y, label_style)
+    value_elements: List[TextElement] = []
+    if value.strip():
+        value_elements, value_box = layout_line(value, x + value_offset, y, value_style)
+        elements = elements + value_elements
+    else:
+        value_box = None
+    row_box = enclosing_bbox([e.bbox for e in elements]) if elements else BBox(x, y, 0, 1)
+    return elements, row_box, value_box
+

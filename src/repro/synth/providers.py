@@ -1,0 +1,280 @@
+"""Seeded fake-data provider.
+
+All generators draw their surface realisations (names, venues,
+addresses, phone numbers, descriptions, ...) from this provider so the
+corpora and the holdout websites share a vocabulary distribution — the
+precondition for distant supervision to work, as on the real data.
+
+Roughly a fifth of person/organisation names are *out of gazetteer*
+(syllable-synthesised), so recognisers cannot succeed by lexicon
+memorisation alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nlp import gazetteers as gaz
+
+_FIRST = sorted(gaz.FIRST_NAMES)
+_LAST = sorted(gaz.LAST_NAMES)
+_CITIES = sorted(gaz.CITIES)
+_STATE_AB = sorted(s.upper() for s in gaz.STATE_ABBREVS)
+_STREETS = sorted(gaz.STREET_NAMES)
+_STREET_SUFFIX = ["Street", "Avenue", "Boulevard", "Drive", "Lane", "Road", "Court", "Way", "Parkway"]
+_ORG_HEADS = sorted(gaz.ORG_HEAD_WORDS)
+_ORG_KINDS = ["Arts", "Music", "Community", "Cultural", "Realty", "Property", "Development", "Events", "Heritage", "Science"]
+_ORG_SUFFIX = ["Society", "Foundation", "Association", "Group", "LLC", "Inc", "Council", "Club", "Partners", "Realty"]
+_VENUES = sorted(gaz.VENUE_WORDS)
+_EVENT_KINDS = sorted(gaz.EVENT_WORDS)
+
+_SYLLABLES = "ka ri to na mi lo ve sa du pe zan bor tel gra fen dor mak lin".split()
+
+_EVENT_ADJ = "Annual Grand Spring Summer Autumn Winter Downtown Community Regional International Midnight Acoustic Classical Modern Family".split()
+_EVENT_TOPICS = (
+    "Jazz Folk Blues Poetry Film Science History Art Food Wine Craft Coding "
+    "Photography Pottery Dance Theatre Chess Astronomy Robotics Gardening"
+).split()
+
+_DESC_SENTENCES = [
+    "Join us for an evening of {topic} with friends and neighbors",
+    "Doors open early and seating is limited so arrive on time",
+    "Light refreshments and drinks will be served at the venue",
+    "All ages are welcome and admission is free for students",
+    "Bring your family and enjoy live performances all night",
+    "Proceeds will benefit the local community {org_kind} fund",
+    "Parking is available behind the building on a first come basis",
+    "Tickets are available online and at the door while they last",
+    "Meet the artists after the show during the closing reception",
+    "Raffle prizes will be announced during the intermission",
+]
+
+_PROPERTY_SENTENCES = [
+    "Prime {ptype} space in the heart of {city}",
+    "Recently renovated {ptype} with modern finishes throughout",
+    "Excellent visibility and easy access to the highway",
+    "Ample on site parking with {n} dedicated spaces",
+    "Flexible floor plan suitable for retail or office use",
+    "Close to shopping dining and public transportation",
+    "New roof and HVAC installed within the last {n} years",
+    "Ideal location for a growing business or investor",
+    "Zoned for commercial use with signage opportunities",
+    "Hardwood floors large windows and abundant natural light",
+]
+
+_PROPERTY_TYPES = ["office", "retail", "warehouse", "building", "suite", "land/lot", "condo", "duplex"]
+
+
+class FakeProvider:
+    """Deterministic fake-data factory over a ``numpy`` generator."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Low-level choice helpers
+    # ------------------------------------------------------------------
+    def choice(self, items: Sequence):
+        return items[int(self.rng.integers(len(items)))]
+
+    def some(self, items: Sequence, k: int) -> List:
+        idx = self.rng.choice(len(items), size=min(k, len(items)), replace=False)
+        return [items[int(i)] for i in idx]
+
+    def chance(self, p: float) -> bool:
+        return bool(self.rng.random() < p)
+
+    def _title(self, word: str) -> str:
+        return word[:1].upper() + word[1:]
+
+    def _synth_name(self) -> str:
+        n = int(self.rng.integers(2, 4))
+        return self._title("".join(self.choice(_SYLLABLES) for _ in range(n)))
+
+    # ------------------------------------------------------------------
+    # People / organisations
+    # ------------------------------------------------------------------
+    def first_name(self) -> str:
+        if self.chance(0.2):
+            return self._synth_name()
+        return self._title(self.choice(_FIRST))
+
+    def last_name(self) -> str:
+        if self.chance(0.2):
+            return self._synth_name()
+        return self._title(self.choice(_LAST))
+
+    def person_name(self, with_prefix_p: float = 0.2) -> str:
+        name = f"{self.first_name()} {self.last_name()}"
+        if self.chance(with_prefix_p):
+            prefix = self.choice(["Dr.", "Prof.", "Mr.", "Ms.", "Mrs."])
+            name = f"{prefix} {name}"
+        return name
+
+    def org_name(self) -> str:
+        head = self._title(self.choice(_ORG_HEADS)) if self.chance(0.8) else self._synth_name()
+        kind = self.choice(_ORG_KINDS)
+        suffix = self.choice(_ORG_SUFFIX)
+        if self.chance(0.3):
+            return f"{head} {suffix}"
+        return f"{head} {kind} {suffix}"
+
+    def organizer(self) -> str:
+        """Either a person or an organisation (posters use both)."""
+        return self.person_name() if self.chance(0.45) else self.org_name()
+
+    # ------------------------------------------------------------------
+    # Places
+    # ------------------------------------------------------------------
+    def city(self) -> str:
+        return self._title(self.choice(_CITIES))
+
+    def state_abbrev(self) -> str:
+        return self.choice(_STATE_AB)
+
+    def zip_code(self) -> str:
+        return f"{int(self.rng.integers(10000, 99999)):05d}"
+
+    def street_address(self) -> str:
+        number = int(self.rng.integers(1, 9999))
+        street = self._title(self.choice(_STREETS))
+        suffix = self.choice(_STREET_SUFFIX)
+        return f"{number} {street} {suffix}"
+
+    def full_address(self, with_zip_p: float = 0.8) -> str:
+        addr = f"{self.street_address()}, {self.city()}, {self.state_abbrev()}"
+        if self.chance(with_zip_p):
+            addr += f" {self.zip_code()}"
+        return addr
+
+    def venue(self) -> str:
+        venue_word = self._title(self.choice(_VENUES))
+        owner = self._title(self.choice(_ORG_HEADS))
+        return f"{owner} {venue_word}"
+
+    # ------------------------------------------------------------------
+    # Contact details
+    # ------------------------------------------------------------------
+    def phone(self) -> str:
+        a = int(self.rng.integers(200, 989))
+        b = int(self.rng.integers(200, 999))
+        c = int(self.rng.integers(0, 9999))
+        style = int(self.rng.integers(3))
+        if style == 0:
+            return f"({a}) {b}-{c:04d}"
+        if style == 1:
+            return f"{a}-{b}-{c:04d}"
+        return f"{a}.{b}.{c:04d}"
+
+    def email(self, name: str | None = None) -> str:
+        if name is None:
+            name = f"{self.first_name()}.{self.last_name()}"
+        user = name.lower().replace(" ", ".").replace("..", ".").strip(".")
+        user = "".join(ch for ch in user if ch.isalnum() or ch in "._-")
+        domain = self.choice(
+            ["example.com", "mailhub.net", "realtypro.org", "eventmail.io", "postbox.co"]
+        )
+        return f"{user}@{domain}"
+
+    # ------------------------------------------------------------------
+    # Times / dates
+    # ------------------------------------------------------------------
+    def clock_time(self) -> str:
+        hour = int(self.rng.integers(1, 12))
+        minute = self.choice([0, 0, 15, 30, 30, 45])
+        meridiem = self.choice(["AM", "PM", "pm", "am"])
+        if minute == 0 and self.chance(0.4):
+            return f"{hour} {meridiem}"
+        return f"{hour}:{minute:02d} {meridiem}"
+
+    def date_phrase(self) -> str:
+        month = self._title(self.choice(sorted(gaz.MONTHS - {"may"})))[:].split()[0]
+        day = int(self.rng.integers(1, 28))
+        style = int(self.rng.integers(4))
+        if style == 0:
+            return f"{month} {day}"
+        if style == 1:
+            return f"{month} {day}, {int(self.rng.integers(2024, 2027))}"
+        if style == 2:
+            weekday = self._title(self.choice(sorted(gaz.WEEKDAYS)))
+            return f"{weekday}, {month} {day}"
+        return f"{int(self.rng.integers(1,12))}/{day}/{int(self.rng.integers(24,27)):02d}"
+
+    def event_time(self) -> str:
+        base = f"{self.date_phrase()} at {self.clock_time()}"
+        if self.chance(0.3):
+            base = f"{self.date_phrase()}, {self.clock_time()} - {self.clock_time()}"
+        return base
+
+    # ------------------------------------------------------------------
+    # Event fields
+    # ------------------------------------------------------------------
+    def event_title(self) -> str:
+        adj = self.choice(_EVENT_ADJ)
+        topic = self.choice(_EVENT_TOPICS)
+        kind = self._title(self.choice(_EVENT_KINDS))
+        style = int(self.rng.integers(4))
+        if style == 0:
+            return f"The {adj} {topic} {kind}"
+        if style == 1:
+            return f"{topic} {kind} {int(self.rng.integers(2024, 2027))}"
+        if style == 2:
+            return f"{adj} {topic} {kind}"
+        return f"{self.city()} {topic} {kind}"
+
+    def event_description(self, n_sentences: int = 2) -> str:
+        sentences = self.some(_DESC_SENTENCES, n_sentences)
+        topic = self.choice(_EVENT_TOPICS).lower()
+        org_kind = self.choice(_ORG_KINDS).lower()
+        return ". ".join(
+            s.format(topic=topic, org_kind=org_kind) for s in sentences
+        ) + "."
+
+    # ------------------------------------------------------------------
+    # Property fields
+    # ------------------------------------------------------------------
+    def property_size(self) -> str:
+        style = int(self.rng.integers(4))
+        if style == 0:
+            return f"{int(self.rng.integers(1, 7))} beds, {int(self.rng.integers(1, 5))} baths"
+        if style == 1:
+            sqft = int(self.rng.integers(8, 120)) * 100
+            return f"{sqft:,} sqft"
+        if style == 2:
+            acres = round(float(self.rng.uniform(0.2, 12.0)), 3)
+            return f"{acres} acres"
+        return f"{int(self.rng.integers(2, 40))},{int(self.rng.integers(0, 999)):03d} square feet"
+
+    def property_price(self) -> str:
+        amount = int(self.rng.integers(80, 4500)) * 1000
+        if self.chance(0.25):
+            return f"${amount // 1000}K"
+        return f"${amount:,}"
+
+    def property_description(self, n_sentences: int = 2) -> str:
+        sentences = self.some(_PROPERTY_SENTENCES, n_sentences)
+        return ". ".join(
+            s.format(
+                ptype=self.choice(_PROPERTY_TYPES),
+                city=self.city(),
+                n=int(self.rng.integers(2, 12)),
+            )
+            for s in sentences
+        ) + "."
+
+    def property_type(self) -> str:
+        return self.choice(_PROPERTY_TYPES)
+
+    # ------------------------------------------------------------------
+    # Form (D1) fields
+    # ------------------------------------------------------------------
+    def money_amount(self) -> str:
+        return f"{int(self.rng.integers(0, 250000)):,}"
+
+    def ssn(self) -> str:
+        return f"{int(self.rng.integers(100,999))}-{int(self.rng.integers(10,99))}-{int(self.rng.integers(1000,9999))}"
+
+    def word_gibberish(self, n: int) -> str:
+        return " ".join(self._synth_name().lower() for _ in range(n))

@@ -1,0 +1,304 @@
+"""Dataset D1: structured tax forms (NIST Special Database 6 stand-in).
+
+The real D1 holds 5595 scanned forms over 20 form faces from the 1988
+IRS 1040 package, with 1369 labelled fields in total.  This generator
+builds 20 deterministic form *faces* — fixed templates of labelled
+field rows — totalling ~1369 fields, and renders per-document instances
+with randomly filled values and mild scan jitter.
+
+The IE task matches the paper's: for every form field, extract the
+value text; field descriptors are matched by exact string comparison
+against the holdout corpus (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.colors import rgb_to_lab
+from repro.doc import Annotation, Document, ImageElement, TextElement
+from repro.geometry import BBox
+from repro.synth.layout import TextStyle, layout_label_value, layout_line, word_width
+from repro.synth.providers import FakeProvider
+
+D1_ENTITY_PREFIX = "d1_field"
+
+PAGE_W, PAGE_H = 850.0, 1100.0
+
+_FACE_SEED = 0x1040
+_N_FACES = 20
+_TOTAL_FIELDS = 1369
+
+_DESCRIPTOR_PHRASES = [
+    "Wages salaries tips etc",
+    "Taxable interest income",
+    "Tax-exempt interest income",
+    "Dividend income",
+    "Taxable refunds of state taxes",
+    "Alimony received",
+    "Business income or loss",
+    "Capital gain or loss",
+    "Capital gain distributions",
+    "Other gains or losses",
+    "Total IRA distributions",
+    "Taxable amount",
+    "Total pensions and annuities",
+    "Rents royalties partnerships",
+    "Farm income or loss",
+    "Unemployment compensation",
+    "Social security benefits",
+    "Other income",
+    "Total income",
+    "Reimbursed expenses",
+    "Your IRA deduction",
+    "Spouse IRA deduction",
+    "Self-employment tax deduction",
+    "Self-employed health insurance",
+    "Keogh retirement plan",
+    "Penalty on early withdrawal",
+    "Alimony paid",
+    "Adjusted gross income",
+    "Standard deduction",
+    "Itemized deductions",
+    "Exemption amount",
+    "Taxable income",
+    "Tax amount",
+    "Additional taxes",
+    "Credit for child care",
+    "Credit for the elderly",
+    "Foreign tax credit",
+    "General business credit",
+    "Total credits",
+    "Self-employment tax",
+    "Alternative minimum tax",
+    "Recapture taxes",
+    "Household employment taxes",
+    "Total tax",
+    "Federal income tax withheld",
+    "Estimated tax payments",
+    "Earned income credit",
+    "Amount paid with extension",
+    "Excess social security",
+    "Total payments",
+    "Amount overpaid",
+    "Amount to be refunded",
+    "Applied to estimated tax",
+    "Amount you owe",
+    "Estimated tax penalty",
+    "Medical and dental expenses",
+    "State and local taxes",
+    "Real estate taxes",
+    "Personal property taxes",
+    "Home mortgage interest",
+    "Deductible points",
+    "Investment interest",
+    "Gifts by cash or check",
+    "Gifts other than cash",
+    "Carryover from prior year",
+    "Casualty and theft losses",
+    "Unreimbursed employee expenses",
+    "Tax preparation fees",
+    "Other miscellaneous deductions",
+    "Gross receipts or sales",
+    "Returns and allowances",
+    "Cost of goods sold",
+    "Gross profit",
+    "Advertising expense",
+    "Car and truck expenses",
+    "Commissions and fees",
+    "Depletion deduction",
+    "Depreciation deduction",
+    "Employee benefit programs",
+    "Insurance other than health",
+    "Mortgage interest paid",
+    "Legal and professional services",
+    "Office expense",
+    "Pension and profit sharing",
+    "Rent or lease payments",
+    "Repairs and maintenance",
+    "Supplies expense",
+    "Taxes and licenses",
+    "Travel expense",
+    "Meals and entertainment",
+    "Utilities expense",
+    "Wages paid",
+]
+
+_VALUE_KINDS = ("money", "money", "money", "ssn", "name", "date", "check")
+
+_FORM_TITLES = [
+    "Form 1040 U.S. Individual Income Tax Return",
+    "Schedule A Itemized Deductions",
+    "Schedule B Interest and Dividend Income",
+    "Schedule C Profit or Loss From Business",
+    "Schedule D Capital Gains and Losses",
+    "Schedule E Supplemental Income and Loss",
+    "Schedule F Farm Income and Expenses",
+    "Schedule R Credit for the Elderly",
+    "Schedule SE Self-Employment Tax",
+    "Form 2106 Employee Business Expenses",
+    "Form 2441 Child and Dependent Care Expenses",
+    "Form 3800 General Business Credit",
+    "Form 4136 Credit for Federal Tax on Fuels",
+    "Form 4255 Recapture of Investment Credit",
+    "Form 4562 Depreciation and Amortization",
+    "Form 4684 Casualties and Thefts",
+    "Form 4797 Sales of Business Property",
+    "Form 6251 Alternative Minimum Tax",
+    "Form 8283 Noncash Charitable Contributions",
+    "Form 8606 Nondeductible IRA Contributions",
+]
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One field of a form face template."""
+
+    entity_type: str
+    descriptor: str
+    value_kind: str
+    column: int  # 0 = left, 1 = right
+    row: int
+
+
+@dataclass(frozen=True)
+class FormFace:
+    """A deterministic form template."""
+
+    face_id: int
+    title: str
+    fields: Tuple[FormField, ...]
+
+
+def _fields_per_face() -> List[int]:
+    base = _TOTAL_FIELDS // _N_FACES
+    counts = [base] * _N_FACES
+    for i in range(_TOTAL_FIELDS - base * _N_FACES):
+        counts[i] += 1
+    return counts
+
+
+def build_faces() -> List[FormFace]:
+    """The 20 deterministic form faces (seeded, stable across runs)."""
+    faces: List[FormFace] = []
+    counts = _fields_per_face()
+    for face_id in range(_N_FACES):
+        rng = np.random.default_rng((_FACE_SEED, face_id))
+        n_fields = counts[face_id]
+        order = rng.permutation(len(_DESCRIPTOR_PHRASES))
+        fields: List[FormField] = []
+        rows_per_col = (n_fields + 1) // 2
+        for k in range(n_fields):
+            phrase = _DESCRIPTOR_PHRASES[int(order[k % len(order)])]
+            line_no = k + 1
+            descriptor = f"{line_no} {phrase}"
+            kind = _VALUE_KINDS[int(rng.integers(len(_VALUE_KINDS)))]
+            fields.append(
+                FormField(
+                    entity_type=f"{D1_ENTITY_PREFIX}:{face_id:02d}:{line_no:03d}",
+                    descriptor=descriptor,
+                    value_kind=kind,
+                    column=0 if k < rows_per_col else 1,
+                    row=k if k < rows_per_col else k - rows_per_col,
+                )
+            )
+        faces.append(FormFace(face_id, _FORM_TITLES[face_id], tuple(fields)))
+    return faces
+
+
+_FACES_CACHE: Optional[List[FormFace]] = None
+
+
+def form_faces() -> List[FormFace]:
+    global _FACES_CACHE
+    if _FACES_CACHE is None:
+        _FACES_CACHE = build_faces()
+    return _FACES_CACHE
+
+
+def all_field_descriptors() -> Dict[str, str]:
+    """entity_type → descriptor across all faces (the paper's list of
+    1369 form fields)."""
+    return {f.entity_type: f.descriptor for face in form_faces() for f in face.fields}
+
+
+def _value_for(kind: str, fake: FakeProvider) -> str:
+    if kind == "money":
+        return fake.money_amount()
+    if kind == "ssn":
+        return fake.ssn()
+    if kind == "name":
+        return fake.person_name(with_prefix_p=0.0)
+    if kind == "date":
+        return fake.date_phrase()
+    if kind == "check":
+        return "X"
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+class TaxFormGenerator:
+    """Seeded generator of D1 form documents."""
+
+    def __init__(self, seed: int = 0, fill_rate: float = 0.95):
+        if not 0 < fill_rate <= 1:
+            raise ValueError("fill_rate must be in (0, 1]")
+        self.seed = seed
+        self.fill_rate = fill_rate
+
+    def generate(self, doc_id: str, index: int) -> Document:
+        rng = np.random.default_rng((self.seed, index, 0xD1))
+        fake = FakeProvider(rng)
+        face = form_faces()[int(rng.integers(_N_FACES))]
+
+        label_style = TextStyle(10.5, rgb_to_lab((50, 50, 50)))
+        value_style = TextStyle(11.0, rgb_to_lab((10, 10, 60)), bold=False, font_family="mono")
+        title_style = TextStyle(17.0, rgb_to_lab((20, 20, 20)), bold=True)
+
+        elements: list = []
+        annotations: List[Annotation] = []
+
+        block, tbox = layout_line(face.title, 60, 50, title_style)
+        elements += block
+        block, _ = layout_line("Department of the Treasury - Internal Revenue Service 1988", 60, 78, TextStyle(9.0, rgb_to_lab((90, 90, 90))))
+        elements += block
+        elements.append(
+            ImageElement("rule", BBox(60, 100, PAGE_W - 120, 3), rgb_to_lab((60, 60, 60)))
+        )
+
+        jitter = lambda: float(rng.uniform(-1.2, 1.2))  # noqa: E731 — scan jitter
+        col_x = {0: 60.0, 1: 460.0}
+        row_h = 26.0
+        top = 130.0
+
+        for field in face.fields:
+            x = col_x[field.column] + jitter()
+            y = top + field.row * row_h + jitter()
+            if y > PAGE_H - 50:
+                continue
+            filled = bool(rng.random() < self.fill_rate)
+            value = _value_for(field.value_kind, fake) if filled else ""
+            label_elements, label_box = layout_line(field.descriptor, x, y, label_style)
+            row_elements, row_box, value_box = layout_label_value(
+                field.descriptor, value, x, y, label_box.w + 6.0, label_style, value_style
+            )
+            elements += row_elements
+            if filled and value_box is not None:
+                annotations.append(
+                    Annotation(field.entity_type, value, row_box, field.descriptor)
+                )
+
+        doc = Document(
+            doc_id=doc_id,
+            width=PAGE_W,
+            height=PAGE_H,
+            elements=elements,
+            annotations=annotations,
+            source="scan",
+            dataset="D1",
+            metadata={"face": face.face_id, "noise": "medium"},
+        )
+        doc.validate()
+        return doc

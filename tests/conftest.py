@@ -1,0 +1,53 @@
+"""Shared fixtures: small corpora and transcriptions, session-scoped
+so the expensive generation/segmentation work runs once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ocr import OcrEngine
+from repro.ocr.deskew import deskew
+from repro.synth import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def ocr_engine():
+    return OcrEngine(seed=7)
+
+
+@pytest.fixture(scope="session")
+def d1_corpus():
+    return generate_corpus("D1", n=6, seed=1)
+
+
+@pytest.fixture(scope="session")
+def d2_corpus():
+    return generate_corpus("D2", n=8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def d3_corpus():
+    return generate_corpus("D3", n=8, seed=1)
+
+
+def _clean(corpus, engine):
+    out = []
+    for doc in corpus:
+        observed, angle = deskew(engine.transcribe(doc).as_document(doc))
+        out.append((doc, observed, angle))
+    return out
+
+
+@pytest.fixture(scope="session")
+def d1_cleaned(d1_corpus, ocr_engine):
+    return _clean(d1_corpus, ocr_engine)
+
+
+@pytest.fixture(scope="session")
+def d2_cleaned(d2_corpus, ocr_engine):
+    return _clean(d2_corpus, ocr_engine)
+
+
+@pytest.fixture(scope="session")
+def d3_cleaned(d3_corpus, ocr_engine):
+    return _clean(d3_corpus, ocr_engine)

@@ -1,0 +1,164 @@
+"""Extraction baselines (Table 7 competitors + the text-only baseline)."""
+
+import pytest
+
+from repro.baselines.extraction import (
+    ApostolovaExtractor,
+    ClausIEExtractor,
+    FsmExtractor,
+    MlBasedExtractor,
+    ReportMinerExtractor,
+    TextOnlyExtractor,
+)
+from repro.baselines.extraction.base import (
+    descriptor_extractions,
+    find_descriptor_span,
+    identify_face_from_text,
+    sentence_units,
+)
+from repro.doc import TextElement
+from repro.eval.metrics import end_to_end_scores
+from repro.geometry import BBox
+
+
+def run(extractor, cleaned, only=None):
+    results = []
+    for original, observed, angle in cleaned:
+        if only and original.source != only:
+            continue
+        from repro.core.select import Extraction
+        from repro.ocr import rotate_back
+
+        exts = [
+            Extraction(
+                e.entity_type, e.text,
+                rotate_back(e.bbox, angle, observed),
+                rotate_back(e.span_bbox, angle, observed),
+                e.score,
+            )
+            for e in extractor.extract(observed)
+        ]
+        results.append((exts, original))
+    return end_to_end_scores(results)[0]
+
+
+class TestSentenceUnits:
+    def test_units_have_words_and_boxes(self, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        units = sentence_units(observed)
+        assert units
+        for u in units:
+            assert u.words and u.bbox.area > 0
+
+    def test_span_bbox_maps_characters_to_words(self):
+        from repro.baselines.extraction.base import TextUnit
+
+        unit = TextUnit([
+            TextElement("alpha", BBox(0, 0, 50, 10)),
+            TextElement("beta", BBox(60, 0, 40, 10)),
+        ])
+        assert unit.text == "alpha beta"
+        span = unit.span_bbox(6, 10)  # "beta"
+        assert span == BBox(60, 0, 40, 10)
+
+
+class TestDescriptorMatching:
+    def test_find_descriptor_span_noisy(self):
+        words = [
+            TextElement("12", BBox(0, 0, 10, 10)),
+            TextElement("Busine5s", BBox(12, 0, 50, 10)),
+            TextElement("income", BBox(64, 0, 40, 10)),
+            TextElement("48,250", BBox(110, 0, 40, 10)),
+        ]
+        span = find_descriptor_span(words, "12 Business income")
+        assert span is not None
+        start, end, ratio = span
+        assert (start, end) == (0, 3)
+        assert ratio > 0.8
+
+    def test_face_identified_from_title(self, d1_cleaned):
+        original, observed, _ = d1_cleaned[0]
+        face = identify_face_from_text(observed)
+        assert face is not None
+        assert face.face_id == original.metadata["face"]
+
+    def test_descriptor_extractions_quality(self, d1_cleaned):
+        original, observed, _ = d1_cleaned[0]
+        extractions = descriptor_extractions(observed, sentence_units(observed))
+        assert len(extractions) >= 0.6 * len(original.annotations)
+
+
+class TestTextOnly:
+    def test_d2_extracts_most_entities(self, d2_cleaned):
+        prf = run(TextOnlyExtractor("D2"), d2_cleaned)
+        assert prf.f1 > 0.5
+
+    def test_d1_descriptor_path(self, d1_cleaned):
+        prf = run(TextOnlyExtractor("D1"), d1_cleaned)
+        assert prf.f1 > 0.8
+
+
+class TestClausIE:
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            ClausIEExtractor("D1")
+
+    def test_runs_on_d3(self, d3_cleaned):
+        prf = run(ClausIEExtractor("D3"), d3_cleaned)
+        assert prf.tp > 0  # functional, but clearly below VS2 (Table 7)
+
+
+class TestFsm:
+    def test_d1_descriptor_mode(self, d1_cleaned):
+        prf = run(FsmExtractor("D1"), d1_cleaned)
+        assert prf.f1 > 0.75
+
+    def test_d2_mined_patterns_loaded(self):
+        fsm = FsmExtractor("D2", max_holdout_entries=12)
+        assert set(fsm.patterns) == {
+            "event_title", "event_time", "event_place", "event_organizer", "event_description",
+        }
+
+
+class TestTrainedBaselines:
+    def test_ml_based_rejects_d1(self):
+        with pytest.raises(ValueError):
+            MlBasedExtractor("D1")
+
+    def test_ml_based_d3(self, d3_corpus, d3_cleaned):
+        ml = MlBasedExtractor("D3")
+        ml.fit(list(d3_corpus)[:5])
+        prf = run(ml, d3_cleaned[5:])
+        assert prf.f1 > 0.5
+
+    def test_ml_based_requires_fit(self, d3_cleaned):
+        with pytest.raises(RuntimeError):
+            MlBasedExtractor("D3").extract(d3_cleaned[0][1])
+
+    def test_apostolova_d2(self, d2_corpus, d2_cleaned):
+        ap = ApostolovaExtractor("D2")
+        ap.fit(list(d2_corpus)[:5])
+        prf = run(ap, d2_cleaned[5:])
+        assert prf.tp > 0
+
+    def test_apostolova_d1_prototypes(self, d1_corpus, d1_cleaned):
+        ap = ApostolovaExtractor("D1")
+        ap.fit(list(d1_corpus)[:4])
+        # extraction works only for faces seen in training
+        seen = {d.metadata["face"] for d in list(d1_corpus)[:4]}
+        for original, observed, angle in d1_cleaned:
+            exts = ap.extract(observed)
+            if original.metadata["face"] in seen:
+                assert exts
+
+    def test_reportminer_d1_same_face(self, d1_corpus, d1_cleaned):
+        rm = ReportMinerExtractor("D1")
+        rm.fit(list(d1_corpus))
+        prf = run(rm, d1_cleaned)
+        assert prf.f1 > 0.7  # trained on the very faces it sees
+
+    def test_reportminer_requires_annotations(self):
+        from repro.doc import Document
+
+        with pytest.raises(ValueError):
+            ReportMinerExtractor("D2").fit([Document("x", 10, 10)])

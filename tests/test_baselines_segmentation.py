@@ -1,0 +1,106 @@
+"""Segmentation baselines (Table 5 competitors)."""
+
+import pytest
+
+from repro.baselines.segmentation import (
+    html_convert,
+    text_cluster_blocks,
+    vips_blocks,
+    voronoi_blocks,
+    xycut_blocks,
+)
+from repro.doc import Document, TextElement
+from repro.eval.metrics import corpus_segmentation_scores
+from repro.geometry import BBox
+from repro.ocr import rotate_back
+
+
+def word(text, x, y, w=40, h=12):
+    return TextElement(text, BBox(x, y, w, h))
+
+
+def two_blocks_doc():
+    elements = [word("alpha", 10, 10), word("beta", 60, 10)]
+    elements += [word("gamma", 10, 200), word("delta", 60, 200)]
+    return Document("b", 300, 300, elements=elements)
+
+
+class TestXYCut:
+    def test_splits_stacked_blocks(self):
+        assert len(xycut_blocks(two_blocks_doc())) == 2
+
+    def test_splits_columns(self):
+        doc = Document(
+            "c", 500, 100,
+            elements=[word("l", 10, 10), word("r", 300, 10)],
+        )
+        assert len(xycut_blocks(doc)) == 2
+
+    def test_ignores_small_gaps(self):
+        doc = Document(
+            "d", 300, 100,
+            elements=[word("a", 10, 10), word("b", 10, 26)],  # 4px gap
+        )
+        assert len(xycut_blocks(doc)) == 1
+
+    def test_empty(self):
+        assert xycut_blocks(Document("e", 10, 10)) == []
+
+
+class TestVoronoi:
+    def test_splits_blocks(self):
+        doc = two_blocks_doc()
+        doc.elements += [word("w", 110, 10), word("x", 110, 200)]
+        blocks = voronoi_blocks(doc)
+        assert len(blocks) == 2
+
+    def test_tiny_doc_single_block(self):
+        doc = Document("t", 100, 100, elements=[word("a", 0, 0), word("b", 50, 0)])
+        assert len(voronoi_blocks(doc)) == 1
+
+
+class TestTextClusters:
+    def test_returns_boxes(self):
+        blocks = text_cluster_blocks(two_blocks_doc())
+        assert blocks and all(b.area > 0 for b in blocks)
+
+    def test_empty(self):
+        assert text_cluster_blocks(Document("e", 10, 10)) == []
+
+
+class TestVips:
+    def test_native_html_uses_dom(self, d3_corpus):
+        doc = d3_corpus[0]
+        blocks = vips_blocks(doc)
+        assert blocks and len(blocks) >= 4
+
+    def test_scan_without_html_not_applicable(self, d1_corpus):
+        assert vips_blocks(d1_corpus[0]) is None
+
+    def test_pdf_converts(self, d2_corpus):
+        pdf = [d for d in d2_corpus if d.source == "pdf"][0]
+        blocks = vips_blocks(pdf)
+        assert blocks
+
+    def test_conversion_produces_dom(self, d2_corpus):
+        pdf = [d for d in d2_corpus if d.source == "pdf"][0]
+        dom = html_convert(pdf)
+        assert dom is not None
+        assert dom.find("body") is not None
+
+
+class TestRelativeQuality:
+    def test_vs2_not_worse_than_text_baseline(self, d2_cleaned):
+        from repro.core import VS2Segmenter
+
+        seg = VS2Segmenter()
+        vs2_scores, text_scores = [], []
+        for original, observed, angle in d2_cleaned:
+            vs2 = [rotate_back(b, angle, observed) for b in seg.block_bboxes(observed)]
+            txt = [rotate_back(b, angle, observed) for b in text_cluster_blocks(observed)]
+            vs2_scores.append((vs2, original.annotations))
+            text_scores.append((txt, original.annotations))
+        assert (
+            corpus_segmentation_scores(vs2_scores).f1
+            > corpus_segmentation_scores(text_scores).f1
+        )

@@ -1,0 +1,85 @@
+"""sRGB ↔ LAB conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.colors import LabColor, delta_e, lab_to_rgb, mean_lab, rgb_to_lab
+
+channel = st.integers(min_value=0, max_value=255)
+
+
+class TestKnownValues:
+    def test_white(self):
+        lab = rgb_to_lab((255, 255, 255))
+        assert lab.l == pytest.approx(100.0, abs=0.01)
+        assert lab.a == pytest.approx(0.0, abs=0.01)
+        assert lab.b == pytest.approx(0.0, abs=0.01)
+
+    def test_black(self):
+        lab = rgb_to_lab((0, 0, 0))
+        assert lab.l == pytest.approx(0.0, abs=0.01)
+
+    def test_mid_gray_lightness(self):
+        lab = rgb_to_lab((119, 119, 119))
+        assert 49 < lab.l < 51
+        assert abs(lab.a) < 0.5 and abs(lab.b) < 0.5
+
+    def test_red_has_positive_a(self):
+        assert rgb_to_lab((255, 0, 0)).a > 50
+
+    def test_blue_has_negative_b(self):
+        assert rgb_to_lab((0, 0, 255)).b < -50
+
+    def test_green_has_negative_a(self):
+        assert rgb_to_lab((0, 255, 0)).a < -50
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_to_lab((300, 0, 0))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_to_lab((1, 2, 3, 4))  # type: ignore[arg-type]
+
+
+class TestDistance:
+    def test_delta_e_zero_for_identical(self):
+        a = rgb_to_lab((10, 120, 200))
+        assert delta_e(a, a) == 0.0
+
+    def test_delta_e_black_white(self):
+        assert delta_e(rgb_to_lab((0, 0, 0)), rgb_to_lab((255, 255, 255))) == pytest.approx(
+            100.0, abs=0.1
+        )
+
+    def test_perceptual_ordering(self):
+        red = rgb_to_lab((255, 0, 0))
+        dark_red = rgb_to_lab((200, 0, 0))
+        blue = rgb_to_lab((0, 0, 255))
+        assert delta_e(red, dark_red) < delta_e(red, blue)
+
+
+class TestMean:
+    def test_empty(self):
+        m = mean_lab([])
+        assert (m.l, m.a, m.b) == (0.0, 0.0, 0.0)
+
+    def test_average(self):
+        m = mean_lab([LabColor(0, 0, 0), LabColor(100, 20, -20)])
+        assert (m.l, m.a, m.b) == (50.0, 10.0, -10.0)
+
+
+class TestRoundTrip:
+    @given(channel, channel, channel)
+    def test_rgb_lab_rgb_round_trip(self, r, g, b):
+        out = lab_to_rgb(rgb_to_lab((r, g, b)))
+        assert abs(out[0] - r) <= 1
+        assert abs(out[1] - g) <= 1
+        assert abs(out[2] - b) <= 1
+
+    @given(channel, channel, channel)
+    def test_lab_ranges(self, r, g, b):
+        lab = rgb_to_lab((r, g, b))
+        assert -0.01 <= lab.l <= 100.01
+        assert -130 <= lab.a <= 130
+        assert -130 <= lab.b <= 130

@@ -1,0 +1,152 @@
+"""End-to-end pipeline and evaluation metrics."""
+
+import pytest
+
+from repro.core import VS2Config, VS2Pipeline
+from repro.core.config import SelectConfig
+from repro.core.select import Extraction
+from repro.doc import Annotation, Document
+from repro.eval.metrics import (
+    PRF,
+    end_to_end_scores,
+    f1_score,
+    match_extractions,
+    per_document_f1,
+    segmentation_scores,
+)
+from repro.eval.significance import paired_t_test
+from repro.geometry import BBox
+
+
+class TestPRF:
+    def test_zero_division_safe(self):
+        prf = PRF()
+        assert prf.precision == 0.0 and prf.recall == 0.0 and prf.f1 == 0.0
+
+    def test_values(self):
+        prf = PRF(tp=8, fp=2, fn=2)
+        assert prf.precision == 0.8 and prf.recall == 0.8
+        assert prf.f1 == pytest.approx(0.8)
+
+    def test_f1_score_fn(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 1.0) == 0.0
+
+
+class TestSegmentationScores:
+    def gt(self, *boxes):
+        return [Annotation("e", "x", b) for b in boxes]
+
+    def test_perfect(self):
+        boxes = [BBox(0, 0, 10, 10), BBox(50, 50, 10, 10)]
+        prf = segmentation_scores(boxes, self.gt(*boxes))
+        assert (prf.tp, prf.fp, prf.fn) == (2, 0, 0)
+
+    def test_one_to_one_matching(self):
+        """Two proposals over one GT box: only one may count."""
+        boxes = [BBox(0, 0, 10, 10), BBox(0, 0, 10, 10)]
+        prf = segmentation_scores(boxes, self.gt(BBox(0, 0, 10, 10)))
+        assert (prf.tp, prf.fp, prf.fn) == (1, 1, 0)
+
+    def test_below_threshold_not_matched(self):
+        prf = segmentation_scores([BBox(0, 0, 10, 10)], self.gt(BBox(5, 0, 10, 10)))
+        assert prf.tp == 0
+
+    def test_empty_cases(self):
+        assert segmentation_scores([], self.gt(BBox(0, 0, 1, 1))).fn == 1
+        assert segmentation_scores([BBox(0, 0, 1, 1)], []).fp == 1
+
+
+class TestMatchExtractions:
+    def test_label_and_box_must_match(self):
+        gt = [Annotation("a", "x", BBox(0, 0, 10, 10))]
+        right = [Extraction("a", "x", BBox(0, 0, 10, 10), BBox(0, 0, 10, 10), 1.0)]
+        wrong_label = [Extraction("b", "x", BBox(0, 0, 10, 10), BBox(0, 0, 10, 10), 1.0)]
+        assert match_extractions(right, gt)["a"].tp == 1
+        scores = match_extractions(wrong_label, gt)
+        assert scores["b"].fp == 1 and scores["a"].fn == 1
+
+    def test_span_box_can_satisfy_localisation(self):
+        gt = [Annotation("a", "x", BBox(0, 0, 10, 10))]
+        ext = [Extraction("a", "x", BBox(0, 0, 500, 500), BBox(0, 0, 10, 10), 1.0)]
+        assert match_extractions(ext, gt)["a"].tp == 1
+
+    def test_annotation_matched_once(self):
+        gt = [Annotation("a", "x", BBox(0, 0, 10, 10))]
+        ext = [
+            Extraction("a", "1", BBox(0, 0, 10, 10), BBox(0, 0, 10, 10), 1.0),
+            Extraction("a", "2", BBox(0, 0, 10, 10), BBox(0, 0, 10, 10), 1.0),
+        ]
+        scores = match_extractions(ext, gt)
+        assert scores["a"].tp == 1 and scores["a"].fp == 1
+
+
+class TestSignificance:
+    def test_clear_difference_significant(self):
+        a = [0.9, 0.92, 0.88, 0.91, 0.9, 0.93, 0.89, 0.9]
+        b = [0.5, 0.55, 0.52, 0.51, 0.5, 0.56, 0.53, 0.5]
+        result = paired_t_test(a, b)
+        assert result.significant()
+        assert result.mean_difference > 0.3
+
+    def test_identical_series_not_significant(self):
+        a = [0.5] * 5
+        assert not paired_t_test(a, a).significant()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [0.5])
+
+
+class TestPipeline:
+    @pytest.mark.parametrize(
+        "fixture,dataset,min_f1",
+        [("d1_corpus", "D1", 0.85), ("d2_corpus", "D2", 0.70), ("d3_corpus", "D3", 0.85)],
+    )
+    def test_end_to_end_quality(self, request, fixture, dataset, min_f1):
+        corpus = request.getfixturevalue(fixture)
+        pipeline = VS2Pipeline(dataset, ocr_engine=None)
+        results = [(pipeline.run(doc).extractions, doc) for doc in corpus]
+        overall, per_entity = end_to_end_scores(results)
+        assert overall.f1 >= min_f1, (overall, per_entity)
+
+    def test_result_structure(self, d2_corpus):
+        pipeline = VS2Pipeline("D2")
+        result = pipeline.run(d2_corpus[0])
+        assert result.doc_id == d2_corpus[0].doc_id
+        assert result.blocks
+        assert result.tree.height >= 1
+        kv = result.as_key_values()
+        assert set(kv) <= {
+            "event_title", "event_place", "event_time", "event_organizer", "event_description",
+        }
+
+    def test_pipeline_never_reads_ground_truth(self, d2_corpus):
+        doc = d2_corpus[0]
+        stripped = Document(
+            doc_id=doc.doc_id, width=doc.width, height=doc.height,
+            elements=doc.elements, annotations=[], source=doc.source,
+            dataset=doc.dataset, html=doc.html, metadata=doc.metadata,
+        )
+        a = VS2Pipeline("D2").run(doc).as_key_values()
+        b = VS2Pipeline("D2").run(stripped).as_key_values()
+        assert a == b
+
+    def test_multimodal_beats_first_match_on_d2(self, d2_corpus):
+        full = VS2Pipeline("D2")
+        cfg = VS2Config()
+        cfg.select = SelectConfig(disambiguation="none")
+        ablated = VS2Pipeline("D2", cfg)
+        f_full = end_to_end_scores([(full.run(d).extractions, d) for d in d2_corpus])[0]
+        f_abl = end_to_end_scores([(ablated.run(d).extractions, d) for d in d2_corpus])[0]
+        assert f_full.f1 >= f_abl.f1
+
+    def test_per_document_f1_series(self, d3_corpus):
+        pipeline = VS2Pipeline("D3")
+        series = per_document_f1([(pipeline.run(d).extractions, d) for d in d3_corpus])
+        assert len(series) == len(d3_corpus)
+        assert all(0.0 <= v <= 1.0 for v in series)

@@ -1,0 +1,216 @@
+"""VS2-Segment: delimiters, clustering, merging, end-to-end quality."""
+
+import pytest
+
+from repro.colors import rgb_to_lab
+from repro.core import VS2Segmenter
+from repro.core.clustering import cluster_elements
+from repro.core.config import SegmentConfig
+from repro.core.delimiters import (
+    first_inflection_index,
+    identify_visual_delimiters,
+    prefix_correlations,
+    score_cut_sets,
+)
+from repro.core.features import (
+    VISUAL_FEATURES,
+    clustering_distance_matrix,
+    element_feature_vector,
+    feature_matrix,
+    visually_separated,
+)
+from repro.core.merging import merge_threshold, semantic_merge
+from repro.doc import Document, ImageElement, TextElement
+from repro.eval.metrics import corpus_segmentation_scores
+from repro.geometry import BBox, OccupancyGrid
+from repro.geometry.cuts import interior_cut_sets
+
+
+def word(text, x, y, w=40, h=12, size=12.0, color=(25, 25, 25)):
+    return TextElement(text, BBox(x, y, w, h), font_size=size, color=rgb_to_lab(color))
+
+
+class TestFeatures:
+    def test_feature_vector_length(self):
+        v = element_feature_vector(word("a", 10, 10), BBox(0, 0, 100, 100))
+        assert len(v) == len(VISUAL_FEATURES)
+
+    def test_matrix_normalised(self):
+        m = feature_matrix([word("a", 10, 10), word("b", 60, 60)], BBox(0, 0, 100, 100))
+        assert (abs(m) <= 2.0).all()
+
+    def test_clustering_distance_word_gap_small(self):
+        a, b = word("one", 0, 0), word("two", 44, 0)  # normal word gap
+        d = clustering_distance_matrix([a, b], BBox(0, 0, 200, 20))
+        assert d[0, 1] < 0.3
+
+    def test_clustering_distance_block_gap_large(self):
+        a, b = word("one", 0, 0), word("two", 0, 80)
+        d = clustering_distance_matrix([a, b], BBox(0, 0, 200, 100))
+        assert d[0, 1] > 0.8
+
+    def test_clustering_distance_style_matters(self):
+        a = word("one", 0, 0)
+        b = word("two", 0, 18, size=30, h=30, color=(150, 20, 20))
+        c = word("three", 0, 18)
+        d = clustering_distance_matrix([a, b, c], BBox(0, 0, 200, 60))
+        assert d[0, 1] > d[0, 2]
+
+    def test_visually_separated_by_third_element(self):
+        a, b = word("a", 0, 0), word("b", 200, 0)
+        wall = word("wall", 90, 0, w=40)
+        assert visually_separated(a, b, [a, wall, b])
+
+    def test_background_image_not_a_separator(self):
+        a, b = word("a", 10, 10), word("b", 100, 10)
+        banner = ImageElement("banner", BBox(0, 0, 300, 50))
+        assert not visually_separated(a, b, [a, b, banner])
+
+
+class TestDelimiters:
+    def grid_and_boxes(self, gaps):
+        """Stacked 12-px lines separated by the given gaps."""
+        boxes = []
+        y = 0.0
+        for gap in gaps:
+            boxes.append(BBox(0, y, 300, 12))
+            y += 12 + gap
+        boxes.append(BBox(0, y, 300, 12))
+        grid = OccupancyGrid.from_bboxes(boxes, 300, y + 12, cell=4)
+        return grid, boxes
+
+    def test_uniform_row_gaps_all_delimit(self):
+        grid, boxes = self.grid_and_boxes([16, 16, 16])
+        cuts = interior_cut_sets(grid, "horizontal")
+        accepted = identify_visual_delimiters(cuts, boxes, min_gap_ratio=0.6)
+        assert len(accepted) == 3
+
+    def test_small_gaps_rejected_by_floor(self):
+        grid, boxes = self.grid_and_boxes([4, 4])
+        cuts = interior_cut_sets(grid, "horizontal")
+        accepted = identify_visual_delimiters(cuts, boxes, min_gap_ratio=0.6)
+        assert accepted == []
+
+    def test_wide_separator_beats_line_spacing(self):
+        grid, boxes = self.grid_and_boxes([6, 60, 6])
+        cuts = interior_cut_sets(grid, "horizontal")
+        accepted = identify_visual_delimiters(cuts, boxes, min_gap_ratio=0.6)
+        assert len(accepted) == 1
+        assert accepted[0].span_units >= 48
+
+    def test_empty_inputs(self):
+        assert identify_visual_delimiters([], [], 0.6) == []
+
+    def test_scoring_uses_neighbour_height(self):
+        grid, boxes = self.grid_and_boxes([20])
+        cuts = interior_cut_sets(grid, "horizontal")
+        scored = score_cut_sets(cuts, boxes)
+        assert scored and scored[0].normalized_width > 0
+
+    def test_prefix_correlations_length(self):
+        grid, boxes = self.grid_and_boxes([16, 16, 16])
+        cuts = interior_cut_sets(grid, "horizontal")
+        scored = score_cut_sets(cuts, boxes)
+        assert len(prefix_correlations(scored)) == max(len(scored) - 1, 0)
+
+    def test_inflection_index(self):
+        assert first_inflection_index([10, 9, 1, 0.9, 0.8]) is not None
+        assert first_inflection_index([1, 1]) is None
+
+
+class TestClustering:
+    def test_paragraph_stays_whole(self):
+        elements = [word(f"w{i}", (i % 5) * 46, (i // 5) * 16) for i in range(15)]
+        clusters = cluster_elements(elements, BBox(0, 0, 300, 60))
+        assert len(clusters) == 1
+
+    def test_distinct_styles_split(self):
+        title = [word(t, 10 + i * 110, 0, w=100, h=40, size=40) for i, t in enumerate(["Big", "Title"])]
+        body = [word(t, 10 + i * 46, 44, h=11, size=11, color=(90, 90, 90)) for i, t in enumerate(["small", "body", "text"])]
+        clusters = cluster_elements(title + body, BBox(0, 0, 300, 60))
+        assert len(clusters) == 2
+
+    def test_empty(self):
+        assert cluster_elements([], BBox(0, 0, 10, 10)) == []
+
+    def test_singleton(self):
+        assert len(cluster_elements([word("a", 0, 0)], BBox(0, 0, 100, 20))) == 1
+
+
+class TestMerging:
+    def test_threshold_schedule(self):
+        cfg = SegmentConfig()
+        assert merge_threshold(0, cfg) == 0.0
+        assert merge_threshold(5, cfg) == pytest.approx(0.5)
+        assert merge_threshold(2, cfg) < merge_threshold(4, cfg)
+
+    def test_merge_repairs_styled_lead_split(self):
+        """A styled lead line over a same-topic paragraph re-merges."""
+        lead = [word(t, 10 + i * 80, 0, w=70, h=18, size=18, color=(140, 20, 30))
+                for i, t in enumerate(["Free", "admission", "tonight!"])]
+        body = [word(t, 10 + (i % 6) * 48, 24 + (i // 6) * 15, h=11, size=11)
+                for i, t in enumerate(
+                    "join us for an evening of jazz music tickets at the door".split())]
+        far = [word(t, 10 + i * 48, 300, h=11, size=11)
+               for i, t in enumerate("call the broker hotline".split())]
+        doc = Document("m-1", 400, 400, elements=lead + body + far)
+        tree = VS2Segmenter().segment(doc)
+        blocks = [b for b in tree.logical_blocks() if b.text_atoms]
+        texts = [b.text() for b in blocks]
+        assert any("admission" in t and "jazz" in t for t in texts), texts
+
+    def test_semantically_distinct_neighbours_stay_split(self):
+        title = [word(t, 10 + i * 110, 0, w=100, h=36, size=36, color=(140, 20, 30))
+                 for i, t in enumerate(["Jazz", "Festival"])]
+        when = [word(t, 10 + i * 52, 40, h=14, size=14)
+                for i, t in enumerate(["Friday,", "Mar", "4", "at", "9:15", "am"])]
+        doc = Document("m-2", 500, 120, elements=title + when)
+        tree = VS2Segmenter().segment(doc)
+        blocks = [b.text() for b in tree.logical_blocks() if b.text_atoms]
+        assert len(blocks) >= 2
+
+    def test_merge_counter(self):
+        doc = Document("m-3", 100, 50, elements=[word("solo", 10, 10)])
+        tree = VS2Segmenter(SegmentConfig(use_semantic_merging=False)).segment(doc)
+        assert semantic_merge(tree, SegmentConfig()) == 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "fixture,min_p,min_r",
+        [("d1_cleaned", 0.80, 0.90), ("d2_cleaned", 0.75, 0.85), ("d3_cleaned", 0.70, 0.90)],
+    )
+    def test_segmentation_quality(self, request, fixture, min_p, min_r):
+        cleaned = request.getfixturevalue(fixture)
+        seg = VS2Segmenter()
+        per_doc = []
+        from repro.ocr import rotate_back
+
+        for original, observed, angle in cleaned:
+            boxes = [rotate_back(b, angle, observed) for b in seg.block_bboxes(observed)]
+            per_doc.append((boxes, original.annotations))
+        prf = corpus_segmentation_scores(per_doc)
+        assert prf.precision >= min_p
+        assert prf.recall >= min_r
+
+    def test_rotation_robustness_without_deskew(self, d2_corpus, ocr_engine):
+        """§5.1.2 claims robustness to rotation: segmentation on the raw
+        rotated capture must still find most blocks (slanted cuts)."""
+        mobile = [d for d in d2_corpus if d.source == "mobile"][:4]
+        seg = VS2Segmenter()
+        per_doc = []
+        for doc in mobile:
+            observed = ocr_engine.transcribe(doc).as_document(doc)
+            per_doc.append((seg.block_bboxes(observed), doc.annotations))
+        prf = corpus_segmentation_scores(per_doc)
+        assert prf.recall >= 0.5
+
+    def test_tree_is_well_nested(self, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        tree = VS2Segmenter().segment(observed)
+        tree.validate_nesting()
+
+    def test_ablation_flags_respected(self, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        tree = VS2Segmenter(SegmentConfig(use_visual_clustering=False)).segment(observed)
+        assert all(n.kind != "cluster" for n in tree.walk())

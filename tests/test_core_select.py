@@ -1,0 +1,221 @@
+"""VS2-Select: patterns, interest points, disambiguation, extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import VS2Segmenter, VS2Selector
+from repro.core.config import SelectConfig
+from repro.core.disambiguate import Eq2Weights, multimodal_distance, rank_candidates
+from repro.core.interest_points import block_objectives, select_interest_points
+from repro.core.patterns import (
+    CURATED_PATTERNS,
+    compile_mined_pattern,
+    curated_pattern_for,
+    mine_entity_patterns,
+)
+from repro.doc import LayoutNode, TextElement
+from repro.geometry import BBox
+
+
+def word(text, x, y, w=40, h=12, size=12.0):
+    return TextElement(text, BBox(x, y, w, h), font_size=size)
+
+
+def block(texts, x, y, h=12, size=12.0):
+    atoms = [word(t, x + i * (len(t) * 7 + 5), y, w=len(t) * 7, h=h, size=size) for i, t in enumerate(texts)]
+    node = LayoutNode(BBox(x, y, 10, 10), atoms, kind="cluster")
+    node.refit_bbox()
+    return node
+
+
+class TestCuratedPatterns:
+    def find(self, entity, text):
+        return curated_pattern_for(entity).find(text)
+
+    def test_unknown_entity(self):
+        with pytest.raises(KeyError):
+            curated_pattern_for("nonsense")
+
+    def test_time_pattern(self):
+        matches = self.find("event_time", "When: Friday, Mar 4 at 9:15 am")
+        assert matches and "9:15" in matches[0].text
+
+    def test_place_pattern_geocode(self):
+        matches = self.find("event_place", "at 123 Maple Street, Columbus, OH 43210")
+        assert matches and matches[0].strength > 0.8
+
+    def test_place_pattern_venue_fallback(self):
+        matches = self.find("event_place", "Venue: Acme Librory, 1968 Hikory Lxne")
+        assert matches  # noisy address still matches via the venue line
+
+    def test_organizer_promoted_by_verb(self):
+        matches = self.find("event_organizer", "Hosted by the Acme Arts Foundation")
+        assert matches and matches[0].strength > 0.9
+
+    def test_organizer_skips_place_lines(self):
+        matches = self.find("event_organizer", "Venue: Acme Library, 1968 Hickory Lane, Fresno")
+        assert matches == []
+
+    def test_title_accepts_proper_noun_np(self):
+        assert self.find("event_title", "Midnight Film Hackathon")
+
+    def test_title_rejects_schedule_lines(self):
+        assert self.find("event_title", "Date & Time: Nov 8 at 5:30 PM") == []
+
+    def test_title_rejects_sentences(self):
+        assert self.find("event_title", "Join us tonight. Bring your friends.") == []
+
+    def test_title_rejects_organizer_lines(self):
+        assert self.find("event_title", "Hosted by Kevin Roberts") == []
+
+    def test_title_block_scope_returns_whole_text(self):
+        text = "Grand Jazz Festival"
+        matches = self.find("event_title", text)
+        assert matches[0].text == text
+
+    def test_description_needs_verbosity(self):
+        assert self.find("event_description", "Jazz Festival") == []
+        long = ("Join us for an evening of jazz with friends and neighbors. "
+                "Light refreshments and drinks will be served at the venue.")
+        assert self.find("event_description", long)
+
+    def test_phone_pattern(self):
+        matches = self.find("broker_phone", "Phone: (614) 555-0199")
+        assert matches and matches[0].text == "(614) 555-0199"
+
+    def test_email_pattern(self):
+        matches = self.find("broker_email", "Email: jane.doe@realtypro.org")
+        assert matches and "@" in matches[0].text
+
+    def test_broker_name_ngram(self):
+        matches = self.find("broker_name", "Listed by: Jessica Hughes - Acme Realty")
+        assert any("Jessica" in m.text for m in matches)
+
+    def test_size_pattern_units(self):
+        for text in ("4,698 square feet", "11.5 acres", "4 beds, 2 baths"):
+            assert self.find("property_size", text), text
+
+    def test_size_rejects_plain_numbers(self):
+        assert self.find("property_size", "founded in 1988 by volunteers") == []
+
+    def test_property_description(self):
+        text = ("Prime retail space in the heart of Columbus. Recently renovated "
+                "building with modern finishes throughout and parking.")
+        assert self.find("property_description", text)
+
+    def test_ocr_repair_applied(self):
+        matches = self.find("broker_phone", "Phone: (6l4) 555-0l99")
+        assert matches  # l→1 repair inside the pattern layer
+
+
+class TestMinedPatterns:
+    def test_mined_time_patterns_match_times(self):
+        entries = [
+            "Friday, Mar 4 at 9:15 am", "April 2, 2025 at 7 pm", "Sunday, Jun 1 at noon",
+            "Monday, Jan 5 at 8:30 pm", "Oct 12 at 6 pm", "Saturday, Feb 7 at 5 pm",
+        ]
+        mined = mine_entity_patterns(entries, min_support_fraction=0.5)
+        assert mined
+        pattern = compile_mined_pattern(mined)
+        assert pattern.find("doors at Friday, Mar 21 at 8:00 pm for all")
+        assert not pattern.find("a plain sentence about nothing at all")
+
+    def test_mined_pattern_empty_holdout(self):
+        assert mine_entity_patterns([]) == []
+        assert compile_mined_pattern([]).find("anything") == []
+
+
+class TestInterestPoints:
+    def test_title_like_block_selected(self):
+        title = block(["Grand", "Jazz", "Festival"], 100, 20, h=40, size=40)
+        body = block(["join", "us", "for", "music", "and", "more"], 60, 200)
+        points = select_interest_points([title, body])
+        assert title in points
+
+    def test_empty_blocks_skipped(self):
+        empty = LayoutNode(BBox(0, 0, 50, 50))
+        assert select_interest_points([empty]) == []
+
+    def test_objectives_signs(self):
+        b = block(["dense", "words", "here"], 0, 0)
+        o = block_objectives(b)
+        assert o.height > 0 and o.negated_density <= 0
+
+
+class TestEq2:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Eq2Weights(0.5, 0.5, 0.5, 0.5)
+
+    def test_distance_zero_for_same_block(self):
+        b = block(["alpha", "beta"], 10, 10)
+        w = Eq2Weights(0.25, 0.25, 0.25, 0.25)
+        assert multimodal_distance(b, b, w, page_diag=1000) == pytest.approx(0.0, abs=0.05)
+
+    def test_distance_grows_with_separation(self):
+        a = block(["alpha", "beta"], 10, 10)
+        near = block(["alpha", "gamma"], 10, 40)
+        far = block(["totally", "different", "words", "indeed"], 600, 900)
+        w = Eq2Weights(0.25, 0.25, 0.25, 0.25)
+        assert multimodal_distance(a, near, w, 1000) < multimodal_distance(a, far, w, 1000)
+
+    def test_rank_candidates_prefers_interest_point(self):
+        ip = block(["Big", "Title"], 100, 10, h=40, size=40)
+        c1 = block(["Big", "Title"], 100, 10, h=40, size=40)
+        c2 = block(["tiny", "note"], 500, 800)
+        order = rank_candidates([c2, c1], [ip], Eq2Weights(0.25, 0.25, 0.25, 0.25), 1000)
+        assert order[0] == 1
+
+    def test_no_interest_points_infinite(self):
+        from repro.core.disambiguate import distance_to_interest_points
+
+        b = block(["x", "y"], 0, 0)
+        assert distance_to_interest_points(b, [], Eq2Weights(0.25, 0.25, 0.25, 0.25), 100) == float("inf")
+
+
+class TestSelectorModes:
+    def make_selector(self, mode):
+        return VS2Selector("D2", SelectConfig(disambiguation=mode))
+
+    def test_invalid_mode_raises(self, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        blocks = VS2Segmenter().segment(observed).logical_blocks()
+        selector = self.make_selector("bogus")
+        with pytest.raises(ValueError):
+            selector.extract(observed, blocks)
+
+    @pytest.mark.parametrize("mode", ["multimodal", "none", "lesk"])
+    def test_modes_run(self, mode, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        blocks = VS2Segmenter().segment(observed).logical_blocks()
+        extractions = self.make_selector(mode).extract(observed, blocks)
+        assert extractions
+        types = {e.entity_type for e in extractions}
+        assert types <= set(CURATED_PATTERNS)
+
+    def test_extractions_carry_boxes(self, d3_cleaned):
+        _, observed, _ = d3_cleaned[0]
+        blocks = VS2Segmenter().segment(observed).logical_blocks()
+        for e in VS2Selector("D3").extract(observed, blocks):
+            assert e.bbox.area > 0
+            assert e.text
+
+
+class TestD1Selector:
+    def test_extracts_field_values(self, d1_cleaned):
+        original, observed, _ = d1_cleaned[0]
+        blocks = VS2Segmenter().segment(observed).logical_blocks()
+        extractions = VS2Selector("D1").extract(observed, blocks)
+        assert len(extractions) >= 0.8 * len(original.annotations)
+        gt = {a.entity_type: a for a in original.annotations}
+        hits = sum(
+            1 for e in extractions if e.entity_type in gt and gt[e.entity_type].bbox.iou(e.bbox) > 0.65
+        )
+        assert hits >= 0.8 * len(extractions)
+
+    def test_face_identification_required(self):
+        selector = VS2Selector("D1")
+        from repro.doc import Document
+
+        empty = Document("x", 100, 100)
+        assert selector.extract(empty, []) == []

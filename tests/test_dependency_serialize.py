@@ -1,0 +1,123 @@
+"""Dependency parsing and document serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patterns import mine_entity_patterns
+from repro.doc.serialize import (
+    document_from_dict,
+    document_to_dict,
+    load_documents,
+    save_documents,
+)
+from repro.nlp.dependency import dependency_mining_tree, parse_dependencies
+
+
+class TestDependencyParser:
+    def nodes(self, text):
+        return parse_dependencies(text)
+
+    def arc(self, nodes, child_text):
+        node = next(n for n in nodes if n.token.text == child_text)
+        head = nodes[node.head].token.text if node.head >= 0 else "ROOT"
+        return head, node.relation
+
+    def test_svo(self):
+        nodes = self.nodes("The club hosted a big concert")
+        assert self.arc(nodes, "hosted") == ("ROOT", "root")
+        assert self.arc(nodes, "club") == ("hosted", "nsubj")
+        assert self.arc(nodes, "concert") == ("hosted", "obj")
+        assert self.arc(nodes, "big") == ("concert", "amod")
+        assert self.arc(nodes, "The") == ("club", "det")
+
+    def test_prepositional_attachment(self):
+        nodes = self.nodes("Hosted by the Acme Society")
+        assert self.arc(nodes, "by") == ("Hosted", "prep")
+        assert self.arc(nodes, "Society") == ("by", "pobj")
+        assert self.arc(nodes, "Acme") == ("Society", "compound")
+
+    def test_single_root(self):
+        for text in ("a plain noun phrase", "run", "Jazz Night 2025"):
+            nodes = self.nodes(text)
+            roots = [n for n in nodes if n.head == -1]
+            assert len(roots) == 1, text
+
+    def test_empty(self):
+        assert self.nodes("") == []
+
+    def test_every_head_reaches_root(self):
+        nodes = self.nodes("Join us for an evening of jazz at the Metro Hall")
+        root = next(i for i, n in enumerate(nodes) if n.head == -1)
+        for i in range(len(nodes)):
+            seen, j = set(), i
+            while j != root:
+                assert j not in seen, "cycle"
+                seen.add(j)
+                j = nodes[j].head
+                assert j != -1 or j == root
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60))
+    def test_never_crashes(self, text):
+        nodes = parse_dependencies(text)
+        if nodes:
+            assert sum(1 for n in nodes if n.head == -1) == 1
+
+    def test_mining_tree_roundtrips(self):
+        tree = dependency_mining_tree("The club hosted a concert")
+        assert tree.labels[0].startswith("root:")
+        from repro.mining.trees import decode_tree
+
+        decode_tree(tree.encode())  # valid encoding
+
+    def test_dependency_mining_source(self):
+        entries = [
+            "Hosted by the Acme Society",
+            "Presented by Jordan Smith",
+            "Organized by the Metro Club",
+            "Hosted by Liberty Partners",
+        ]
+        mined = mine_entity_patterns(entries, 0.5, tree_source="dependency")
+        assert mined
+        assert any("pobj" in " ".join(p.encoding) for p in mined)
+
+    def test_bad_tree_source(self):
+        with pytest.raises(ValueError):
+            mine_entity_patterns(["x"], tree_source="constituency")
+
+
+class TestSerialization:
+    def test_document_roundtrip(self, d2_corpus):
+        doc = d2_corpus[0]
+        back = document_from_dict(document_to_dict(doc))
+        assert back.doc_id == doc.doc_id
+        assert [e.text for e in back.text_elements] == [e.text for e in doc.text_elements]
+        assert [e.bbox for e in back.elements] == [e.bbox for e in doc.elements]
+        assert [a.entity_type for a in back.annotations] == [
+            a.entity_type for a in doc.annotations
+        ]
+
+    def test_jsonl_stream_roundtrip(self, d3_corpus):
+        buf = io.StringIO()
+        n = save_documents(list(d3_corpus)[:3], buf)
+        assert n == 3
+        buf.seek(0)
+        docs = load_documents(buf)
+        assert len(docs) == 3
+        assert docs[1].doc_id == d3_corpus[1].doc_id
+
+    def test_pipeline_runs_on_deserialised_document(self, d2_corpus):
+        """The adopter path: external JSON in, extractions out."""
+        from repro.core import VS2Pipeline
+
+        doc = document_from_dict(document_to_dict(d2_corpus[0]))
+        original = VS2Pipeline("D2").run(d2_corpus[0]).as_key_values()
+        roundtripped = VS2Pipeline("D2").run(doc).as_key_values()
+        assert roundtripped == original
+
+    def test_field_descriptor_preserved(self, d1_corpus):
+        doc = d1_corpus[0]
+        back = document_from_dict(document_to_dict(doc))
+        assert back.annotations[0].field_descriptor == doc.annotations[0].field_descriptor

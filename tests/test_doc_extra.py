@@ -1,0 +1,90 @@
+"""Extra coverage: interest points on corpora, Eq. 2 weight table,
+holdout normality on realistic data, reportminer signature geometry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.extraction.reportminer import layout_signature
+from repro.core import VS2Segmenter
+from repro.core.config import SelectConfig
+from repro.core.holdout import (
+    build_holdout_corpus,
+    distribution_is_approximately_normal,
+    pattern_distribution,
+)
+from repro.core.interest_points import interest_point_matrix, select_interest_points
+from repro.doc import Document, TextElement
+from repro.geometry import BBox
+
+
+class TestInterestPointsOnCorpora:
+    def test_front_is_proper_subset_on_posters(self, d2_cleaned):
+        seg = VS2Segmenter()
+        proper = 0
+        for _, observed, _ in d2_cleaned:
+            blocks = [b for b in seg.segment(observed).logical_blocks() if b.text_atoms]
+            points = select_interest_points(blocks)
+            assert points
+            if len(points) < len(blocks):
+                proper += 1
+        assert proper >= len(d2_cleaned) // 2  # usually a strict subset
+
+    def test_objective_matrix_shape(self, d2_cleaned):
+        seg = VS2Segmenter()
+        _, observed, _ = d2_cleaned[0]
+        blocks = [b for b in seg.segment(observed).logical_blocks() if b.text_atoms]
+        m = interest_point_matrix(blocks)
+        assert m.shape == (len(blocks), 3)
+
+
+class TestSelectConfigWeights:
+    def test_default_weights_follow_section_5_3_2(self):
+        cfg = SelectConfig()
+        a, b, g, v = cfg.eq2_weights["D2"]
+        # visually ornate corpus: visual terms >= textual term
+        assert min(a, b, v) >= g
+        for ds in ("D1", "D3"):
+            w = cfg.eq2_weights[ds]
+            assert max(w) - min(w) < 0.11  # balanced
+
+    def test_all_weight_rows_sum_to_one(self):
+        for w in SelectConfig().eq2_weights.values():
+            assert sum(w) == pytest.approx(1.0)
+
+
+class TestHoldoutNormality:
+    def test_normality_on_synthetic_normalish_counts(self):
+        from collections import Counter
+
+        rng = np.random.default_rng(0)
+        counts = Counter(
+            {("P", str(i)): max(1, int(v)) for i, v in enumerate(rng.normal(40, 5, 30))}
+        )
+        assert distribution_is_approximately_normal(counts)
+
+    def test_d2_holdout_pattern_distribution_nontrivial(self):
+        corpus = build_holdout_corpus("D2", max_entries_per_entity=25)
+        counts = pattern_distribution(corpus.texts_for("event_time"))
+        assert len(counts) >= 2  # multiple surface patterns per entity
+
+
+class TestLayoutSignature:
+    def doc_with_cluster(self, x, y):
+        words = [
+            TextElement(f"w{i}", BBox(x + i * 30.0, y, 25.0, 10.0)) for i in range(6)
+        ]
+        return Document("s", 850, 1100, elements=words)
+
+    def test_signature_normalised(self):
+        sig = layout_signature(self.doc_with_cluster(100, 100))
+        assert np.isfinite(sig).all()
+
+    def test_same_layout_same_signature(self):
+        a = layout_signature(self.doc_with_cluster(100, 100))
+        b = layout_signature(self.doc_with_cluster(100, 100))
+        assert np.allclose(a, b)
+
+    def test_different_layouts_differ(self):
+        a = layout_signature(self.doc_with_cluster(100, 100))
+        b = layout_signature(self.doc_with_cluster(500, 900))
+        assert float(np.abs(a - b).sum()) > 0.1

@@ -1,0 +1,137 @@
+"""Document model: elements, annotations, documents, reading order."""
+
+import pytest
+
+from repro.colors import rgb_to_lab
+from repro.doc import Annotation, Document, ImageElement, TextElement
+from repro.doc.document import group_into_lines, join_in_reading_order
+from repro.geometry import BBox
+
+
+def word(text, x, y, w=40, h=12, **kw):
+    return TextElement(text, BBox(x, y, w, h), **kw)
+
+
+class TestTextElement:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            TextElement("", BBox(0, 0, 10, 10))
+
+    def test_nonpositive_font_rejected(self):
+        with pytest.raises(ValueError):
+            TextElement("x", BBox(0, 0, 10, 10), font_size=0)
+
+    def test_with_text_preserves_geometry(self):
+        w = word("hello", 5, 6)
+        v = w.with_text("he11o")
+        assert v.text == "he11o" and v.bbox == w.bbox
+
+    def test_ids_unique(self):
+        assert word("a", 0, 0).element_id != word("a", 0, 0).element_id
+
+    def test_is_textual(self):
+        assert word("a", 0, 0).is_textual
+        assert not ImageElement("art", BBox(0, 0, 5, 5)).is_textual
+
+
+class TestImageElement:
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError):
+            ImageElement("art", BBox(0, 0, 0, 5))
+
+
+class TestAnnotation:
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            Annotation("", "text", BBox(0, 0, 1, 1))
+
+    def test_matches_box(self):
+        a = Annotation("t", "x", BBox(0, 0, 100, 20))
+        assert a.matches_box(BBox(2, 1, 98, 19))
+        assert not a.matches_box(BBox(50, 0, 100, 20))
+
+
+class TestDocument:
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Document("d", 0, 100)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            Document("d", 100, 100, source="fax")
+
+    def test_text_and_image_partition(self):
+        doc = Document(
+            "d", 200, 100,
+            elements=[word("a", 0, 0), ImageElement("i", BBox(0, 50, 10, 10))],
+        )
+        assert len(doc.text_elements) == 1
+        assert len(doc.image_elements) == 1
+
+    def test_elements_in_majority_overlap(self):
+        doc = Document("d", 200, 100, elements=[word("a", 0, 0, w=40)])
+        assert doc.elements_in(BBox(0, 0, 100, 50)) != []
+        # only 25% of the word inside -> excluded at the 0.5 default
+        assert doc.elements_in(BBox(30, 0, 100, 50)) == []
+
+    def test_text_of_region(self):
+        doc = Document(
+            "d", 400, 100,
+            elements=[word("right", 200, 10), word("left", 10, 10)],
+        )
+        assert doc.text_of(BBox(0, 0, 400, 100)) == "left right"
+
+    def test_validate_rejects_far_off_page(self):
+        doc = Document("d", 100, 100, elements=[word("x", 900, 900)])
+        with pytest.raises(ValueError):
+            doc.validate()
+
+    def test_annotations_of(self):
+        doc = Document(
+            "d", 100, 100,
+            annotations=[
+                Annotation("a", "1", BBox(0, 0, 5, 5)),
+                Annotation("b", "2", BBox(10, 0, 5, 5)),
+                Annotation("a", "3", BBox(20, 0, 5, 5)),
+            ],
+        )
+        assert len(doc.annotations_of("a")) == 2
+        assert doc.entity_types() == ["a", "b"]
+
+
+class TestReadingOrder:
+    def test_lines_grouped_by_vertical_centroid(self):
+        words = [word("b", 0, 20), word("a", 0, 0), word("c", 50, 21)]
+        lines = group_into_lines(words)
+        assert [w.text for w in lines[0]] == ["a"]
+        assert [w.text for w in lines[1]] == ["b", "c"]
+
+    def test_left_to_right_within_line(self):
+        words = [word("two", 100, 0), word("one", 0, 0)]
+        assert join_in_reading_order(words) == "one two"
+
+    def test_columns_interleave(self):
+        """Side-by-side columns interleave in whole-page reading order —
+        the Fig. 3 failure mode the paper builds on."""
+        words = [
+            word("L1", 0, 0), word("L2", 0, 20),
+            word("R1", 300, 1), word("R2", 300, 21),
+        ]
+        assert join_in_reading_order(words) == "L1 R1\nL2 R2"
+
+    def test_empty(self):
+        assert join_in_reading_order([]) == ""
+
+
+class TestFullTextVsBlockText:
+    def test_block_scoped_text_restores_context(self):
+        doc = Document(
+            "d", 600, 100,
+            elements=[
+                word("alpha", 0, 0), word("beta", 0, 20),
+                word("gamma", 300, 0), word("delta", 300, 20),
+            ],
+        )
+        assert doc.full_text() == "alpha gamma\nbeta delta"
+        assert doc.text_of(BBox(0, 0, 200, 100)) == "alpha\nbeta"
+        assert doc.text_of(BBox(250, 0, 350, 100)) == "gamma\ndelta"

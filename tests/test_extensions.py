@@ -1,0 +1,108 @@
+"""The paper's §7 future-work extensions implemented in this repo:
+Eq. 2 weight learning and the font-type clustering feature."""
+
+import pytest
+
+from repro.core.config import SegmentConfig
+from repro.core.features import _font_type_distance, clustering_distance_matrix
+from repro.core.weight_learning import (
+    WeightLearningResult,
+    candidate_weight_grid,
+    learn_eq2_weights,
+)
+from repro.doc import ImageElement, TextElement
+from repro.geometry import BBox
+
+
+class TestWeightGrid:
+    def test_grid_on_simplex(self):
+        for w in candidate_weight_grid(0.25):
+            assert sum(w) == pytest.approx(1.0)
+            assert all(v >= 0 for v in w)
+
+    def test_grid_size(self):
+        assert len(candidate_weight_grid(0.25)) == 35  # C(4+4-1, 3)
+        assert len(candidate_weight_grid(0.5)) == 10
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            candidate_weight_grid(0.0)
+
+
+class TestWeightLearning:
+    def test_learns_reasonable_weights(self, d2_cleaned):
+        dev = [(orig, obs, angle) for orig, obs, angle in d2_cleaned[:5]]
+        result = learn_eq2_weights("D2", dev, step=0.5)
+        assert isinstance(result, WeightLearningResult)
+        assert sum(result.weights) == pytest.approx(1.0)
+        assert result.f1 > 0.5
+        assert result.tried == 10
+
+    def test_learned_weights_not_worse_than_default(self, d2_cleaned):
+        """Learning on the dev split can only match or beat the §5.3.2
+        hand-set weights *on that split* (the default is in the grid's
+        convex hull but (0.3,0.3,0.1,0.3) isn't on the 0.25-grid, so we
+        compare against the measured default instead)."""
+        from repro.core import VS2Segmenter, VS2Selector
+        from repro.core.select import Extraction
+        from repro.eval.metrics import end_to_end_scores
+        from repro.ocr import rotate_back
+
+        dev = [(orig, obs, angle) for orig, obs, angle in d2_cleaned[:5]]
+        learned = learn_eq2_weights("D2", dev, step=0.25)
+
+        seg = VS2Segmenter()
+        selector = VS2Selector("D2")
+        results = []
+        for orig, obs, angle in dev:
+            blocks = seg.segment(obs).logical_blocks()
+            exts = [
+                Extraction(e.entity_type, e.text, rotate_back(e.bbox, angle, obs),
+                           rotate_back(e.span_bbox, angle, obs), e.score)
+                for e in selector.extract(obs, blocks)
+            ]
+            results.append((exts, orig))
+        default_f1 = end_to_end_scores(results)[0].f1
+        assert learned.f1 >= default_f1 - 1e-9
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            learn_eq2_weights("D1", [])
+
+
+class TestFontTypeFeature:
+    def word(self, **kw):
+        defaults = dict(text="x", bbox=BBox(0, 0, 10, 10))
+        defaults.update(kw)
+        return TextElement(**defaults)
+
+    def test_distance_components(self):
+        a = self.word()
+        same = self.word()
+        bolded = self.word(bold=True)
+        other_face = self.word(font_family="mono", bold=True, italic=True)
+        assert _font_type_distance(a, same) == 0.0
+        assert _font_type_distance(a, bolded) == pytest.approx(1 / 3)
+        assert _font_type_distance(a, other_face) == 1.0
+
+    def test_images_score_zero(self):
+        img = ImageElement("art", BBox(0, 0, 5, 5))
+        assert _font_type_distance(self.word(), img) == 0.0
+
+    def test_weight_changes_matrix(self):
+        a = self.word(text="a", bbox=BBox(0, 0, 40, 12))
+        b = self.word(text="b", bbox=BBox(46, 0, 40, 12), bold=True, font_family="mono")
+        frame = BBox(0, 0, 100, 20)
+        plain = clustering_distance_matrix([a, b], frame)
+        with_font = clustering_distance_matrix([a, b], frame, font_type_weight=0.3)
+        assert with_font[0, 1] > plain[0, 1]
+
+    def test_config_plumbs_through(self, d2_cleaned):
+        from repro.core import VS2Segmenter
+
+        _, observed, _ = d2_cleaned[0]
+        baseline = VS2Segmenter(SegmentConfig()).segment(observed)
+        extended = VS2Segmenter(SegmentConfig(font_type_weight=0.25)).segment(observed)
+        # Both produce valid trees; the extension may split differently.
+        baseline.validate_nesting()
+        extended.validate_nesting()

@@ -1,0 +1,205 @@
+"""Bounding-box primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import BBox, enclosing_bbox, pairwise_iou
+
+finite = st.floats(min_value=-500, max_value=500, allow_nan=False)
+extent = st.floats(min_value=0.0, max_value=400, allow_nan=False)
+boxes = st.builds(BBox, finite, finite, extent, extent)
+nonempty_boxes = st.builds(
+    BBox, finite, finite,
+    st.floats(min_value=0.5, max_value=400),
+    st.floats(min_value=0.5, max_value=400),
+)
+
+
+class TestConstruction:
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(0, 0, -1, 5)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(0, 0, 5, -1)
+
+    def test_zero_size_allowed(self):
+        assert BBox(1, 2, 0, 0).area == 0
+
+    def test_from_corners(self):
+        b = BBox.from_corners(1, 2, 4, 8)
+        assert (b.x, b.y, b.w, b.h) == (1, 2, 3, 6)
+
+    def test_from_corners_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BBox.from_corners(4, 2, 1, 8)
+
+
+class TestDerived:
+    def test_edges(self):
+        b = BBox(10, 20, 30, 40)
+        assert (b.x2, b.y2) == (40, 60)
+
+    def test_centroid(self):
+        assert BBox(0, 0, 10, 20).centroid == (5, 10)
+
+    def test_area(self):
+        assert BBox(0, 0, 3, 4).area == 12
+
+    def test_angular_distance_on_axis(self):
+        b = BBox(10, -0.5, 2, 1)  # centroid on +x axis
+        assert abs(b.angular_distance) < 1e-9
+
+    def test_angular_distance_diagonal(self):
+        b = BBox(9, 9, 2, 2)  # centroid (10, 10)
+        assert math.isclose(b.angular_distance, math.pi / 4)
+
+
+class TestRelations:
+    def test_contains_point_inclusive_topleft(self):
+        b = BBox(0, 0, 10, 10)
+        assert b.contains_point(0, 0)
+        assert not b.contains_point(10, 10)
+
+    def test_contains_bbox(self):
+        assert BBox(0, 0, 10, 10).contains_bbox(BBox(2, 2, 3, 3))
+        assert not BBox(0, 0, 10, 10).contains_bbox(BBox(8, 8, 5, 5))
+
+    def test_intersection_disjoint(self):
+        assert BBox(0, 0, 5, 5).intersection(BBox(6, 6, 5, 5)) is None
+
+    def test_intersection_overlap(self):
+        inter = BBox(0, 0, 10, 10).intersection(BBox(5, 5, 10, 10))
+        assert inter == BBox(5, 5, 5, 5)
+
+    def test_touching_boxes_do_not_intersect(self):
+        assert not BBox(0, 0, 5, 5).intersects(BBox(5, 0, 5, 5))
+
+    def test_union(self):
+        u = BBox(0, 0, 2, 2).union(BBox(8, 8, 2, 2))
+        assert u == BBox(0, 0, 10, 10)
+
+    def test_iou_identical(self):
+        assert BBox(1, 1, 5, 5).iou(BBox(1, 1, 5, 5)) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        assert BBox(0, 0, 5, 5).iou(BBox(10, 10, 5, 5)) == 0.0
+
+    def test_iou_half_overlap(self):
+        # overlap 5x10 = 50; union 100 + 100 - 50 = 150
+        assert BBox(0, 0, 10, 10).iou(BBox(5, 0, 10, 10)) == pytest.approx(1 / 3)
+
+    def test_gap_distance_overlapping_is_zero(self):
+        assert BBox(0, 0, 10, 10).gap_distance(BBox(5, 5, 10, 10)) == 0.0
+
+    def test_gap_distance_horizontal(self):
+        assert BBox(0, 0, 10, 10).gap_distance(BBox(15, 0, 5, 10)) == 5.0
+
+    def test_gap_distance_diagonal(self):
+        assert BBox(0, 0, 10, 10).gap_distance(BBox(13, 14, 5, 5)) == 5.0
+
+    def test_centroid_l1(self):
+        assert BBox(0, 0, 2, 2).centroid_l1_distance(BBox(3, 4, 2, 2)) == 7.0
+
+
+class TestTransforms:
+    def test_translate(self):
+        assert BBox(1, 2, 3, 4).translate(10, 20) == BBox(11, 22, 3, 4)
+
+    def test_scale(self):
+        assert BBox(1, 2, 3, 4).scale(2) == BBox(2, 4, 6, 8)
+
+    def test_expand(self):
+        assert BBox(5, 5, 10, 10).expand(2) == BBox(3, 3, 14, 14)
+
+    def test_expand_negative_clamps(self):
+        b = BBox(5, 5, 2, 2).expand(-3)
+        assert b.w == 0 and b.h == 0
+
+    def test_clip(self):
+        assert BBox(-5, -5, 20, 20).clip(BBox(0, 0, 10, 10)) == BBox(0, 0, 10, 10)
+
+    def test_rotate_90_degrees(self):
+        b = BBox(10, 0, 4, 2).rotate(math.pi / 2, 0, 0)
+        assert b.w == pytest.approx(2)
+        assert b.h == pytest.approx(4)
+
+    def test_rotate_identity(self):
+        b = BBox(10, 20, 4, 2)
+        r = b.rotate(0.0, 50, 50)
+        assert r.as_tuple() == pytest.approx(b.as_tuple())
+
+    def test_rotate_grows_enclosure(self):
+        b = BBox(0, 0, 100, 10)
+        r = b.rotate(math.radians(10), 50, 5)
+        assert r.w >= b.w * 0.95
+        assert r.h > b.h
+
+
+class TestEnclosing:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            enclosing_bbox([])
+
+    def test_single(self):
+        b = BBox(1, 2, 3, 4)
+        assert enclosing_bbox([b]) == b
+
+    def test_many(self):
+        e = enclosing_bbox([BBox(0, 0, 1, 1), BBox(9, 9, 1, 1), BBox(4, 0, 1, 1)])
+        assert e == BBox(0, 0, 10, 10)
+
+
+class TestPairwiseIoU:
+    def test_empty(self):
+        assert pairwise_iou([], [BBox(0, 0, 1, 1)]).shape == (0, 1)
+
+    def test_matches_scalar_iou(self):
+        a = [BBox(0, 0, 10, 10), BBox(5, 5, 10, 10)]
+        b = [BBox(0, 0, 10, 10), BBox(20, 20, 4, 4)]
+        m = pairwise_iou(a, b)
+        for i, bi in enumerate(a):
+            for j, bj in enumerate(b):
+                assert m[i, j] == pytest.approx(bi.iou(bj), abs=1e-9)
+
+
+class TestProperties:
+    @given(boxes, boxes)
+    def test_iou_symmetric(self, a, b):
+        assert a.iou(b) == pytest.approx(b.iou(a), abs=1e-9)
+
+    @given(boxes)
+    def test_iou_self_is_one_for_positive_area(self, a):
+        if a.area > 1e-6:
+            assert a.iou(a) == pytest.approx(1.0)
+
+    @given(boxes, boxes)
+    def test_iou_bounded(self, a, b):
+        assert 0.0 <= a.iou(b) <= 1.0 + 1e-9
+
+    @given(boxes, boxes)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b).expand(1e-6)
+        assert u.contains_bbox(a) and u.contains_bbox(b)
+
+    @given(boxes, boxes)
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.expand(1e-6).contains_bbox(inter)
+            assert b.expand(1e-6).contains_bbox(inter)
+
+    @given(nonempty_boxes, nonempty_boxes)
+    def test_gap_zero_iff_touching_or_overlapping(self, a, b):
+        gap = a.gap_distance(b)
+        assert gap >= 0.0
+        if a.intersects(b):
+            assert gap == 0.0
+
+    @given(nonempty_boxes, finite, finite)
+    def test_translate_preserves_shape(self, a, dx, dy):
+        t = a.translate(dx, dy)
+        assert t.w == a.w and t.h == a.h

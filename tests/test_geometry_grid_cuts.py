@@ -1,0 +1,200 @@
+"""Occupancy grids and whitespace cuts (paper §5.1.1 / Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import BBox, OccupancyGrid
+from repro.geometry.cuts import (
+    CutSet,
+    consecutive_cut_sets,
+    find_horizontal_cuts,
+    find_vertical_cuts,
+    has_valid_horizontal_movement,
+    has_valid_vertical_movement,
+    interior_cut_sets,
+    sheared_cut_rows,
+)
+
+
+def two_band_grid():
+    """Two text bands with a whitespace band between rows 20–59."""
+    return OccupancyGrid.from_bboxes(
+        [BBox(0, 0, 100, 20), BBox(0, 60, 100, 20)], 100, 100, cell=4
+    )
+
+
+class TestOccupancyGrid:
+    def test_dimensions(self):
+        g = OccupancyGrid(100, 60, cell=5)
+        assert (g.n_cols, g.n_rows) == (20, 12)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(0, 10)
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(10, 10, cell=0)
+
+    def test_add_bbox_marks_cells(self):
+        g = OccupancyGrid(40, 40, cell=4)
+        g.add_bbox(BBox(4, 4, 8, 8))
+        assert g.occupied[1:3, 1:3].all()
+        assert not g.occupied[0, 0]
+
+    def test_zero_area_box_ignored(self):
+        g = OccupancyGrid(40, 40, cell=4)
+        g.add_bbox(BBox(4, 4, 0, 0))
+        assert not g.occupied.any()
+
+    def test_off_page_box_clipped(self):
+        g = OccupancyGrid(40, 40, cell=4)
+        g.add_bbox(BBox(-100, -100, 20, 20))
+        assert not g.occupied.all()
+
+    def test_is_whitespace(self):
+        g = two_band_grid()
+        assert g.is_whitespace(50, 40)
+        assert not g.is_whitespace(50, 10)
+        assert not g.is_whitespace(-5, -5)  # off page = not a position
+
+    def test_occupancy_ratio(self):
+        g = two_band_grid()
+        assert 0.3 < g.occupancy_ratio() < 0.5
+
+    def test_projections(self):
+        g = two_band_grid()
+        assert g.horizontal_projection()[0] == g.n_cols
+        assert g.horizontal_projection()[10] == 0
+
+    def test_empty_row_runs(self):
+        g = two_band_grid()
+        runs = g.empty_row_runs()
+        assert (5, 10) in runs  # rows 5..14 = y 20..60
+
+    def test_subgrid(self):
+        g = two_band_grid()
+        sub = g.subgrid(BBox(0, 0, 100, 40))
+        assert sub.occupied[:5].all()
+        assert not sub.occupied[5:].any()
+
+
+class TestMovements:
+    def test_horizontal_movement_in_open_space(self):
+        g = two_band_grid()
+        assert has_valid_horizontal_movement(g, 0, 8)
+
+    def test_no_movement_from_occupied(self):
+        g = two_band_grid()
+        assert not has_valid_horizontal_movement(g, 0, 0)
+
+    def test_movement_with_drift(self):
+        # column 1 blocked at the same row, open one row below
+        g = OccupancyGrid(12, 12, cell=4)
+        g.add_bbox(BBox(4, 0, 4, 4))
+        assert has_valid_horizontal_movement(g, 0, 0)
+
+    def test_vertical_movement(self):
+        g = two_band_grid()
+        assert has_valid_vertical_movement(g, 0, 8)
+
+
+class TestCuts:
+    def test_horizontal_cut_in_band(self):
+        g = two_band_grid()
+        flags = find_horizontal_cuts(g)
+        assert flags[7]  # inside the whitespace band
+        assert not flags[2]  # inside the top text band
+
+    def test_no_vertical_cut_through_full_width_text(self):
+        g = two_band_grid()
+        flags = find_vertical_cuts(g)
+        assert not flags.any()
+
+    def test_vertical_cut_between_columns(self):
+        g = OccupancyGrid.from_bboxes(
+            [BBox(0, 0, 30, 100), BBox(70, 0, 30, 100)], 100, 100, cell=4
+        )
+        flags = find_vertical_cuts(g)
+        assert flags[10]  # x = 40, inside the channel
+
+    def test_sheared_cut_follows_slope(self):
+        # A slanted gap: occupied everywhere except a 2-row band whose
+        # vertical position rises one row every 5 columns.
+        ws = np.zeros((30, 40), dtype=bool)
+        for c in range(40):
+            r = 10 + c // 5
+            ws[r : r + 2, c] = True
+        assert not sheared_cut_rows(ws, 0.0).any()
+        assert sheared_cut_rows(ws, 0.2).any()
+
+    def test_consecutive_cut_sets_grouping(self):
+        g = two_band_grid()
+        sets = consecutive_cut_sets(g, "horizontal")
+        bands = [(s.start_index, s.size) for s in sets]
+        assert (5, 10) in bands
+
+    def test_interior_excludes_margins(self):
+        g = OccupancyGrid.from_bboxes([BBox(0, 40, 100, 20)], 100, 100, cell=4)
+        interior = interior_cut_sets(g, "horizontal")
+        assert interior == []  # only margin runs exist
+
+    def test_interior_picks_dominant_slope(self):
+        g = two_band_grid()
+        sets = interior_cut_sets(g, "horizontal")
+        assert len(sets) == 1
+        assert sets[0].slope == 0.0
+
+    def test_bad_orientation_rejected(self):
+        g = two_band_grid()
+        with pytest.raises(ValueError):
+            consecutive_cut_sets(g, "diagonal")
+
+
+class TestCutSet:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CutSet("horizontal", 0, 0, 4.0)
+        with pytest.raises(ValueError):
+            CutSet("slanted", 0, 1, 4.0)
+
+    def test_units(self):
+        s = CutSet("horizontal", 5, 10, 4.0)
+        assert s.span_units == 40
+        assert s.start_units == 20
+        assert s.mid_units == 40
+
+    def test_origin_offset(self):
+        s = CutSet("horizontal", 5, 10, 4.0, origin=(100.0, 200.0))
+        assert s.start_units == 220  # origin y-offset + 5 cells
+        assert s.start_position() == (100.0, 220.0)
+
+    def test_line_value_at_slope(self):
+        s = CutSet("horizontal", 5, 2, 4.0, slope=0.1)
+        assert s.line_value_at(100.0) == pytest.approx(s.mid_units + 10.0)
+
+    def test_neighbouring_bbox(self):
+        s = CutSet("horizontal", 5, 10, 4.0)  # band y 20..60
+        near = BBox(0, 0, 50, 20)
+        far = BBox(0, 90, 50, 10)
+        assert s.neighbouring_bbox([near, far]) == near
+
+
+class TestCutProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=90),
+                st.integers(min_value=2, max_value=30),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_cut_rows_are_whitespace_rows_at_zero_slope(self, bands):
+        boxes = [BBox(0, float(y), 100.0, float(h)) for y, h in bands]
+        g = OccupancyGrid.from_bboxes(boxes, 100, 130, cell=4)
+        flags = find_horizontal_cuts(g, slope=0.0)
+        ws_rows = ~g.occupied.any(axis=1)
+        assert (flags == ws_rows).all()

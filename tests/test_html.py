@@ -1,0 +1,117 @@
+"""HTML substrate: DOM, parser round-trip, web wrapper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.html import HtmlNode, WrapperRule, el, extract_records, parse_html, text_of
+from repro.html.parser import HtmlParseError
+
+
+class TestDom:
+    def test_el_builder(self):
+        node = el("div", "hello", class_="row")
+        assert node.tag == "div"
+        assert node.attrs["class"] == "row"
+
+    def test_find_all_by_class(self):
+        root = el("div", el("p", "a", class_="x"), el("p", "b", class_="x"), el("p", "c"))
+        assert len(root.find_all("p", "x")) == 2
+
+    def test_text_block_separation(self):
+        root = el("div", el("p", "one"), el("p", "two"))
+        assert root.text() == "one\ntwo"
+
+    def test_text_inline_concatenation(self):
+        root = el("p", "a ", el("span", "b"))
+        assert "a" in root.text() and "b" in root.text()
+
+    def test_text_of_none(self):
+        assert text_of(None) == ""
+
+    def test_serialisation_escapes(self):
+        node = el("p", "a < b & c")
+        assert "&lt;" in node.to_html() and "&amp;" in node.to_html()
+
+
+class TestParser:
+    def test_simple(self):
+        root = parse_html("<div><p>hi</p></div>")
+        assert root.tag == "div"
+        assert root.find("p").text() == "hi"
+
+    def test_attributes(self):
+        root = parse_html('<div class="row" id="x">t</div>')
+        assert root.attrs == {"class": "row", "id": "x"}
+
+    def test_void_tags(self):
+        root = parse_html("<div><br><img src=\"x.png\">text</div>")
+        assert root.find("img") is not None
+
+    def test_mismatched_raises(self):
+        with pytest.raises(HtmlParseError):
+            parse_html("<div><p>hi</div></p>")
+
+    def test_unclosed_raises(self):
+        with pytest.raises(HtmlParseError):
+            parse_html("<div><p>hi")
+
+    def test_multi_root_wrapped(self):
+        root = parse_html("<p>a</p><p>b</p>")
+        assert root.tag == "document"
+        assert len(root.find_all("p")) == 2
+
+    def test_roundtrip_structure(self):
+        dom = el(
+            "div",
+            el("h2", "Title", class_="t"),
+            el("ul", el("li", "one"), el("li", "two")),
+            class_="card",
+        )
+        back = parse_html(dom.to_html())
+        assert back.tag == "div"
+        assert [n.text() for n in back.find_all("li")] == ["one", "two"]
+        assert back.find("h2", "t").text() == "Title"
+
+    @given(st.lists(st.sampled_from(["alpha", "beta", "gamma 42", "x & y"]), min_size=1, max_size=5))
+    def test_roundtrip_texts(self, texts):
+        dom = el("div", *[el("p", t) for t in texts])
+        back = parse_html(dom.to_html())
+        assert [n.text() for n in back.find_all("p")] == texts
+
+
+class TestWrapper:
+    def page(self):
+        body = el("body")
+        for name, phone in (("Ann", "111"), ("Bob", "222")):
+            body.append(
+                el(
+                    "div",
+                    el("span", name, class_="name"),
+                    el("span", phone, class_="phone"),
+                    class_="card",
+                )
+            )
+        return el("html", body)
+
+    def rule(self):
+        return WrapperRule(
+            record_selector=("div", "card"),
+            field_selectors={"name": ("span", "name"), "phone": ("span", "phone")},
+        )
+
+    def test_extracts_all_records(self):
+        records = extract_records(self.page(), self.rule())
+        assert records == [
+            {"name": "Ann", "phone": "111"},
+            {"name": "Bob", "phone": "222"},
+        ]
+
+    def test_missing_field_is_empty(self):
+        page = el("html", el("div", el("span", "Ann", class_="name"), class_="card"))
+        records = extract_records(page, self.rule())
+        assert records == [{"name": "Ann", "phone": ""}]
+
+    def test_roundtrip_through_serialisation(self):
+        html = self.page().to_html()
+        records = extract_records(parse_html(html), self.rule())
+        assert len(records) == 2

@@ -1,0 +1,111 @@
+"""Layout tree (paper §4.2)."""
+
+import pytest
+
+from repro.doc import LayoutNode, LayoutTree, TextElement
+from repro.geometry import BBox
+
+
+def word(text, x, y, w=40, h=12, size=12.0):
+    return TextElement(text, BBox(x, y, w, h), font_size=size)
+
+
+def small_tree():
+    root = LayoutNode(BBox(0, 0, 100, 100), kind="root")
+    a = root.add_child(LayoutNode(BBox(0, 0, 100, 40), [word("top", 0, 0)], kind="cut"))
+    b = root.add_child(LayoutNode(BBox(0, 50, 100, 50), kind="cut"))
+    b.add_child(LayoutNode(BBox(0, 50, 40, 50), [word("left", 0, 50)], kind="cluster"))
+    b.add_child(LayoutNode(BBox(60, 50, 40, 50), [word("right", 60, 50)], kind="cluster"))
+    return LayoutTree(root), root, a, b
+
+
+class TestStructure:
+    def test_leaves(self):
+        tree, root, a, b = small_tree()
+        assert len(tree.leaves()) == 3
+
+    def test_logical_blocks_exclude_empty(self):
+        tree, *_ = small_tree()
+        assert len(tree.logical_blocks()) == 3  # the empty b node is internal
+
+    def test_height(self):
+        tree, *_ = small_tree()
+        assert tree.height == 2
+
+    def test_depth(self):
+        tree, root, a, b = small_tree()
+        assert root.depth() == 0
+        assert b.children[0].depth() == 2
+
+    def test_siblings(self):
+        tree, root, a, b = small_tree()
+        assert a.siblings() == [b]
+        assert root.siblings() == []
+
+    def test_nodes_at_level(self):
+        tree, *_ = small_tree()
+        assert len(tree.nodes_at_level(1)) == 2
+        assert len(tree.nodes_at_level(2)) == 2
+
+    def test_identity_equality(self):
+        x = LayoutNode(BBox(0, 0, 1, 1))
+        y = LayoutNode(BBox(0, 0, 1, 1))
+        assert x != y  # identity semantics, not structural
+
+    def test_walk_preorder(self):
+        tree, root, a, b = small_tree()
+        order = list(tree.walk())
+        assert order[0] is root and order[1] is a
+
+    def test_node_count(self):
+        tree, *_ = small_tree()
+        assert tree.node_count() == 5
+
+
+class TestContent:
+    def test_text(self):
+        tree, root, a, b = small_tree()
+        assert a.text() == "top"
+
+    def test_word_density(self):
+        node = LayoutNode(BBox(0, 0, 10, 10), [word("x", 0, 0)])
+        assert node.word_density() == pytest.approx(1 / 100)
+
+    def test_mean_font_size(self):
+        node = LayoutNode(
+            BBox(0, 0, 100, 100), [word("a", 0, 0, size=10), word("b", 50, 0, size=30)]
+        )
+        assert node.mean_font_size() == 20.0
+
+    def test_refit_bbox(self):
+        node = LayoutNode(BBox(0, 0, 1000, 1000), [word("a", 10, 10)])
+        node.refit_bbox()
+        assert node.bbox == BBox(10, 10, 40, 12)
+
+
+class TestCollapseUnary:
+    def test_collapse_chain(self):
+        root = LayoutNode(BBox(0, 0, 100, 100), [word("x", 0, 0)], kind="root")
+        mid = root.add_child(LayoutNode(BBox(0, 0, 60, 60), [word("x", 0, 0)], kind="cut"))
+        mid.add_child(LayoutNode(BBox(0, 0, 40, 40), [word("x", 0, 0)], kind="cluster"))
+        tree = LayoutTree(root)
+        hoists = tree.collapse_unary()
+        assert hoists == 2
+        assert root.is_leaf
+        assert root.kind == "cluster"
+
+    def test_noop_on_branching_tree(self):
+        tree, *_ = small_tree()
+        assert tree.collapse_unary() == 0
+
+
+class TestValidation:
+    def test_validate_nesting_ok(self):
+        tree, *_ = small_tree()
+        tree.validate_nesting()
+
+    def test_validate_nesting_catches_escape(self):
+        root = LayoutNode(BBox(0, 0, 10, 10))
+        root.add_child(LayoutNode(BBox(50, 50, 10, 10)))
+        with pytest.raises(ValueError):
+            LayoutTree(root).validate_nesting()

@@ -1,0 +1,156 @@
+"""Frequent subtree mining (TreeMiner role)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mining import (
+    MiningTree,
+    contains_subtree,
+    decode_tree,
+    encode_tree,
+    mine_frequent_subtrees,
+    maximal_patterns,
+)
+from repro.mining.trees import contains_encoded, encode_from_arrays
+from repro.mining.treeminer import mine_maximal_subtrees
+from repro.nlp.parse import parse_sentence
+
+
+def t(encoding: str) -> MiningTree:
+    return decode_tree(encoding.split())
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        enc = "S NP DT -1 NN -1 -1 VP VB -1 -1".split()
+        assert list(decode_tree(enc).encode()) == enc
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            decode_tree("A B -1 -1 -1".split())
+
+    def test_multi_root_rejected(self):
+        with pytest.raises(ValueError):
+            decode_tree("A -1 B".split())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            decode_tree([])
+
+    def test_parent_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MiningTree(["a", "b"], [1, -1])
+
+    def test_encode_parse_node(self):
+        tree = parse_sentence("hosted by Smith")
+        enc = encode_tree(tree)
+        assert enc[0] == "S"
+        decode_tree(enc)  # must parse back
+
+    @given(st.recursive(st.just([]), lambda kids: st.lists(kids, max_size=3), max_leaves=10))
+    def test_random_tree_roundtrip(self, shape):
+        labels, parents = ["R"], [-1]
+
+        def build(children, parent):
+            for child in children:
+                labels.append(f"n{len(labels)}")
+                parents.append(parent)
+                build(child, len(labels) - 1)
+
+        build(shape, 0)
+        enc = encode_from_arrays(labels, parents)
+        back = decode_tree(enc)
+        assert back.labels == labels
+        assert back.parents == parents
+
+
+class TestContainment:
+    def test_induced_requires_direct_edges(self):
+        tree = t("S NP DT -1 NN -1 -1 -1")
+        assert contains_subtree(tree, t("NP NN -1 -1"))
+        assert not contains_subtree(tree, t("S NN -1 -1"))
+
+    def test_embedded_allows_ancestor_edges(self):
+        tree = t("S NP DT -1 NN -1 -1 -1")
+        assert contains_subtree(tree, t("S NN -1 -1"), embedded=True)
+
+    def test_order_preserved(self):
+        tree = t("S A -1 B -1 -1")
+        assert contains_subtree(tree, t("S A -1 B -1 -1"))
+        assert not contains_subtree(tree, t("S B -1 A -1 -1"))
+
+    def test_gaps_allowed(self):
+        tree = t("S A -1 X -1 B -1 -1")
+        assert contains_subtree(tree, t("S A -1 B -1 -1"))
+
+    def test_embedded_siblings_stay_disjoint(self):
+        # pattern needs TWO 'a' descendants in order; tree has only one.
+        tree = t("S P a -1 -1 -1")
+        assert not contains_subtree(tree, t("S a -1 a -1 -1"), embedded=True)
+
+    def test_single_node(self):
+        assert contains_encoded("S NP -1 -1".split(), ["NP"])
+
+
+class TestMining:
+    def db(self):
+        return [
+            t("S NP DT -1 NN -1 -1 VP VB -1 -1"),
+            t("S NP NN -1 -1 VP VB -1 RB -1 -1"),
+            t("S NP JJ -1 NN -1 -1 VP VB -1 -1"),
+        ]
+
+    def test_support_counts_transactions(self):
+        patterns = mine_frequent_subtrees(self.db(), min_support=3)
+        by_enc = {p.encoding: p.support for p in patterns}
+        assert by_enc[("NN",)] == 3
+        assert by_enc[("S", "NP", "-1", "VP", "-1")] == 3
+
+    def test_min_support_filters(self):
+        patterns = mine_frequent_subtrees(self.db(), min_support=3)
+        assert all(p.support >= 3 for p in patterns)
+        encodings = {p.encoding for p in patterns}
+        assert ("DT",) not in encodings  # support 1
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            mine_frequent_subtrees(self.db(), min_support=0)
+
+    def test_every_mined_pattern_occurs(self):
+        db = self.db()
+        for p in mine_frequent_subtrees(db, min_support=2):
+            hits = sum(1 for tree in db if contains_subtree(tree, p.tree()))
+            assert hits >= p.support  # induced containment confirms counts
+
+    def test_maximal_patterns_not_contained_in_each_other(self):
+        patterns = mine_frequent_subtrees(self.db(), min_support=3)
+        maximal = maximal_patterns(patterns)
+        for a in maximal:
+            for b in maximal:
+                if a is b:
+                    continue
+                if len(b.tree()) > len(a.tree()):
+                    assert not contains_subtree(b.tree(), a.tree())
+
+    def test_maximal_recovers_common_backbone(self):
+        maximal = mine_maximal_subtrees(self.db(), min_support=3)
+        encodings = {p.encoding for p in maximal}
+        assert ("S", "NP", "NN", "-1", "-1", "VP", "VB", "-1", "-1") in encodings
+
+    def test_empty_database(self):
+        assert mine_frequent_subtrees([], min_support=1) == []
+
+    def test_max_nodes_cap(self):
+        patterns = mine_frequent_subtrees(self.db(), min_support=2, max_nodes=2)
+        assert all(p.size <= 2 for p in patterns)
+
+    def test_brute_force_agreement_on_labels(self):
+        """Single-node pattern supports equal label transaction counts."""
+        db = self.db()
+        patterns = {
+            p.encoding[0]: p.support
+            for p in mine_frequent_subtrees(db, min_support=1, max_nodes=1)
+        }
+        for label, support in patterns.items():
+            truth = sum(1 for tree in db if label in tree.labels)
+            assert support == truth

@@ -1,0 +1,120 @@
+"""Tokenizer and POS tagger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nlp.pos import TAGSET, pos_tag
+from repro.nlp.tokenizer import (
+    STOPWORDS,
+    Token,
+    normalize_text,
+    remove_stopwords,
+    sentences,
+    tokenize,
+    words,
+)
+
+
+class TestTokenize:
+    def test_simple(self):
+        assert [t.text for t in tokenize("Hello world")] == ["Hello", "world"]
+
+    def test_offsets(self):
+        toks = tokenize("ab cd")
+        assert (toks[0].start, toks[0].end) == (0, 2)
+        assert (toks[1].start, toks[1].end) == (3, 5)
+
+    def test_email_stays_single_token(self):
+        toks = [t.text for t in tokenize("mail me at a.b@example.com now")]
+        assert "a.b@example.com" in toks
+
+    def test_hyphenated_number(self):
+        assert "555-1234" in [t.text for t in tokenize("call 555-1234")]
+
+    def test_punctuation_separate(self):
+        toks = [t.text for t in tokenize("end.")]
+        assert toks == ["end", "."]
+
+    def test_token_flags(self):
+        t = Token("Hello", 0, 5)
+        assert t.is_word and t.is_capitalized and not t.is_all_caps
+        assert Token("ACME", 0, 4).is_all_caps
+        assert Token("1,234", 0, 5).is_numeric
+
+
+class TestNormalize:
+    def test_unicode_quotes(self):
+        assert normalize_text("’tis “fine”") == "'tis \"fine\""
+
+    def test_collapse_spaces(self):
+        assert normalize_text("a   b\t c") == "a b c"
+
+    def test_newlines_kept(self):
+        assert normalize_text("a \n b") == "a\nb"
+
+
+class TestSentences:
+    def test_split_on_period(self):
+        assert sentences("One. Two.") == ["One.", "Two."]
+
+    def test_split_on_newline(self):
+        assert sentences("line one\nline two") == ["line one", "line two"]
+
+
+class TestStopwords:
+    def test_removal(self):
+        toks = tokenize("the cat and the hat")
+        kept = [t.text for t in remove_stopwords(toks)]
+        assert kept == ["cat", "hat"]
+
+    def test_words_lowercase(self):
+        assert words("Big DOG!") == ["big", "dog"]
+
+
+class TestPosTagger:
+    def tags(self, text):
+        return [(t.text, tag) for t, tag in pos_tag(text)]
+
+    def test_determiner_noun(self):
+        tags = dict(self.tags("the event"))
+        assert tags["the"] == "DT"
+        assert tags["event"] == "NN"
+
+    def test_verb(self):
+        tags = dict(self.tags("we host concerts"))
+        assert tags["host"] == "VB"
+
+    def test_numeric(self):
+        tags = dict(self.tags("4 beds"))
+        assert tags["4"] == "CD"
+
+    def test_proper_noun_by_gazetteer(self):
+        tags = dict(self.tags("visit Columbus today"))
+        assert tags["Columbus"] == "NNP"
+
+    def test_capitalized_unknown_is_nnp(self):
+        tags = dict(self.tags("the Fenka group"))
+        assert tags["Fenka"] == "NNP"
+
+    def test_suffix_rules(self):
+        tags = dict(self.tags("a sparkling arrangement"))
+        assert tags["sparkling"] == "VBG"
+        assert tags["arrangement"] == "NN"
+
+    def test_to_infinitive_repair(self):
+        pairs = self.tags("we want to host")
+        assert pairs[-1] == ("host", "VB")
+
+    def test_determiner_forces_nominal(self):
+        pairs = dict(self.tags("the host"))
+        assert pairs["host"] == "NN"
+
+    def test_all_tags_in_tagset(self):
+        text = "Dr. Smith hosted 3 amazing concerts at the Acme Hall on Friday!"
+        for _, tag in pos_tag(text):
+            assert tag in TAGSET
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80))
+    def test_never_crashes(self, text):
+        for _, tag in pos_tag(text):
+            assert tag in TAGSET

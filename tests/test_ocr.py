@@ -1,0 +1,151 @@
+"""Simulated OCR: noise model, reading order, deskew, layout analysis."""
+
+import math
+
+import pytest
+
+from repro.doc import Document, TextElement
+from repro.geometry import BBox
+from repro.ocr import NoiseProfile, OcrEngine, deskew, estimate_skew, rotate_back, tesseract_blocks
+from repro.ocr.noise import corrupt_word
+
+
+def word(text, x, y, w=40, h=12):
+    return TextElement(text, BBox(x, y, w, h))
+
+
+class TestNoise:
+    def test_zero_noise_identity(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        assert corrupt_word("Hello", rng, 0.0, 0.0) == "Hello"
+
+    def test_high_noise_changes_text(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        corrupted = [corrupt_word("Illinois Social Olive", rng, 0.5, 0.2) for _ in range(5)]
+        assert any(c != "Illinois Social Olive" for c in corrupted)
+
+    def test_profiles_ordered_by_source_quality(self):
+        mobile = NoiseProfile.for_source("mobile")
+        pdf = NoiseProfile.for_source("pdf")
+        html = NoiseProfile.for_source("html")
+        assert mobile.char_p > pdf.char_p > html.char_p == 0.0
+
+    def test_unknown_source(self):
+        with pytest.raises(ValueError):
+            NoiseProfile.for_source("fax")
+
+
+class TestEngine:
+    def doc(self, source="pdf"):
+        return Document(
+            "t-1", 400, 200,
+            elements=[word("Hello", 10, 10), word("world", 60, 10), word("below", 10, 40)],
+            source=source,
+        )
+
+    def test_deterministic_across_engines(self):
+        a = OcrEngine(seed=3).transcribe(self.doc("mobile"))
+        b = OcrEngine(seed=3).transcribe(self.doc("mobile"))
+        assert [w.text for w in a.words] == [w.text for w in b.words]
+
+    def test_different_seeds_differ_eventually(self):
+        doc = Document(
+            "t-2", 800, 600,
+            elements=[word(f"word{i}samples", 10 + (i % 8) * 90, 10 + (i // 8) * 30) for i in range(64)],
+            source="mobile",
+        )
+        a = OcrEngine(seed=1).transcribe(doc)
+        b = OcrEngine(seed=2).transcribe(doc)
+        assert [w.text for w in a.words] != [w.text for w in b.words]
+
+    def test_html_transcription_lossless(self):
+        result = OcrEngine(seed=0).transcribe(self.doc("html"))
+        assert [w.text for w in result.words] == ["Hello", "world", "below"]
+
+    def test_full_text_reading_order(self):
+        result = OcrEngine(seed=0).transcribe(self.doc("html"))
+        assert result.full_text() == "Hello world\nbelow"
+
+    def test_text_in_region(self):
+        result = OcrEngine(seed=0).transcribe(self.doc("html"))
+        assert result.text_in(BBox(0, 30, 400, 60)) == "below"
+
+    def test_as_document_has_no_ground_truth(self):
+        from repro.doc import Annotation
+
+        doc = self.doc("html")
+        doc.annotations.append(Annotation("x", "y", BBox(0, 0, 5, 5)))
+        observed = OcrEngine(seed=0).transcribe(doc).as_document(doc)
+        assert observed.annotations == []
+
+
+class TestDeskew:
+    def rotated_doc(self, degrees):
+        words = []
+        angle = math.radians(degrees)
+        for row in range(6):
+            for col in range(8):
+                box = BBox(40 + col * 90, 40 + row * 40, 60, 12)
+                words.append(TextElement("word", box.rotate(angle, 400, 150)))
+        return Document("r-1", 850, 400, elements=words, source="mobile")
+
+    def test_estimates_rotation(self):
+        doc = self.rotated_doc(6.0)
+        estimate = math.degrees(estimate_skew(doc))
+        assert 4.0 < estimate < 8.0
+
+    def test_upright_estimates_zero(self):
+        doc = self.rotated_doc(0.0)
+        assert abs(math.degrees(estimate_skew(doc))) < 1.0
+
+    def test_deskew_restores_line_structure(self):
+        from repro.doc.document import group_into_lines
+
+        doc = self.rotated_doc(8.0)
+        corrected, angle = deskew(doc)
+        assert abs(angle) > math.radians(4)
+        lines = group_into_lines(corrected.text_elements)
+        assert len(lines) <= 8  # rotated view fragments into many more
+
+    def test_deskew_boxes_stay_tight(self):
+        doc = self.rotated_doc(8.0)
+        corrected, _ = deskew(doc)
+        heights = [w.bbox.h for w in corrected.text_elements]
+        assert max(heights) < 20  # the double-enclosure bug would give ~25+
+
+    def test_rotate_back_near_original(self):
+        doc = self.rotated_doc(7.0)
+        corrected, angle = deskew(doc)
+        # rotate a corrected box back: must overlap the observed region
+        box = corrected.text_elements[0].bbox
+        restored = rotate_back(box, angle, corrected)
+        assert restored.iou(doc.text_elements[0].bbox) > 0.3
+
+    def test_deskew_noop_returns_same_doc(self):
+        doc = self.rotated_doc(0.0)
+        corrected, angle = deskew(doc)
+        assert angle == 0.0 and corrected is doc
+
+
+class TestTesseractBlocks:
+    def test_separates_stacked_paragraphs(self):
+        elements = []
+        for i in range(3):
+            elements.append(word(f"a{i}", 10, 10 + i * 16))
+        for i in range(3):
+            elements.append(word(f"b{i}", 10, 120 + i * 16))
+        doc = Document("b-1", 300, 300, elements=elements)
+        blocks = tesseract_blocks(doc)
+        assert len(blocks) == 2
+
+    def test_splits_side_by_side_columns(self):
+        elements = [word("left", 10, 10), word("right", 200, 10)]
+        doc = Document("b-2", 400, 100, elements=elements)
+        assert len(tesseract_blocks(doc)) == 2
+
+    def test_empty_doc(self):
+        assert tesseract_blocks(Document("b-3", 100, 100)) == []

@@ -1,0 +1,164 @@
+"""Non-dominated sorting and the mini-ML toolbox."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import LinearSVM, SoftmaxRegression, StandardScaler, kmeans
+from repro.optimize import crowding_distance, dominates, non_dominated_sort, pareto_front
+
+points3d = st.lists(
+    st.tuples(*[st.floats(min_value=-10, max_value=10, allow_nan=False)] * 3),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestDominance:
+    def test_strict(self):
+        assert dominates((2, 2), (1, 1))
+
+    def test_partial_not_dominating(self):
+        assert not dominates((2, 0), (1, 1))
+
+    def test_equal_not_dominating(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(1, 1)]) == [0]
+
+    def test_dominated_excluded(self):
+        front = pareto_front([(2, 2), (1, 1), (3, 0)])
+        assert 0 in front and 2 in front and 1 not in front
+
+    def test_all_on_diagonal_front(self):
+        pts = [(0, 3), (1, 2), (2, 1), (3, 0)]
+        assert pareto_front(pts) == [0, 1, 2, 3]
+
+    @given(points3d)
+    def test_front_members_mutually_non_dominated(self, pts):
+        front = pareto_front(pts)
+        assert front  # never empty for non-empty input
+        for i in front:
+            for j in range(len(pts)):
+                assert not dominates(pts[j], pts[i])
+
+
+class TestNonDominatedSort:
+    def test_ranks(self):
+        pts = [(2, 2), (1, 1), (0, 0)]
+        fronts = non_dominated_sort(pts)
+        assert fronts == [[0], [1], [2]]
+
+    @given(points3d)
+    def test_fronts_partition_everything(self, pts):
+        fronts = non_dominated_sort(pts)
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(len(pts)))
+
+    def test_first_front_matches_pareto_front(self):
+        pts = [(1, 5), (5, 1), (3, 3), (0, 0)]
+        assert sorted(non_dominated_sort(pts)[0]) == sorted(pareto_front(pts))
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        d = crowding_distance([(0, 0), (1, 1), (2, 2)])
+        assert d[0] == float("inf") and d[2] == float("inf")
+
+    def test_empty(self):
+        assert crowding_distance([]) == []
+
+
+class TestScaler:
+    def test_zero_mean_unit_std(self):
+        x = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0)
+        assert np.allclose(z.std(axis=0), 1)
+
+    def test_constant_feature_safe(self):
+        x = np.array([[1.0], [1.0]])
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0, 0), 0.3, size=(40, 2))
+    b = rng.normal((4, 4), 0.3, size=(40, 2))
+    c = rng.normal((0, 4), 0.3, size=(40, 2))
+    x = np.vstack([a, b, c])
+    y = ["a"] * 40 + ["b"] * 40 + ["c"] * 40
+    return x, y
+
+
+class TestLinearSVM:
+    def test_binary_separable(self):
+        x, y = _blobs()
+        mask = [label in ("a", "b") for label in y]
+        xb = x[np.array(mask)]
+        yb = [l for l in y if l in ("a", "b")]
+        model = LinearSVM().fit(xb, yb)
+        acc = np.mean([p == t for p, t in zip(model.predict(xb), yb)])
+        assert acc > 0.95
+
+    def test_multiclass(self):
+        x, y = _blobs()
+        model = LinearSVM().fit(x, y)
+        acc = np.mean([p == t for p, t in zip(model.predict(x), y)])
+        assert acc > 0.9
+
+    def test_deterministic(self):
+        x, y = _blobs()
+        a = LinearSVM(seed=3).fit(x, y).weights_
+        b = LinearSVM(seed=3).fit(x, y).weights_
+        assert np.allclose(a, b)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((4, 2)), ["a"] * 4)
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0)
+
+
+class TestSoftmax:
+    def test_multiclass(self):
+        x, y = _blobs()
+        model = SoftmaxRegression().fit(x, y)
+        acc = np.mean([p == t for p, t in zip(model.predict(x), y)])
+        assert acc > 0.9
+
+    def test_probabilities_normalised(self):
+        x, y = _blobs()
+        probs = SoftmaxRegression(epochs=50).fit(x, y).predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestKMeans:
+    def test_recovers_blobs_with_seeds(self):
+        x, _ = _blobs()
+        labels, centers = kmeans(x, 3, seeds=[0, 40, 80])
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:80])) == 1
+        assert len(centers) == 3
+
+    def test_k_clipped_to_n(self):
+        labels, centers = kmeans(np.zeros((2, 2)), 5)
+        assert len(centers) <= 2
+
+    def test_empty(self):
+        labels, centers = kmeans(np.zeros((0, 2)), 3)
+        assert len(labels) == 0

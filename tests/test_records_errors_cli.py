@@ -1,0 +1,171 @@
+"""Extraction records / schema mapping, error analysis, and the CLI."""
+
+import io
+
+import pytest
+
+from repro.core.records import (
+    ExtractionRecord,
+    map_schema,
+    normalize_money,
+    normalize_phone,
+    normalize_sqft,
+    read_records,
+    write_records,
+)
+from repro.core.select import Extraction
+from repro.doc import Annotation
+from repro.geometry import BBox
+from repro.harness.error_analysis import ErrorBreakdown, classify_misses, error_report
+
+
+class TestRecords:
+    def record(self):
+        e = Extraction("broker_phone", "(614) 555-0100", BBox(1, 2, 3, 4), BBox(1, 2, 3, 4), 0.9)
+        return ExtractionRecord.from_extraction("doc-1", e)
+
+    def test_json_roundtrip(self):
+        r = self.record()
+        assert ExtractionRecord.from_json(r.to_json()) == r
+
+    def test_stream_roundtrip(self):
+        buf = io.StringIO()
+        n = write_records([self.record(), self.record()], buf)
+        assert n == 2
+        buf.seek(0)
+        assert len(list(read_records(buf))) == 2
+
+    def test_bbox_property(self):
+        assert self.record().bbox == BBox(1, 2, 3, 4)
+
+
+class TestSchemaMapping:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("(614) 555-0100", "(614) 555-0100"),
+            ("614.555.0100", "(614) 555-0100"),
+            ("1-614-555-0100", "(614) 555-0100"),
+            ("not a phone", None),
+        ],
+    )
+    def test_phone(self, raw, expected):
+        assert normalize_phone(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("$450,000", 450000), ("$450K", 450000), ("$1.2M", 1200000)],
+    )
+    def test_money(self, raw, expected):
+        assert normalize_money(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("8,000 sqft", 8000), ("2 acres", 87120), ("300 square feet", 300)],
+    )
+    def test_sqft(self, raw, expected):
+        assert normalize_sqft(raw) == expected
+
+    def test_map_schema_rows(self):
+        records = [
+            ExtractionRecord("d", "broker_phone", "614.555.0100", 0, 0, 1, 1, 1.0),
+            ExtractionRecord("d", "property_size", "2 acres", 0, 0, 1, 1, 1.0),
+            ExtractionRecord("d", "broker_name", "Ann Reed", 0, 0, 1, 1, 1.0),
+        ]
+        rows = map_schema(records)
+        assert rows == [
+            {
+                "doc_id": "d",
+                "broker_phone": "(614) 555-0100",
+                "property_size": 87120,
+                "broker_name": "Ann Reed",
+            }
+        ]
+
+    def test_unmappable_kept_raw(self):
+        rows = map_schema(
+            [ExtractionRecord("d", "broker_phone", "call us", 0, 0, 1, 1, 1.0)]
+        )
+        assert rows[0]["broker_phone_raw"] == "call us"
+
+
+class TestErrorAnalysis:
+    def gt(self, box=BBox(0, 0, 100, 20)):
+        return [Annotation("e", "x", box)]
+
+    def test_matched(self):
+        b = classify_misses([BBox(0, 0, 100, 20)], self.gt())
+        assert b.matched == 1 and b.total_errors == 0
+
+    def test_over_segmentation(self):
+        pieces = [BBox(0, 0, 45, 20), BBox(55, 0, 45, 20)]
+        b = classify_misses(pieces, self.gt())
+        assert b.over_segmentation == 1
+
+    def test_under_segmentation(self):
+        merged = [BBox(0, 0, 100, 120)]
+        b = classify_misses(merged, self.gt())
+        assert b.under_segmentation == 1
+
+    def test_drift(self):
+        b = classify_misses([BBox(30, 5, 100, 20)], self.gt())
+        assert b.drift == 1
+
+    def test_missing(self):
+        b = classify_misses([BBox(500, 500, 10, 10)], self.gt())
+        assert b.missing == 1
+
+    def test_report_aggregates(self):
+        report = error_report(
+            [([BBox(0, 0, 100, 20)], self.gt()), ([BBox(500, 500, 5, 5)], self.gt())]
+        )
+        assert report.matched == 1 and report.missing == 1
+
+    def test_fraction(self):
+        b = ErrorBreakdown(matched=3, over_segmentation=3, missing=1)
+        assert b.fraction("over_segmentation") == pytest.approx(0.75)
+
+    def test_mobile_noise_drives_oversegmentation(self, d2_cleaned):
+        """§6.3: most D2 errors trace to over-segmentation on noisy
+        captures — noisy documents must not have *fewer* failures."""
+        from repro.core import VS2Segmenter
+        from repro.harness.error_analysis import by_source
+
+        seg = VS2Segmenter()
+        pairs = []
+        for original, observed, angle in d2_cleaned:
+            from repro.ocr import rotate_back
+
+            boxes = [rotate_back(b, angle, observed) for b in seg.block_bboxes(observed)]
+            pairs.append((original, boxes))
+        groups = by_source(pairs)
+        if "mobile" in groups and "pdf" in groups:
+            assert groups["mobile"].total_errors >= groups["pdf"].total_errors
+
+
+class TestCli:
+    def test_extract_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["extract", "--dataset", "D2", "--n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "event_title" in out
+
+    def test_table2_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["table", "2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["figure", "4"]) == 0
+        assert "layout tree" in capsys.readouterr().out
+
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "doc.ppm"
+        assert main(["render", "--output", str(out), "--scale", "0.25"]) == 0
+        assert out.read_bytes()[:2] == b"P6"

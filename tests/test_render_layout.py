@@ -1,0 +1,130 @@
+"""Rasteriser, ASCII renderer and the synthetic layout engine."""
+
+import numpy as np
+import pytest
+
+from repro.colors import rgb_to_lab
+from repro.doc import Document, ImageElement, TextElement
+from repro.doc.render import ascii_render, average_color_in, rasterize
+from repro.geometry import BBox
+from repro.synth.layout import (
+    TextStyle,
+    layout_centered_line,
+    layout_label_value,
+    layout_line,
+    layout_paragraph,
+    word_width,
+)
+
+
+def doc_with_word():
+    return Document(
+        "r", 200, 100,
+        elements=[TextElement("dark", BBox(20, 20, 60, 20), color=rgb_to_lab((10, 10, 10)))],
+        )
+
+
+class TestRasterize:
+    def test_shape_and_dtype(self):
+        img = rasterize(doc_with_word())
+        assert img.shape == (100, 200, 3)
+        assert img.dtype == np.uint8
+
+    def test_scale(self):
+        assert rasterize(doc_with_word(), scale=2.0).shape == (200, 400, 3)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            rasterize(doc_with_word(), scale=0)
+
+    def test_background_outside_elements(self):
+        img = rasterize(doc_with_word())
+        assert img[5, 5].min() > 200  # near-white background
+
+    def test_glyph_strokes_darken_word_area(self):
+        img = rasterize(doc_with_word())
+        region = img[20:40, 20:80]
+        assert region.min() < 60  # glyph ink present
+
+    def test_image_element_textured(self):
+        doc = Document(
+            "r2", 100, 100,
+            elements=[ImageElement("art", BBox(10, 10, 60, 60), rgb_to_lab((80, 120, 160)))],
+        )
+        img = rasterize(doc)
+        region = img[12:68, 12:68].reshape(-1, 3)
+        assert len(np.unique(region, axis=0)) >= 2  # checker texture
+
+    def test_average_color_in(self):
+        img = rasterize(doc_with_word())
+        r, g, b = average_color_in(img, BBox(20, 20, 60, 20))
+        assert r < 250  # darker than the empty background
+        r2, _, _ = average_color_in(img, BBox(150, 60, 40, 30))
+        assert r2 > r
+
+
+class TestAsciiRender:
+    def test_dimensions(self):
+        art = ascii_render(doc_with_word(), cols=40, rows=10)
+        lines = art.split("\n")
+        assert len(lines) == 10 and all(len(l) == 40 for l in lines)
+
+    def test_word_marks(self):
+        art = ascii_render(doc_with_word(), cols=40, rows=10)
+        assert "#" in art
+
+    def test_box_overlay_with_labels(self):
+        art = ascii_render(
+            doc_with_word(), boxes=[BBox(10, 10, 100, 40)], cols=40, rows=10,
+            labels=["T"],
+        )
+        assert "+" in art and "T" in art
+
+
+class TestLayoutEngine:
+    style = TextStyle(font_size=10.0)
+
+    def test_word_width_monotonic(self):
+        assert word_width("abcdef", 10) > word_width("ab", 10)
+
+    def test_layout_line_left_to_right(self):
+        elements, box = layout_line("one two three", 5, 7, self.style)
+        xs = [e.bbox.x for e in elements]
+        assert xs == sorted(xs)
+        assert box.y == 7
+
+    def test_layout_paragraph_wraps(self):
+        text = " ".join(["word"] * 20)
+        elements, box = layout_paragraph(text, 0, 0, 120, self.style)
+        rows = {round(e.bbox.y) for e in elements}
+        assert len(rows) > 1
+        assert all(e.bbox.x2 <= 125 for e in elements)
+
+    def test_layout_paragraph_center(self):
+        _, left_box = layout_paragraph("tiny", 0, 0, 200, self.style, align="left")
+        _, center_box = layout_paragraph("tiny", 0, 0, 200, self.style, align="center")
+        assert center_box.x > left_box.x
+
+    def test_layout_paragraph_bad_width(self):
+        with pytest.raises(ValueError):
+            layout_paragraph("x", 0, 0, 0, self.style)
+
+    def test_centered_line_symmetric(self):
+        elements, box = layout_centered_line("middle text", 100, 0, self.style)
+        mid = (box.x + box.x2) / 2
+        assert mid == pytest.approx(100, abs=2)
+
+    def test_label_value_layout(self):
+        elements, row_box, value_box = layout_label_value(
+            "1 Wages paid", "12,500", 0, 0, 80, self.style
+        )
+        assert value_box is not None
+        assert value_box.x >= 80
+        assert row_box.contains_bbox(value_box)
+
+    def test_label_without_value(self):
+        elements, row_box, value_box = layout_label_value(
+            "2 Unfilled row", "", 0, 0, 80, self.style
+        )
+        assert value_box is None
+        assert elements

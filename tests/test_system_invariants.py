@@ -1,0 +1,88 @@
+"""System-level invariants of the pipeline, checked over real corpora
+and randomised documents (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import VS2Pipeline, VS2Segmenter
+from repro.doc import Document, TextElement
+from repro.geometry import BBox
+
+
+class TestSegmentationInvariants:
+    def test_every_atom_in_exactly_one_leaf(self, d2_cleaned):
+        seg = VS2Segmenter()
+        for _, observed, _ in d2_cleaned[:4]:
+            tree = seg.segment(observed)
+            leaf_atom_ids = [id(a) for leaf in tree.logical_blocks() for a in leaf.atoms]
+            assert len(leaf_atom_ids) == len(set(leaf_atom_ids))
+            assert set(leaf_atom_ids) == {id(a) for a in observed.elements}
+
+    def test_leaf_boxes_cover_their_atoms(self, d3_cleaned):
+        seg = VS2Segmenter()
+        _, observed, _ = d3_cleaned[0]
+        for leaf in seg.segment(observed).logical_blocks():
+            frame = leaf.bbox.expand(1.0)
+            for atom in leaf.atoms:
+                assert frame.contains_bbox(atom.bbox)
+
+    def test_deterministic_across_runs(self, d2_cleaned):
+        _, observed, _ = d2_cleaned[0]
+        a = [b.bbox for b in VS2Segmenter().segment(observed).logical_blocks()]
+        b = [b.bbox for b in VS2Segmenter().segment(observed).logical_blocks()]
+        assert a == b
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=700),
+                st.integers(min_value=0, max_value=900),
+                st.integers(min_value=8, max_value=40),
+            ),
+            min_size=0,
+            max_size=25,
+        )
+    )
+    def test_never_crashes_on_random_word_clouds(self, placements):
+        elements = [
+            TextElement(f"w{i}", BBox(float(x), float(y), 30.0, float(h)), font_size=float(h))
+            for i, (x, y, h) in enumerate(placements)
+        ]
+        doc = Document("fuzz", 800, 1000, elements=elements)
+        tree = VS2Segmenter().segment(doc)
+        tree.validate_nesting()
+        leaf_atoms = sum(len(l.atoms) for l in tree.logical_blocks())
+        assert leaf_atoms == len(elements)
+
+
+class TestPipelineInvariants:
+    def test_at_most_one_extraction_per_entity(self, d2_corpus):
+        pipeline = VS2Pipeline("D2")
+        for doc in d2_corpus[:4]:
+            extractions = pipeline.run(doc).extractions
+            types = [e.entity_type for e in extractions]
+            assert len(types) == len(set(types))
+
+    def test_extractions_lie_on_page(self, d3_corpus):
+        pipeline = VS2Pipeline("D3")
+        for doc in d3_corpus[:4]:
+            frame = doc.page_bbox.expand(0.3 * max(doc.width, doc.height))
+            for e in pipeline.run(doc).extractions:
+                assert frame.intersects(e.bbox)
+
+    def test_extraction_text_nonempty(self, d1_corpus):
+        pipeline = VS2Pipeline("D1")
+        for e in pipeline.run(d1_corpus[0]).extractions:
+            assert e.text.strip()
+
+    def test_deterministic_end_to_end(self, d2_corpus):
+        doc = d2_corpus[0]
+        a = VS2Pipeline("D2").run(doc).as_key_values()
+        b = VS2Pipeline("D2").run(doc).as_key_values()
+        assert a == b
+
+    def test_empty_document(self):
+        doc = Document("empty", 400, 400)
+        result = VS2Pipeline("D2").run(doc)
+        assert result.extractions == []

@@ -1,0 +1,93 @@
+"""Synthetic websites, web wrapper, holdout corpus (Table 2 pipeline)."""
+
+import pytest
+
+from repro.core.holdout import (
+    build_holdout_corpus,
+    distribution_is_approximately_normal,
+    pattern_distribution,
+    pattern_signature,
+)
+from repro.html import parse_html
+from repro.html.wrapper import extract_records
+from repro.synth.websites import (
+    ALLEVENTS_WRAPPER,
+    FSBO_WRAPPER,
+    HOLDOUT_SOURCES,
+    IRS_WRAPPER,
+    allevents_listing,
+    fsbo_listing,
+    irs_field_tables,
+)
+
+
+class TestWebsites:
+    def test_allevents_page_parses_and_wraps(self):
+        html = allevents_listing(seed=0, n_results=12)
+        records = extract_records(parse_html(html), ALLEVENTS_WRAPPER)
+        assert len(records) == 12
+        assert all(r["event_title"] for r in records)
+        assert all(r["event_time"] for r in records)
+
+    def test_fsbo_page(self):
+        html = fsbo_listing(seed=0, n_results=8)
+        records = extract_records(parse_html(html), FSBO_WRAPPER)
+        assert len(records) == 8
+        assert all("@" in r["broker_email"] for r in records)
+
+    def test_irs_field_index_covers_all_fields(self):
+        html = irs_field_tables(seed=0)
+        records = extract_records(parse_html(html), IRS_WRAPPER)
+        assert len(records) == 1369
+
+    def test_sources_table_matches_paper(self):
+        assert len(HOLDOUT_SOURCES["D1"]) == 1
+        assert len(HOLDOUT_SOURCES["D2"]) == 2  # allevents.in + dl.acm.org
+        assert len(HOLDOUT_SOURCES["D3"]) == 2  # fsbo.com + homesbyowner.com
+
+
+class TestHoldoutCorpus:
+    def test_d2_entities_populated(self):
+        corpus = build_holdout_corpus("D2", max_entries_per_entity=20)
+        for entity in (
+            "event_title",
+            "event_time",
+            "event_place",
+            "event_organizer",
+            "event_description",
+        ):
+            assert len(corpus.texts_for(entity)) >= 10
+
+    def test_d3_entities_populated(self):
+        corpus = build_holdout_corpus("D3", max_entries_per_entity=15)
+        assert len(corpus.texts_for("broker_phone")) >= 10
+
+    def test_d1_descriptor_entries(self):
+        corpus = build_holdout_corpus("D1")
+        assert corpus.size() == 1369
+        entries = corpus.texts_for(next(iter(corpus.entity_types())))
+        assert entries and entries[0]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            build_holdout_corpus("D7")
+
+    def test_max_entries_respected(self):
+        corpus = build_holdout_corpus("D2", max_entries_per_entity=5)
+        assert all(len(v) <= 5 for v in corpus.entries.values())
+
+
+class TestPatternDistribution:
+    def test_signature_stable(self):
+        assert pattern_signature("the grand concert") == pattern_signature(
+            "a small festival"
+        )
+
+    def test_distribution_counts(self):
+        counts = pattern_distribution(["one two", "three four", "five"])
+        assert sum(counts.values()) == 3
+
+    def test_normality_check_needs_three_patterns(self):
+        from collections import Counter
+
+        assert not distribution_is_approximately_normal(Counter({("NP",): 5}))
