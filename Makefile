@@ -1,0 +1,20 @@
+# Developer entry points.  Everything runs from a source checkout with
+# no install step: src/ goes on PYTHONPATH (the package is pure Python).
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke tables
+
+test:            ## the tier-1 suite (~600 unit/integration tests)
+	$(PY) -m pytest -x -q
+
+bench-smoke:     ## tiny instrumented run; refreshes benchmarks/results/BENCH_pipeline.json
+	$(PY) -m pytest benchmarks/test_bench_smoke.py -m bench_smoke -q -s
+
+bench:           ## same snapshot via the CLI, tunable (N=…, WORKERS=…, DATASET=…)
+	$(PY) -m repro bench --dataset $(or $(DATASET),D2) --n $(or $(N),8) \
+	    --workers $(or $(WORKERS),2) --out benchmarks/results/BENCH_pipeline.json
+
+tables:          ## regenerate every paper table/figure into benchmarks/results/
+	$(PY) -m pytest benchmarks/ -q -s

@@ -1,0 +1,49 @@
+"""Perf-trajectory smoke bench (``bench_smoke`` marker).
+
+Runs one tiny corpus through the instrumented parallel runner and
+writes ``benchmarks/results/BENCH_pipeline.json`` — the per-stage
+timing snapshot future PRs diff against (docs/PROFILING.md).  Kept
+deliberately small so it can run on every change::
+
+    make bench-smoke
+    # or
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_smoke.py -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentContext, timing_table
+from repro.perf.snapshot import write_snapshot
+
+from conftest import save_result
+
+SMOKE_DOCS = 8
+SMOKE_WORKERS = 2
+
+
+@pytest.mark.bench_smoke
+def test_bench_smoke_pipeline(results_dir):
+    ctx = ExperimentContext({"D2": SMOKE_DOCS}, seed=0)
+    outcome = ctx.run_pipeline("D2", workers=SMOKE_WORKERS)
+
+    assert not outcome.failures, [str(f) for f in outcome.failures]
+    assert len(outcome.ok) == SMOKE_DOCS
+    for stage in ("ocr", "deskew", "segment", "select"):
+        assert outcome.metrics[stage].calls > 0, f"stage {stage} not recorded"
+
+    write_snapshot(
+        results_dir / "BENCH_pipeline.json",
+        outcome.metrics,
+        dataset="D2",
+        n_docs=SMOKE_DOCS,
+        workers=SMOKE_WORKERS,
+        seed=0,
+        failures=len(outcome.failures),
+    )
+    save_result(
+        results_dir,
+        "bench_smoke",
+        timing_table(outcome.metrics, title="Pipeline per-stage timing (smoke)").format(),
+    )

@@ -4,28 +4,62 @@ Commands
 --------
 ``extract``   run the VS2 pipeline over a synthetic corpus and print
               the extracted key-value pairs per document
+              (``--workers N`` parallelises, ``--profile`` prints the
+              per-stage timing table; see docs/PROFILING.md)
 ``table``     regenerate one of the paper's tables (2, 5, 6, 7, 8, 9)
 ``figure``    regenerate Fig. 3 or Figs. 4/6
 ``render``    rasterise a synthetic document to a PPM image
+``bench``     run a corpus through the instrumented parallel runner and
+              write a ``BENCH_pipeline.json`` timing snapshot
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    from repro.core import VS2Pipeline
+    from repro.perf import CorpusRunner
     from repro.synth import generate_corpus
 
     corpus = generate_corpus(args.dataset, n=args.n, seed=args.seed)
-    pipeline = VS2Pipeline(args.dataset)
-    for doc in corpus:
-        result = pipeline.run(doc)
+    runner = CorpusRunner(args.dataset, workers=args.workers)
+    outcome = runner.run(list(corpus))
+    for doc, result in zip(corpus, outcome.results):
         print(f"== {doc.doc_id} ({doc.source}) ==")
+        if result is None:
+            continue  # failed; reported below
         for key, value in sorted(result.as_key_values().items()):
             print(f"  {key:22s} {value[:70]!r}")
+    for failure in outcome.failures:
+        print(f"!! {failure}", file=sys.stderr)
+    if args.profile:
+        print()
+        print(outcome.metrics.format_table())
+    return 1 if len(outcome.failures) == len(corpus) and len(corpus) else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import ExperimentContext, timing_table
+    from repro.perf.snapshot import write_snapshot
+
+    context = ExperimentContext({args.dataset: args.n}, seed=args.seed)
+    outcome = context.run_pipeline(args.dataset, workers=args.workers)
+    print(timing_table(outcome.metrics, title="Pipeline per-stage timing").format())
+    for failure in outcome.failures:
+        print(f"!! {failure}", file=sys.stderr)
+    path = write_snapshot(
+        args.out,
+        outcome.metrics,
+        dataset=args.dataset,
+        n_docs=args.n,
+        workers=args.workers,
+        seed=args.seed,
+        failures=len(outcome.failures),
+    )
+    print(f"wrote {path}")
     return 0
 
 
@@ -49,6 +83,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
         {"D1": args.n_d1, "D2": args.n_d2, "D3": args.n_d3}, seed=args.seed
     )
     print(runner(context).format())
+    if args.profile:
+        from repro.harness import timing_table
+
+        print()
+        print(timing_table(context.metrics, title="Context per-stage timing").format())
     return 0
 
 
@@ -83,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
     p.add_argument("--n", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for the corpus runner (1 = serial)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage timing table after the run",
+    )
     p.set_defaults(fn=_cmd_extract)
 
     p = sub.add_parser("table", help="regenerate a paper table")
@@ -91,7 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-d2", type=int, default=16)
     p.add_argument("--n-d3", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print the context's per-stage timing table after the table",
+    )
     p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser(
+        "bench",
+        help="instrumented corpus run + BENCH_pipeline.json timing snapshot",
+    )
+    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--out", default="benchmarks/results/BENCH_pipeline.json")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=["3", "4"])

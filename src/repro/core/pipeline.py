@@ -1,10 +1,51 @@
 """The end-to-end VS2 pipeline (Fig. 2).
 
-Input: a visually rich document.  Steps: clean (skew correction, §1's
-Example 1.1) and transcribe (simulated OCR), segment into logical
-blocks (VS2-Segment), search-and-select the named entities
-(VS2-Select).  Output: key-value extractions, localised in the
-*original* document frame so they compare directly against annotations.
+Input: a visually rich document.  Stages, in order:
+
+1. **clean** — simulated OCR transcription (:mod:`repro.ocr`) followed
+   by skew correction (§1's Example 1.1, :mod:`repro.ocr.deskew`);
+2. **VS2-Segment** — hierarchical segmentation of the cleaned view
+   into logical blocks (:mod:`repro.core.segment`);
+3. **VS2-Select** — distantly supervised search-and-select of the
+   dataset's named entities over those blocks
+   (:mod:`repro.core.select`).
+
+Output: key-value extractions, localised in the *original* document
+frame so they compare directly against annotations.
+
+Coordinate frames
+-----------------
+Two frames appear throughout (``docs/ARCHITECTURE.md`` has the full
+contract):
+
+* the **original frame** — the coordinates of the input ``Document``
+  exactly as authored/captured, possibly skewed;
+* the **observed frame** — the deskewed OCR view the pipeline actually
+  reasons in: every box produced by segmentation and selection starts
+  life here.
+
+``deskew`` maps original → observed (returning the estimated angle);
+``rotate_back`` maps observed boxes → original.  The pipeline applies
+``rotate_back`` to its extractions as the last step, so *callers only
+ever see original-frame extractions*, while the intermediate artefacts
+kept on :class:`PipelineResult` (``tree``, ``blocks``, ``observed``)
+stay in the observed frame for inspection and figures.
+
+Usage
+-----
+>>> from repro.core import VS2Pipeline
+>>> from repro.synth import generate_corpus
+>>> doc = generate_corpus("D2", n=1, seed=42)[0]
+>>> result = VS2Pipeline("D2").run(doc)
+>>> sorted(result.as_key_values())           # doctest: +ELLIPSIS
+['event_description', 'event_organizer', ...]
+
+Instrumentation (:mod:`repro.perf`) is always on: every run records
+per-stage wall-time into :attr:`VS2Pipeline.metrics`, and an optional
+:class:`~repro.perf.cache.TranscriptionCache` memoises the clean step.
+For whole corpora, prefer :meth:`VS2Pipeline.run_corpus` (or
+:class:`repro.perf.runner.CorpusRunner` directly) which adds process
+parallelism and per-document error isolation.
 """
 
 from __future__ import annotations
@@ -19,15 +60,42 @@ from repro.doc import Document
 from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding, default_embedding
 from repro.ocr import OcrEngine, OcrResult
-from repro.ocr.deskew import deskew, rotate_back
+from repro.ocr.deskew import rotate_back
+from repro.perf.cache import TranscriptionCache, transcribe_and_clean
+from repro.perf.metrics import PipelineMetrics
 
 
 @dataclass
 class PipelineResult:
     """Everything one run produces (kept for inspection/figures).
 
-    ``tree`` / ``blocks`` live in the cleaned (deskewed) frame;
-    ``extractions`` are mapped back to the original frame.
+    Field semantics — and, crucially, which coordinate frame each bbox
+    lives in:
+
+    ``doc_id``
+        The input document's id (ground truth is never consulted).
+    ``extractions``
+        The deliverable: one :class:`~repro.core.select.Extraction` per
+        resolved entity.  Both ``bbox`` (the owning logical block) and
+        ``span_bbox`` (the tight box of the matched words) are in the
+        **original frame** — already rotated back, comparable directly
+        against the document's annotations.
+    ``tree`` / ``blocks``
+        The layout tree and its logical-block leaves, in the
+        **observed (deskewed) frame**.  To compare a block box against
+        original-frame annotations, map it with
+        :func:`repro.ocr.deskew.rotate_back` using ``skew_angle`` and
+        ``observed``.
+    ``ocr``
+        The raw :class:`~repro.ocr.OcrResult` (noisy words, *original*
+        frame, pre-deskew).
+    ``observed``
+        The cleaned document view the pipeline reasoned over —
+        deskewed OCR words, no ground truth attached.
+    ``skew_angle``
+        Estimated skew in degrees; ``0.0`` means the observed and
+        original frames coincide (and ``extractions`` needed no
+        rotation).
     """
 
     doc_id: str
@@ -44,7 +112,14 @@ class PipelineResult:
 
 
 class VS2Pipeline:
-    """clean → OCR → VS2-Segment → VS2-Select, wired per dataset."""
+    """clean → OCR → VS2-Segment → VS2-Select, wired per dataset.
+
+    ``metrics`` (a shared :class:`~repro.perf.metrics.PipelineMetrics`)
+    accumulates per-stage timings across every :meth:`run`; ``cache``
+    (a :class:`~repro.perf.cache.TranscriptionCache`) memoises the
+    clean step so repeated runs over the same corpus — benchmarks,
+    table regenerations — transcribe each document once.
+    """
 
     def __init__(
         self,
@@ -52,37 +127,72 @@ class VS2Pipeline:
         config: Optional[VS2Config] = None,
         ocr_engine: Optional[OcrEngine] = None,
         embedding: Optional[WordEmbedding] = None,
+        cache: Optional[TranscriptionCache] = None,
+        metrics: Optional[PipelineMetrics] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config or VS2Config.for_dataset(self.dataset)
         self.embedding = embedding or default_embedding()
         self.ocr = ocr_engine or OcrEngine(seed=self.config.ocr_seed)
-        self.segmenter = VS2Segmenter(self.config.segment, self.embedding)
+        self.cache = cache
+        self.metrics = metrics or PipelineMetrics()
+        self.segmenter = VS2Segmenter(
+            self.config.segment, self.embedding, metrics=self.metrics
+        )
         self.selector = VS2Selector(
-            self.dataset, self.config.select, embedding=self.embedding
+            self.dataset,
+            self.config.select,
+            embedding=self.embedding,
+            metrics=self.metrics,
         )
 
     def run(self, doc: Document) -> PipelineResult:
         """Extract every named entity of the dataset's vocabulary from
         one document.  ``doc`` ground truth is never consulted."""
-        ocr = self.ocr.transcribe(doc)
-        observed, angle = deskew(ocr.as_document(doc))
-        tree = self.segmenter.segment(observed)
-        blocks = tree.logical_blocks()
-        extractions = self.selector.extract(observed, blocks)
+        if self.cache is not None:
+            ocr, observed, angle = self.cache.cleaned(self.ocr, doc, self.metrics)
+        else:
+            ocr, observed, angle = transcribe_and_clean(self.ocr, doc, self.metrics)
+        with self.metrics.stage("segment") as t:
+            tree = self.segmenter.segment(observed)
+            blocks = tree.logical_blocks()
+            t.items = len(blocks)
+        with self.metrics.stage("select") as t:
+            extractions = self.selector.extract(observed, blocks)
+            t.items = len(extractions)
         if angle != 0.0:
-            extractions = [
-                Extraction(
-                    e.entity_type,
-                    e.text,
-                    rotate_back(e.bbox, angle, observed),
-                    rotate_back(e.span_bbox, angle, observed),
-                    e.score,
-                )
-                for e in extractions
-            ]
+            with self.metrics.stage("rotate_back") as t:
+                t.items = len(extractions)
+                extractions = [
+                    Extraction(
+                        e.entity_type,
+                        e.text,
+                        rotate_back(e.bbox, angle, observed),
+                        rotate_back(e.span_bbox, angle, observed),
+                        e.score,
+                    )
+                    for e in extractions
+                ]
         return PipelineResult(doc.doc_id, extractions, tree, blocks, ocr, observed, angle)
 
-    def run_corpus(self, docs: Sequence[Document]) -> List[PipelineResult]:
-        """Run the pipeline over a document collection."""
-        return [self.run(doc) for doc in docs]
+    def run_corpus(
+        self, docs: Sequence[Document], workers: int = 1
+    ) -> List[PipelineResult]:
+        """Run the pipeline over a document collection.
+
+        ``workers > 1`` fans the corpus out across a process pool via
+        :class:`repro.perf.runner.CorpusRunner` (results stay in input
+        order and are identical to the serial path).  This method keeps
+        the historical fail-fast contract — the first per-document
+        error is re-raised; use :class:`CorpusRunner` directly for
+        error isolation and per-run metrics.
+        """
+        from repro.perf.runner import CorpusRunner
+
+        runner = CorpusRunner(
+            self.dataset, config=self.config, workers=workers, cache=self.cache
+        )
+        outcome = runner.run(docs)
+        outcome.raise_first()
+        self.metrics.merge(outcome.metrics)
+        return list(outcome.ok)

@@ -29,14 +29,26 @@ from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding
 from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
 from repro.geometry.cuts import CutSet, interior_cut_sets
+from repro.perf.metrics import PipelineMetrics
 
 
 class VS2Segmenter:
-    """Segments a document into its layout tree / logical blocks."""
+    """Segments a document into its layout tree / logical blocks.
 
-    def __init__(self, config: Optional[SegmentConfig] = None, embedding: Optional[WordEmbedding] = None):
+    ``metrics`` records the ``segment.cuts`` / ``segment.cluster`` /
+    ``segment.merge`` sub-stages; the pipeline passes its own
+    accumulator so they nest under its top-level ``segment`` timing.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SegmentConfig] = None,
+        embedding: Optional[WordEmbedding] = None,
+        metrics: Optional[PipelineMetrics] = None,
+    ):
         self.config = config or SegmentConfig()
         self.embedding = embedding
+        self.metrics = metrics if metrics is not None else PipelineMetrics()
 
     # ------------------------------------------------------------------
     # Public API
@@ -57,7 +69,8 @@ class VS2Segmenter:
         self._recurse(root, depth=0)
         tree = LayoutTree(root)
         if self.config.use_semantic_merging:
-            semantic_merge(tree, self.config, self.embedding)
+            with self.metrics.stage("segment.merge"):
+                semantic_merge(tree, self.config, self.embedding)
         return tree
 
     def logical_blocks(self, doc: Document) -> List[LayoutNode]:
@@ -81,10 +94,12 @@ class VS2Segmenter:
         if len(node.atoms) < self.config.min_atoms_to_split:
             return
 
-        groups = self._split_by_cuts(node)
+        with self.metrics.stage("segment.cuts"):
+            groups = self._split_by_cuts(node)
         kind = "cut"
         if groups is None and self.config.use_visual_clustering:
-            groups = self._split_by_clustering(node)
+            with self.metrics.stage("segment.cluster"):
+                groups = self._split_by_clustering(node)
             kind = "cluster"
         if not groups or len(groups) < 2:
             return

@@ -31,6 +31,7 @@ from repro.geometry import BBox, enclosing_bbox
 from repro.nlp.fuzzy import normalize_for_match, ocr_fold, similarity_ratio
 from repro.nlp.lesk import LeskCandidate, lesk_select
 from repro.nlp.tokenizer import normalize_text
+from repro.perf.metrics import PipelineMetrics
 from repro.synth.corpus import entity_vocabulary
 from repro.synth.tax_forms import form_faces
 
@@ -92,10 +93,12 @@ class VS2Selector:
         config: Optional[SelectConfig] = None,
         patterns: Optional[Dict[str, SyntacticPattern]] = None,
         embedding: Optional[WordEmbedding] = None,
+        metrics: Optional[PipelineMetrics] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config or SelectConfig()
         self.embedding = embedding or default_embedding()
+        self.metrics = metrics if metrics is not None else PipelineMetrics()
         if patterns is not None:
             self.patterns = patterns
         elif self.dataset in ("D2", "D3"):
@@ -111,7 +114,10 @@ class VS2Selector:
         """Search each entity's pattern over the logical blocks and pick
         one match per entity (disambiguating when several fire)."""
         if self.dataset == "D1":
-            return self._extract_form_fields(doc, blocks)
+            with self.metrics.stage("select.form_fields") as t:
+                out = self._extract_form_fields(doc, blocks)
+                t.items = len(out)
+            return out
         extractions: List[Extraction] = []
         interest_points = select_interest_points(blocks, self.embedding)
         page_diag = float(np.hypot(doc.width, doc.height))
@@ -119,10 +125,13 @@ class VS2Selector:
             self.config.eq2_weights.get(self.dataset, (0.25, 0.25, 0.25, 0.25))
         )
         for entity_type, pattern in self.patterns.items():
-            candidates = self._find_candidates(blocks, pattern)
-            chosen = self._choose(
-                candidates, entity_type, interest_points, weights, page_diag
-            )
+            with self.metrics.stage("select.search") as t:
+                candidates = self._find_candidates(blocks, pattern)
+                t.items = len(candidates)
+            with self.metrics.stage("select.disambiguate"):
+                chosen = self._choose(
+                    candidates, entity_type, interest_points, weights, page_diag
+                )
             if chosen is not None:
                 extractions.append(
                     Extraction(

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.metrics import PipelineMetrics
 
 
 @dataclass
@@ -68,3 +71,29 @@ def percent(value: Optional[float]) -> Optional[float]:
     """Identity passthrough kept for call-site readability: metric
     fractions render as percentages via :func:`_cell`."""
     return value
+
+
+def timing_table(
+    metrics: "PipelineMetrics", title: str = "Per-stage timing"
+) -> TableResult:
+    """A :class:`TableResult` view of a per-stage metrics accumulator,
+    so profiling output renders with the same typography as the paper
+    tables (``repro bench`` and the bench-smoke snapshot use it)."""
+    table = TableResult(
+        title=title, columns=["stage", "calls", "total s", "ms/call", "items"]
+    )
+    for name in metrics.ordered_names():
+        stats = metrics[name]
+        table.add_row(**{
+            "stage": ("  " + name) if "." in name else name,
+            "calls": stats.calls,
+            "total s": f"{stats.seconds:.3f}",
+            "ms/call": f"{stats.ms_per_call:.2f}",
+            "items": stats.items,
+        })
+    table.notes.append(
+        f"summed top-level stage time {metrics.total_seconds():.3f}s; "
+        "dotted sub-stages nest inside their parents (excluded from the "
+        "sum), and the sum exceeds the corpus wall-time when workers overlap"
+    )
+    return table

@@ -4,6 +4,14 @@
 cleaned (deskewed) views, cached so the same transcription feeds every
 algorithm — the paper's protocol of evaluating all competitors on
 identical inputs.
+
+The context rides on the :mod:`repro.perf` layer: a shared
+:class:`~repro.perf.cache.TranscriptionCache` memoises the clean step
+(so harness *and* pipeline transcribe each document exactly once per
+process), a :class:`~repro.perf.metrics.PipelineMetrics` accumulator
+records where the wall-time goes, and :meth:`ExperimentContext.
+run_pipeline` fans a dataset out across a
+:class:`~repro.perf.runner.CorpusRunner` process pool.
 """
 
 from __future__ import annotations
@@ -15,7 +23,10 @@ from repro.core.select import Extraction
 from repro.doc import Document
 from repro.geometry import BBox
 from repro.ocr import OcrEngine
-from repro.ocr.deskew import deskew, rotate_back
+from repro.ocr.deskew import rotate_back
+from repro.perf.cache import TranscriptionCache
+from repro.perf.metrics import PipelineMetrics
+from repro.perf.runner import CorpusRunner, CorpusRunResult
 from repro.synth import Corpus, generate_corpus, train_test_split
 
 #: A segmentation algorithm: cleaned document → block proposals (or
@@ -49,10 +60,22 @@ class CleanedDoc:
 class ExperimentContext:
     """Corpus + transcription cache shared by the table runners."""
 
-    def __init__(self, n_docs: Dict[str, int], seed: int = 0, ocr_seed: int = 7):
+    def __init__(
+        self,
+        n_docs: Dict[str, int],
+        seed: int = 0,
+        ocr_seed: int = 7,
+        cache: Optional[TranscriptionCache] = None,
+        metrics: Optional[PipelineMetrics] = None,
+    ):
         self.n_docs = dict(n_docs)
         self.seed = seed
         self.engine = OcrEngine(seed=ocr_seed)
+        #: Clean-step memo shared with any pipeline built over this
+        #: context (pass it to ``VS2Pipeline(cache=ctx.cache)``).
+        self.cache = cache or TranscriptionCache()
+        #: Per-stage wall-time accumulated by everything this context runs.
+        self.metrics = metrics or PipelineMetrics()
         self._corpora: Dict[str, Corpus] = {}
         self._cleaned: Dict[str, List[CleanedDoc]] = {}
 
@@ -80,7 +103,7 @@ class ExperimentContext:
         if dataset not in self._cleaned:
             cleaned: List[CleanedDoc] = []
             for doc in self.corpus(dataset):
-                observed, angle = deskew(self.engine.transcribe(doc).as_document(doc))
+                _, observed, angle = self.cache.cleaned(self.engine, doc, self.metrics)
                 cleaned.append(CleanedDoc(doc, observed, angle))
             self._cleaned[dataset] = cleaned
         return self._cleaned[dataset]
@@ -95,6 +118,24 @@ class ExperimentContext:
         train = [c for c in cleaned if c.original.doc_id in train_ids]
         test = [c for c in cleaned if c.original.doc_id not in train_ids]
         return train, test
+
+    # ------------------------------------------------------------------
+    def run_pipeline(
+        self, dataset: str, workers: int = 1, chunk_size: Optional[int] = None
+    ) -> CorpusRunResult:
+        """Run the full VS2 pipeline over one dataset's corpus through
+        the instrumented :class:`CorpusRunner`.
+
+        ``workers > 1`` uses a process pool; results keep corpus order
+        either way, per-document failures are isolated, and the run's
+        per-stage metrics are folded into :attr:`metrics`.
+        """
+        runner = CorpusRunner(
+            dataset, workers=workers, chunk_size=chunk_size, cache=self.cache
+        )
+        outcome = runner.run(list(self.corpus(dataset)))
+        self.metrics.merge(outcome.metrics)
+        return outcome
 
     # ------------------------------------------------------------------
     def run_segmentation(

@@ -38,6 +38,7 @@ from repro.eval.metrics import (
 from repro.eval.significance import paired_t_test
 from repro.harness.reporting import TableResult
 from repro.harness.runner import ExperimentContext
+from repro.perf.metrics import PipelineMetrics
 from repro.ocr.layout_analysis import tesseract_blocks
 from repro.synth.corpus import entity_vocabulary
 from repro.synth.websites import HOLDOUT_SOURCES
@@ -67,16 +68,29 @@ class _VS2Extractor:
     in a table consumes the identical transcription.
     """
 
-    def __init__(self, dataset: str, config: Optional[VS2Config] = None):
+    def __init__(
+        self,
+        dataset: str,
+        config: Optional[VS2Config] = None,
+        metrics: Optional[PipelineMetrics] = None,
+    ):
         config = config or VS2Config()
         embedding = default_embedding()
-        self.segmenter = VS2Segmenter(config.segment, embedding)
-        self.selector = VS2Selector(dataset, config.select, embedding=embedding)
+        self.metrics = metrics if metrics is not None else PipelineMetrics()
+        self.segmenter = VS2Segmenter(config.segment, embedding, metrics=self.metrics)
+        self.selector = VS2Selector(
+            dataset, config.select, embedding=embedding, metrics=self.metrics
+        )
 
     def extract(self, observed: Document) -> List[Extraction]:
         """Segment + select on an already cleaned document view."""
-        blocks = self.segmenter.segment(observed).logical_blocks()
-        return self.selector.extract(observed, blocks)
+        with self.metrics.stage("segment") as t:
+            blocks = self.segmenter.segment(observed).logical_blocks()
+            t.items = len(blocks)
+        with self.metrics.stage("select") as t:
+            out = self.selector.extract(observed, blocks)
+            t.items = len(out)
+        return out
 
 
 def _vs2_blocks(config: Optional[SegmentConfig] = None) -> Callable:
@@ -131,7 +145,9 @@ def _per_entity_table(
     dataset: str, title: str, context: ExperimentContext
 ) -> TableResult:
     docs = context.cleaned(dataset)
-    vs2_results = context.run_extractor(_VS2Extractor(dataset), docs)
+    vs2_results = context.run_extractor(
+        _VS2Extractor(dataset, metrics=context.metrics), docs
+    )
     text_results = context.run_extractor(TextOnlyExtractor(dataset), docs)
     vs2_overall, vs2_entities = end_to_end_scores(vs2_results)
     text_overall, text_entities = end_to_end_scores(text_results)
@@ -246,7 +262,7 @@ def _table7_cell(
         extractor = ReportMinerExtractor(dataset)
         extractor.fit([c.original for c in train])
     elif name == "VS2":
-        extractor = _VS2Extractor(dataset)
+        extractor = _VS2Extractor(dataset, metrics=context.metrics)
     else:
         raise ValueError(f"unknown method {name!r}")
     results = context.run_extractor(extractor, test, source_filter)
@@ -281,7 +297,9 @@ def table9(context: Optional[ExperimentContext] = None) -> TableResult:
     full_f1: Dict[str, float] = {}
     for dataset in DATASETS:
         docs = context.cleaned(dataset)
-        full = end_to_end_scores(context.run_extractor(_VS2Extractor(dataset), docs))[0]
+        full = end_to_end_scores(
+            context.run_extractor(_VS2Extractor(dataset, metrics=context.metrics), docs)
+        )[0]
         full_f1[dataset] = full.f1
 
     table = TableResult(
@@ -293,7 +311,9 @@ def table9(context: Optional[ExperimentContext] = None) -> TableResult:
         for dataset in DATASETS:
             docs = context.cleaned(dataset)
             ablated = end_to_end_scores(
-                context.run_extractor(_VS2Extractor(dataset, cfg), docs)
+                context.run_extractor(
+                    _VS2Extractor(dataset, cfg, metrics=context.metrics), docs
+                )
             )[0]
             row[f"dF1 {dataset}"] = full_f1[dataset] - ablated.f1
         table.rows.append(row)

@@ -1,0 +1,37 @@
+"""Performance layer: instrumentation, memoisation, parallel execution.
+
+Three pieces, each usable alone:
+
+* :mod:`repro.perf.metrics` — :class:`StageTimer` /
+  :class:`PipelineMetrics`, the per-stage wall-time/call/item
+  accumulator threaded through the pipeline;
+* :mod:`repro.perf.cache` — :class:`TranscriptionCache`, memoising the
+  OCR-transcription + deskew step keyed by ``(seed, doc_id)``;
+* :mod:`repro.perf.runner` — :class:`CorpusRunner`, the process-pool
+  corpus executor with chunked dispatch, deterministic result ordering
+  and per-document error isolation.
+
+See ``docs/ARCHITECTURE.md`` for where each hooks into the pipeline and
+``docs/PROFILING.md`` for the operator's view (``--workers`` /
+``--profile`` and ``BENCH_*.json`` snapshots).
+"""
+
+from repro.perf.cache import TranscriptionCache, transcribe_and_clean
+from repro.perf.metrics import PipelineMetrics, StageStats, StageTimer, merge_all
+from repro.perf.runner import CorpusRunner, CorpusRunResult, DocumentFailure
+from repro.perf.snapshot import compare, load_snapshot, write_snapshot
+
+__all__ = [
+    "compare",
+    "load_snapshot",
+    "write_snapshot",
+    "CorpusRunner",
+    "CorpusRunResult",
+    "DocumentFailure",
+    "PipelineMetrics",
+    "StageStats",
+    "StageTimer",
+    "TranscriptionCache",
+    "merge_all",
+    "transcribe_and_clean",
+]

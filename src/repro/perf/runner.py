@@ -1,0 +1,254 @@
+"""Parallel corpus execution with per-document error isolation.
+
+:class:`CorpusRunner` fans a corpus out across a process pool and runs
+the full VS2 pipeline on every document:
+
+* **chunked dispatch** — documents are submitted in contiguous chunks
+  (default ``ceil(n / (workers * 4))`` per chunk) so scheduling
+  overhead amortises while stragglers still rebalance;
+* **deterministic ordering** — results come back aligned with the
+  input order regardless of which worker finished first, so a parallel
+  run is byte-identical to a serial one (the pipeline itself is fully
+  seeded);
+* **error isolation** — a document that raises mid-pipeline becomes a
+  :class:`DocumentFailure` in :attr:`CorpusRunResult.failures` (and a
+  ``None`` at its slot in :attr:`CorpusRunResult.results`) instead of
+  killing the run;
+* **instrumentation** — every worker accumulates
+  :class:`~repro.perf.metrics.PipelineMetrics` and the parent merges
+  them, so ``--profile`` tables cover the whole run.
+
+``workers <= 1`` runs serially in-process through the exact same
+bookkeeping, which is also the fallback when the platform cannot spawn
+processes (restricted sandboxes).
+"""
+
+from __future__ import annotations
+
+import math
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.perf.cache import TranscriptionCache
+from repro.perf.metrics import PipelineMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids core import cycle)
+    from repro.core.config import VS2Config
+    from repro.core.pipeline import PipelineResult, VS2Pipeline
+    from repro.doc import Document
+
+#: Builds the pipeline a worker runs; must be picklable (a module-level
+#: function) when ``workers > 1``.
+PipelineFactory = Callable[[], "VS2Pipeline"]
+
+
+@dataclass(frozen=True)
+class DocumentFailure:
+    """One document that raised mid-pipeline, with enough context to
+    reproduce it (``python -m repro extract`` on the same seed/doc)."""
+
+    doc_id: str
+    error_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"{self.doc_id}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class CorpusRunResult:
+    """Everything one corpus run produces.
+
+    ``results[i]`` corresponds to ``docs[i]`` of the input — ``None``
+    where that document failed (its :class:`DocumentFailure` is in
+    ``failures``, in input order).
+    """
+
+    results: List[Optional["PipelineResult"]]
+    failures: List[DocumentFailure] = field(default_factory=list)
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+    @property
+    def ok(self) -> List["PipelineResult"]:
+        """The successful results, input order preserved."""
+        return [r for r in self.results if r is not None]
+
+    def raise_first(self) -> None:
+        """Re-raise the first failure (for callers that want the old
+        fail-fast ``run_corpus`` semantics)."""
+        if self.failures:
+            f = self.failures[0]
+            raise RuntimeError(
+                f"pipeline failed on {f.doc_id}: {f.error_type}: {f.message}\n{f.traceback}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (module level so the spawn start method works)
+# ----------------------------------------------------------------------
+_WORKER_PIPELINE: Optional["VS2Pipeline"] = None
+
+
+def _default_factory(dataset: str, config: Optional["VS2Config"]) -> "VS2Pipeline":
+    from repro.core.pipeline import VS2Pipeline
+
+    return VS2Pipeline(dataset, config=config, cache=TranscriptionCache())
+
+
+def _init_worker(
+    dataset: str,
+    config: Optional["VS2Config"],
+    factory: Optional[PipelineFactory],
+) -> None:
+    """Process-pool initialiser: build this worker's pipeline once."""
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = factory() if factory is not None else _default_factory(dataset, config)
+
+
+def _run_one(
+    pipeline: "VS2Pipeline", index: int, doc: "Document"
+) -> Tuple[int, Optional["PipelineResult"], Optional[DocumentFailure]]:
+    try:
+        return index, pipeline.run(doc), None
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        failure = DocumentFailure(
+            doc_id=doc.doc_id,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+        )
+        return index, None, failure
+
+
+def _run_chunk(chunk: List[Tuple[int, "Document"]]):
+    """Run one chunk in a worker; returns per-doc outcomes plus the
+    metrics accumulated *by this chunk* (drained so successive chunks
+    in the same worker never double-count)."""
+    assert _WORKER_PIPELINE is not None, "worker initialiser did not run"
+    out = [_run_one(_WORKER_PIPELINE, index, doc) for index, doc in chunk]
+    return out, _WORKER_PIPELINE.metrics.drain().to_dict()
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class CorpusRunner:
+    """Run the VS2 pipeline over a corpus, serially or across a pool.
+
+    Parameters
+    ----------
+    dataset:
+        ``"D1"`` / ``"D2"`` / ``"D3"`` — which pipeline wiring to build.
+    config:
+        Optional :class:`~repro.core.config.VS2Config` override (must be
+        picklable when ``workers > 1``).
+    workers:
+        Process count.  ``<= 1`` runs serially in-process.
+    chunk_size:
+        Documents per dispatched chunk; default balances ~4 chunks per
+        worker.
+    cache:
+        A :class:`TranscriptionCache` for the serial path (workers own
+        private caches — transcription is deterministic, so this only
+        affects speed, never results).
+    pipeline_factory:
+        Custom pipeline builder (e.g. for tests or alternative
+        configs).  Must be a picklable callable when ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        dataset: str,
+        config: Optional["VS2Config"] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        cache: Optional[TranscriptionCache] = None,
+        pipeline_factory: Optional[PipelineFactory] = None,
+    ):
+        self.dataset = dataset.upper()
+        self.config = config
+        self.workers = max(1, int(workers))
+        self.chunk_size = chunk_size
+        self.cache = cache
+        self.pipeline_factory = pipeline_factory
+        self._serial_pipeline: Optional["VS2Pipeline"] = None
+
+    # ------------------------------------------------------------------
+    def run(self, docs: Sequence["Document"]) -> CorpusRunResult:
+        """Process every document; never raises for a per-document
+        pipeline error (see :class:`CorpusRunResult`)."""
+        docs = list(docs)
+        metrics = PipelineMetrics()
+        with metrics.stage("corpus") as t:
+            t.items = len(docs)
+            if self.workers <= 1 or len(docs) <= 1:
+                slots, failures = self._run_serial(docs, metrics)
+            else:
+                slots, failures = self._run_parallel(docs, metrics)
+        failures.sort(key=lambda f: f.doc_id)
+        return CorpusRunResult(results=slots, failures=failures, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def _serial(self) -> "VS2Pipeline":
+        if self._serial_pipeline is None:
+            from repro.core.pipeline import VS2Pipeline
+
+            if self.pipeline_factory is not None:
+                self._serial_pipeline = self.pipeline_factory()
+            else:
+                self._serial_pipeline = VS2Pipeline(
+                    self.dataset,
+                    config=self.config,
+                    cache=self.cache or TranscriptionCache(),
+                )
+        return self._serial_pipeline
+
+    def _run_serial(self, docs, metrics):
+        pipeline = self._serial()
+        pipeline.metrics.drain()  # only this run's samples
+        slots: List[Optional["PipelineResult"]] = [None] * len(docs)
+        failures: List[DocumentFailure] = []
+        for index, doc in enumerate(docs):
+            _, result, failure = _run_one(pipeline, index, doc)
+            slots[index] = result
+            if failure is not None:
+                failures.append(failure)
+        metrics.merge(pipeline.metrics.drain())
+        return slots, failures
+
+    def _run_parallel(self, docs, metrics):
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(len(docs) / (self.workers * 4))
+        )
+        chunks = [
+            list(enumerate(docs))[i : i + chunk_size]
+            for i in range(0, len(docs), chunk_size)
+        ]
+        workers = min(self.workers, len(chunks))
+        slots: List[Optional["PipelineResult"]] = [None] * len(docs)
+        failures: List[DocumentFailure] = []
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.dataset, self.config, self.pipeline_factory),
+            )
+        except (OSError, ValueError):  # no process support: degrade, don't die
+            return self._run_serial(docs, metrics)
+        try:
+            pending = {executor.submit(_run_chunk, chunk) for chunk in chunks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcomes, chunk_metrics = future.result()
+                    metrics.merge(PipelineMetrics.from_dict(chunk_metrics))
+                    for index, result, failure in outcomes:
+                        slots[index] = result
+                        if failure is not None:
+                            failures.append(failure)
+        finally:
+            executor.shutdown()
+        return slots, failures

@@ -1,0 +1,83 @@
+"""``BENCH_*.json`` timing snapshots — the repo's perf trajectory.
+
+One snapshot is a JSON file holding run parameters plus the per-stage
+metrics of an instrumented corpus run.  ``python -m repro bench`` and
+the ``bench_smoke`` pytest marker write them; ``compare`` diffs two
+snapshots so a PR can show what it did to the hot path (see
+``docs/PROFILING.md`` for the workflow).
+
+Timestamps are intentionally absent: snapshots are committed artefacts
+and byte-stable output keeps their diffs reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.perf.metrics import PipelineMetrics
+
+#: Bumped when the JSON layout changes incompatibly.
+SCHEMA = "repro.bench.pipeline/1"
+
+
+def write_snapshot(
+    path: Union[str, pathlib.Path],
+    metrics: PipelineMetrics,
+    **meta: object,
+) -> pathlib.Path:
+    """Write ``metrics`` (plus free-form run ``meta``) as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "meta": dict(sorted(meta.items())),
+        "stages": metrics.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_snapshot(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Load a snapshot; raises ``ValueError`` on a foreign schema."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unknown snapshot schema {data.get('schema')!r}")
+    return data
+
+
+def metrics_of(snapshot: Dict[str, object]) -> PipelineMetrics:
+    return PipelineMetrics.from_dict(snapshot["stages"])  # type: ignore[arg-type]
+
+
+def compare(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = 0.10,
+) -> List[str]:
+    """Human-readable per-stage deltas (current vs baseline).
+
+    Lines are emitted for every stage present in either snapshot;
+    changes beyond ``threshold`` (fractional) are flagged with
+    ``SLOWER``/``faster`` so a glance finds the regressions.
+    """
+    base = metrics_of(baseline).stages
+    curr = metrics_of(current).stages
+    lines: List[str] = []
+    for name in sorted(set(base) | set(curr)):
+        b: Optional[float] = base[name].seconds if name in base else None
+        c: Optional[float] = curr[name].seconds if name in curr else None
+        if b is None:
+            lines.append(f"{name:22s} new stage          ({c:.3f}s)")
+        elif c is None:
+            lines.append(f"{name:22s} stage removed      (was {b:.3f}s)")
+        else:
+            delta = (c - b) / b if b > 0 else 0.0
+            flag = ""
+            if delta > threshold:
+                flag = "  SLOWER"
+            elif delta < -threshold:
+                flag = "  faster"
+            lines.append(f"{name:22s} {b:8.3f}s -> {c:8.3f}s ({delta:+6.1%}){flag}")
+    return lines

@@ -1,0 +1,266 @@
+"""The perf layer: metrics accumulator, transcription cache, and the
+parallel corpus runner (serial/parallel equivalence, error isolation,
+deterministic ordering)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core.pipeline import VS2Pipeline
+from repro.harness import ExperimentContext
+from repro.ocr import OcrEngine
+from repro.perf import (
+    CorpusRunner,
+    PipelineMetrics,
+    TranscriptionCache,
+    compare,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.synth import generate_corpus
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _extraction_key(result):
+    """Byte-stable view of one document's extractions."""
+    return [
+        (e.entity_type, e.text, tuple(vars(e.bbox).values()),
+         tuple(vars(e.span_bbox).values()), e.score)
+        for e in result.extractions
+    ]
+
+
+class ExplodingPipeline(VS2Pipeline):
+    """Raises mid-pipeline for one specific document."""
+
+    BAD_DOC = "D2-00002"
+
+    def run(self, doc):
+        if doc.doc_id == self.BAD_DOC:
+            raise RuntimeError("injected mid-pipeline failure")
+        return super().run(doc)
+
+
+def _exploding_factory():
+    return ExplodingPipeline("D2", cache=TranscriptionCache())
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return list(generate_corpus("D2", n=8, seed=3))
+
+
+# ----------------------------------------------------------------------
+# PipelineMetrics / StageTimer
+# ----------------------------------------------------------------------
+class TestPipelineMetrics:
+    def test_stage_timer_records(self):
+        m = PipelineMetrics()
+        with m.stage("segment") as t:
+            t.items = 5
+        assert m["segment"].calls == 1
+        assert m["segment"].items == 5
+        assert m["segment"].seconds >= 0.0
+
+    def test_records_even_when_block_raises(self):
+        m = PipelineMetrics()
+        with pytest.raises(ValueError):
+            with m.stage("segment"):
+                raise ValueError("boom")
+        assert m["segment"].calls == 1
+
+    def test_merge_and_drain(self):
+        a, b = PipelineMetrics(), PipelineMetrics()
+        a.record("ocr", 0.5, items=10)
+        b.record("ocr", 0.25, items=5)
+        b.record("select", 0.1)
+        a.merge(b)
+        assert a["ocr"].calls == 2
+        assert a["ocr"].seconds == pytest.approx(0.75)
+        assert a["ocr"].items == 15
+        drained = a.drain()
+        assert not a.stages and drained["select"].calls == 1
+
+    def test_dict_roundtrip(self):
+        m = PipelineMetrics()
+        m.record("ocr", 1.5, items=3, calls=2)
+        again = PipelineMetrics.from_dict(m.to_dict())
+        assert again.to_dict() == m.to_dict()
+
+    def test_format_table_lists_stages(self):
+        m = PipelineMetrics()
+        m.record("ocr", 0.1, items=7)
+        m.record("segment.cuts", 0.05)
+        table = m.format_table()
+        assert "ocr" in table and "segment.cuts" in table
+
+    def test_total_excludes_substages(self):
+        m = PipelineMetrics()
+        m.record("segment", 1.0)
+        m.record("segment.cuts", 0.8)
+        m.record("corpus", 2.0)
+        assert m.total_seconds() == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# TranscriptionCache
+# ----------------------------------------------------------------------
+class TestTranscriptionCache:
+    def test_hit_returns_identical_transcription(self, corpus):
+        engine = OcrEngine(seed=7)
+        cache = TranscriptionCache()
+        doc = corpus[0]
+        ocr1, obs1, angle1 = cache.cleaned(engine, doc)
+        ocr2, obs2, angle2 = cache.cleaned(engine, doc)
+        assert cache.hits == 1 and cache.misses == 1
+        assert ocr1 is ocr2 and obs1 is obs2 and angle1 == angle2
+
+    def test_matches_uncached_clean_step(self, corpus):
+        """Cached output must equal what engine+deskew produce directly."""
+        from repro.ocr.deskew import deskew
+
+        engine = OcrEngine(seed=7)
+        doc = corpus[1]
+        cached_ocr, cached_obs, cached_angle = TranscriptionCache().cleaned(engine, doc)
+        direct = engine.transcribe(doc)
+        direct_obs, direct_angle = deskew(direct.as_document(doc))
+        assert [w.text for w in cached_ocr.words] == [w.text for w in direct.words]
+        assert cached_angle == direct_angle
+        assert [e.text for e in cached_obs.elements] == [
+            e.text for e in direct_obs.elements
+        ]
+
+    def test_seed_partitions_the_key(self, corpus):
+        cache = TranscriptionCache()
+        doc = corpus[0]
+        cache.cleaned(OcrEngine(seed=1), doc)
+        cache.cleaned(OcrEngine(seed=2), doc)
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_max_entries_bounds_memory(self, corpus):
+        cache = TranscriptionCache(max_entries=2)
+        engine = OcrEngine(seed=7)
+        for doc in corpus[:4]:
+            cache.cleaned(engine, doc)
+        assert len(cache) == 2
+
+    def test_shared_between_pipeline_and_harness(self):
+        """One cache serves ExperimentContext and VS2Pipeline: the
+        pipeline's engine seed matches, so the corpus transcribes once."""
+        ctx = ExperimentContext({"D2": 3}, seed=1, ocr_seed=0)
+        ctx.cleaned("D2")
+        misses_after_harness = ctx.cache.misses
+        pipeline = VS2Pipeline("D2", cache=ctx.cache)
+        for doc in ctx.corpus("D2"):
+            pipeline.run(doc)
+        assert ctx.cache.misses == misses_after_harness
+        assert ctx.cache.hits >= len(ctx.corpus("D2"))
+
+
+# ----------------------------------------------------------------------
+# CorpusRunner
+# ----------------------------------------------------------------------
+class TestCorpusRunner:
+    def test_serial_run_collects_everything(self, corpus):
+        outcome = CorpusRunner("D2", workers=1).run(corpus)
+        assert not outcome.failures
+        assert [r.doc_id for r in outcome.results] == [d.doc_id for d in corpus]
+
+    def test_parallel_identical_to_serial(self, corpus):
+        serial = CorpusRunner("D2", workers=1).run(corpus)
+        parallel = CorpusRunner("D2", workers=3, chunk_size=2).run(corpus)
+        assert [r.doc_id for r in parallel.results] == [d.doc_id for d in corpus]
+        for s, p in zip(serial.results, parallel.results):
+            assert _extraction_key(s) == _extraction_key(p)
+            assert s.skew_angle == p.skew_angle
+
+        def canon(outcome):
+            return json.dumps(
+                [_extraction_key(r) for r in outcome.results],
+                sort_keys=True, default=float,
+            ).encode()
+
+        assert canon(serial) == canon(parallel)  # byte-identical output
+
+    def test_metrics_cover_all_stages(self, corpus):
+        outcome = CorpusRunner("D2", workers=2).run(corpus[:4])
+        for stage in ("ocr", "deskew", "segment", "select"):
+            assert outcome.metrics[stage].calls > 0, stage
+        assert outcome.metrics["ocr"].items > 0  # words transcribed
+        assert outcome.metrics["segment"].items > 0  # blocks produced
+
+    def test_failure_isolated_serial(self, corpus):
+        runner = CorpusRunner("D2", workers=1, pipeline_factory=_exploding_factory)
+        outcome = runner.run(corpus[:5])
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.doc_id == ExplodingPipeline.BAD_DOC
+        assert failure.error_type == "RuntimeError"
+        assert "injected" in failure.message
+        bad_index = [d.doc_id for d in corpus].index(ExplodingPipeline.BAD_DOC)
+        assert outcome.results[bad_index] is None
+        assert len(outcome.ok) == 4
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_failure_isolated_parallel(self, corpus):
+        runner = CorpusRunner(
+            "D2", workers=2, chunk_size=1, pipeline_factory=_exploding_factory
+        )
+        outcome = runner.run(corpus[:5])
+        assert [f.doc_id for f in outcome.failures] == [ExplodingPipeline.BAD_DOC]
+        assert len(outcome.ok) == 4
+        # the surviving documents still match the healthy serial run
+        healthy = CorpusRunner("D2", workers=1).run(corpus[:5])
+        for h, p in zip(healthy.results, outcome.results):
+            if p is not None:
+                assert _extraction_key(h) == _extraction_key(p)
+
+    def test_run_corpus_workers_via_pipeline(self, corpus):
+        pipeline = VS2Pipeline("D2")
+        results = pipeline.run_corpus(corpus[:4], workers=2)
+        assert [r.doc_id for r in results] == [d.doc_id for d in corpus[:4]]
+        assert pipeline.metrics["segment"].calls >= 4
+
+    def test_context_run_pipeline(self):
+        ctx = ExperimentContext({"D2": 4}, seed=0)
+        outcome = ctx.run_pipeline("D2", workers=2)
+        assert not outcome.failures
+        assert len(outcome.ok) == 4
+        assert ctx.metrics["select"].calls >= 4
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+class TestSnapshots:
+    def test_write_load_roundtrip(self, tmp_path):
+        m = PipelineMetrics()
+        m.record("ocr", 0.5, items=100)
+        path = write_snapshot(tmp_path / "BENCH_pipeline.json", m, dataset="D2")
+        snap = load_snapshot(path)
+        assert snap["meta"] == {"dataset": "D2"}
+        assert snap["stages"]["ocr"]["items"] == 100
+        # committed artefact: stable bytes for identical inputs
+        assert path.read_text() == json.dumps(
+            json.loads(path.read_text()), indent=2
+        ) + "\n"
+
+    def test_compare_flags_regressions(self, tmp_path):
+        base, curr = PipelineMetrics(), PipelineMetrics()
+        base.record("segment", 1.0)
+        curr.record("segment", 2.0)
+        curr.record("select", 0.1)
+        b = load_snapshot(write_snapshot(tmp_path / "a.json", base))
+        c = load_snapshot(write_snapshot(tmp_path / "b.json", curr))
+        lines = "\n".join(compare(b, c))
+        assert "SLOWER" in lines and "new stage" in lines
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"schema": "other/9", "stages": {}}')
+        with pytest.raises(ValueError):
+            load_snapshot(p)
