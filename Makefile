@@ -4,10 +4,17 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke tables
+.PHONY: test lint contracts bench bench-smoke tables
 
-test:            ## the tier-1 suite (~600 unit/integration tests)
+test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
+	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts
+
+lint:            ## repo-specific static analysis (see docs/STATIC_ANALYSIS.md)
+	$(PY) -m repro check src tests
+
+contracts:       ## the runtime-contract test subset with contracts forced on
+	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts
 
 bench-smoke:     ## tiny instrumented run; refreshes benchmarks/results/BENCH_pipeline.json
 	$(PY) -m pytest benchmarks/test_bench_smoke.py -m bench_smoke -q -s

@@ -11,6 +11,9 @@ Commands
 ``render``    rasterise a synthetic document to a PPM image
 ``bench``     run a corpus through the instrumented parallel runner and
               write a ``BENCH_pipeline.json`` timing snapshot
+``check``     run the repo's static-analysis rules (determinism,
+              layering, coordinate-frame hygiene) over source trees;
+              see docs/STATIC_ANALYSIS.md
 """
 
 from __future__ import annotations
@@ -113,6 +116,34 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        ALL_RULES,
+        format_human,
+        format_json,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.lint.engine import apply_baseline
+
+    if args.list_rules:
+        for rule_id, rule in sorted(ALL_RULES.items()):
+            print(f"{rule_id}  {rule.summary}")
+        return 0
+    violations = lint_paths([Path(p) for p in args.paths], rule_ids=args.rules or None)
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(f"wrote {len(violations)} fingerprint(s) to {baseline_path}")
+        return 0
+    violations = apply_baseline(violations, load_baseline(baseline_path))
+    print(format_json(violations) if args.format == "json" else format_human(violations))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the module CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -160,6 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--doc-index", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("check", help="run the repo's static-analysis rules")
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument("--rules", nargs="*", metavar="RULE",
+                   help="restrict the run to these rule IDs")
+    p.add_argument("--baseline", default="lint_baseline.json",
+                   help="JSON baseline of accepted legacy violations")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current violations as the new baseline and exit")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("render", help="rasterise a synthetic document to PPM")
     p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")

@@ -1,0 +1,20 @@
+"""Project-specific static analysis and runtime contracts.
+
+Two halves, one goal — keeping the reproduction *trustworthy*:
+
+* :mod:`repro.analysis.lint` — an AST linter whose rules encode this
+  repo's determinism, layering and coordinate-frame invariants (run it
+  with ``python -m repro check`` or ``make lint``);
+* :mod:`repro.analysis.contracts` — optional runtime invariant checks
+  on the pipeline's geometric claims (cuts lie in whitespace, layout
+  trees nest, Pareto fronts are non-dominated), enabled with
+  ``REPRO_CONTRACTS=1`` and free when off.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and how to add
+a rule.
+"""
+
+from repro.analysis.lint import Violation, lint_paths
+from repro.analysis.contracts import ContractViolation, contracts_enabled
+
+__all__ = ["Violation", "lint_paths", "ContractViolation", "contracts_enabled"]

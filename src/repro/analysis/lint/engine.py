@@ -1,0 +1,284 @@
+"""Lint engine: discovery, suppression, baselines, output.
+
+The engine is rule-agnostic.  A rule is an object with a ``rule_id``,
+a one-line ``summary`` and a ``check(module)`` generator yielding
+:class:`Violation`; rules register themselves with :func:`register`
+(see :mod:`repro.analysis.lint.rules` for the catalogue).
+
+Suppression is per-line: a trailing ``# repro: noqa[DET001]`` comment
+silences the named rule(s) on that line, ``# repro: noqa`` silences
+every rule.  A *baseline* (JSON list of violation fingerprints) lets a
+new rule land while legacy hits are burned down — the shipped baseline
+is empty and should stay that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: ``# repro: noqa`` (blanket) or ``# repro: noqa[DET001, LAYER002]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule hit at a location, with a fixit message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by the baseline (survives
+        unrelated edits shifting the hit up or down the file)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class ModuleInfo:
+    """One parsed source file, as rules see it."""
+
+    def __init__(self, path: Path, source: str, display_path: str):
+        self.path = path
+        #: Path as reported in violations (relative to the lint root).
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: Dotted module name (``repro.core.segment``) when the file
+        #: lives under a ``repro`` package directory, else ``None`` —
+        #: layer-scoped rules key off this.
+        self.module = _module_name(path)
+        #: line -> None (blanket noqa) or the set of silenced rule IDs.
+        self.noqa: Dict[int, Optional[Set[str]]] = _parse_noqa(self.lines)
+        #: alias -> fully qualified module/name, e.g. ``np`` ->
+        #: ``numpy``, ``default_rng`` -> ``numpy.random.default_rng``.
+        self.import_aliases: Dict[str, str] = _collect_aliases(self.tree)
+
+    def resolve_call_name(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of a ``Name``/``Attribute``
+        chain, resolving the root through the import aliases; ``None``
+        for anything dynamic (subscripts, calls, locals)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.import_aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def violation(self, node: ast.AST, rule: str, message: str) -> Violation:
+        return Violation(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+    def suppressed(self, violation: Violation) -> bool:
+        marked = self.noqa.get(violation.line, _MISSING)
+        if marked is _MISSING:
+            return False
+        return marked is None or violation.rule in marked
+
+
+_MISSING = object()
+
+
+def _module_name(path: Path) -> Optional[str]:
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    sub = parts[parts.index("repro"):]
+    if sub[-1] == "__init__.py":
+        sub = sub[:-1]
+    elif sub[-1].endswith(".py"):
+        sub[-1] = sub[-1][:-3]
+    return ".".join(sub)
+
+
+def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[i] = None
+        else:
+            out[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name != "*":
+                    aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+#: rule_id -> rule instance, in registration order.
+ALL_RULES: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class: subclass, set ``rule_id``/``summary``, implement
+    ``check``.  Registration is explicit via :func:`register` so test
+    fixtures can instantiate rules without polluting the registry."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def register(cls):
+    """Class decorator adding a rule to :data:`ALL_RULES`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in ALL_RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    ALL_RULES[cls.rule_id] = cls()
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    yield sub
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Violation]:
+    """Lint every ``*.py`` under ``paths`` with the registered rules.
+
+    ``rule_ids`` restricts the run to a subset of the catalogue;
+    ``root`` controls how paths are displayed (defaults to the cwd).
+    Unparseable files surface as ``PARSE001`` violations rather than
+    crashing the run.  Returns violations sorted by location, with
+    ``# repro: noqa`` suppressions already applied.
+    """
+    from repro.analysis.lint import rules  # noqa: F401  (registers catalogue)
+
+    if rule_ids is None:
+        active = list(ALL_RULES.values())
+    else:
+        unknown = set(rule_ids) - set(ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        active = [ALL_RULES[r] for r in rule_ids]
+    root = root or Path.cwd()
+
+    violations: List[Violation] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            display = str(file_path.relative_to(root))
+        except ValueError:
+            display = str(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ModuleInfo(file_path, source, display)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            violations.append(
+                Violation(display, line, 1, "PARSE001", f"could not parse: {exc.__class__.__name__}: {exc}")
+            )
+            continue
+        for rule in active:
+            for v in rule.check(module):
+                if not module.suppressed(v):
+                    violations.append(v)
+    return sorted(violations)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints of accepted legacy violations (empty file → empty)."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8") or "[]")
+    if not isinstance(data, list):
+        raise ValueError(f"baseline {path} must be a JSON list of fingerprints")
+    return {str(f) for f in data}
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    fingerprints = sorted({v.fingerprint() for v in violations})
+    path.write_text(json.dumps(fingerprints, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Set[str]
+) -> List[Violation]:
+    return [v for v in violations if v.fingerprint() not in baseline]
+
+
+# ----------------------------------------------------------------------
+# Output
+# ----------------------------------------------------------------------
+
+
+def format_human(violations: Sequence[Violation]) -> str:
+    if not violations:
+        return "repro check: clean"
+    lines = [f"{v.location}: {v.rule} {v.message}" for v in violations]
+    lines.append(f"repro check: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    return json.dumps([v.to_dict() for v in violations], indent=2)

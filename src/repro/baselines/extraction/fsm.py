@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.baselines.extraction.base import descriptor_extractions, sentence_units
-from repro.core.holdout import HoldoutCorpus, build_holdout_corpus
+from repro.core.holdout import HoldoutCorpus
+from repro.synth.holdout import build_holdout_corpus
 from repro.core.patterns import SyntacticPattern, learn_patterns_from_holdout
 from repro.core.select import Extraction
 from repro.doc import Document

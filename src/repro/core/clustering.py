@@ -38,10 +38,11 @@ def _grid_medoid_seeds(
 ) -> List[int]:
     """One medoid per non-empty cell of a 2×2 grid over ``frame``."""
     cells: List[List[int]] = [[] for _ in range(4)]
+    mid_x, mid_y = frame.centroid
     for i, e in enumerate(elements):
         cx, cy = e.bbox.centroid
-        col = 0 if cx < frame.x + frame.w / 2 else 1
-        row = 0 if cy < frame.y + frame.h / 2 else 1
+        col = 0 if cx < mid_x else 1
+        row = 0 if cy < mid_y else 1
         cells[row * 2 + col].append(i)
     seeds: List[int] = []
     for members in cells:

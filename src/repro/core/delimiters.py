@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import check_separators_clear_of_boxes, checked
 from repro.geometry import BBox
 from repro.geometry.cuts import CutSet
 
@@ -93,6 +94,7 @@ def first_inflection_index(values: Sequence[float]) -> Optional[int]:
     return int(np.argmax(np.abs(second))) + 1
 
 
+@checked(post=lambda result, cut_sets, boxes, min_gap_ratio: check_separators_clear_of_boxes(result, boxes))
 def identify_visual_delimiters(
     cut_sets: Sequence[CutSet],
     boxes: Sequence[BBox],

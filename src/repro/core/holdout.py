@@ -14,17 +14,20 @@ fixed-format websites of :mod:`repro.synth.websites`:
     distribution of distinct syntactic patterns is approximately normal
     or the results are exhausted — checked with a Shapiro–Wilk test
     [40] over per-pattern counts, as the paper cites.
+
+This module holds the corpus *container* and the pattern-distribution
+stopping criterion — the parts the selection stage consumes.  The
+scraper that fills a corpus from the synthetic websites
+(``build_holdout_corpus``) lives in :mod:`repro.synth.holdout`, above
+the synth layer it reads from, and is re-exported here for its
+historical path (layering rule ``LAYER001``).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from repro.html import parse_html
-from repro.html.wrapper import extract_records
-from repro.synth.websites import HOLDOUT_SOURCES
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -84,41 +87,11 @@ def distribution_is_approximately_normal(counts: Counter, alpha: float = 0.01) -
     return bool(p_value > alpha)
 
 
-def build_holdout_corpus(
-    dataset: str,
-    seed: int = 0,
-    max_entries_per_entity: Optional[int] = None,
-) -> HoldoutCorpus:
-    """Scrape the dataset's Table 2 sources into a holdout corpus.
+def __getattr__(name: str):
+    # Lazy re-export of the scraper for the historical import path;
+    # a module-scope import would pull repro.synth into repro.core.
+    if name == "build_holdout_corpus":
+        from repro.synth.holdout import build_holdout_corpus
 
-    The full scrape → parse → wrap path runs: sites are serialised to
-    HTML strings, parsed back and traversed by each source's wrapper
-    rule.  For D2 the paper keeps the first 500 results per query; for
-    D3 the top 100 per query; D1 takes the complete field index.
-    """
-    dataset = dataset.upper()
-    if dataset not in HOLDOUT_SOURCES:
-        raise ValueError(f"unknown dataset {dataset!r}")
-    corpus = HoldoutCorpus(dataset)
-    defaults = {"D1": None, "D2": 250, "D3": 100}
-    for builder, wrapper, _note in HOLDOUT_SOURCES[dataset]:
-        if dataset == "D1":
-            html = builder(seed)
-        else:
-            html = builder(seed, defaults[dataset])
-        root = parse_html(html)
-        for record in extract_records(root, wrapper):
-            for entity_type, text in record.items():
-                if dataset == "D1":
-                    # D1 records are (field_id, descriptor) rows: the
-                    # descriptor is the annotated text of the field id.
-                    continue
-                if max_entries_per_entity is not None and len(
-                    corpus.texts_for(entity_type)
-                ) >= max_entries_per_entity:
-                    continue
-                corpus.add(entity_type, text)
-        if dataset == "D1":
-            for record in extract_records(root, wrapper):
-                corpus.add(record["field_id"], record["descriptor"])
-    return corpus
+        return build_holdout_corpus
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

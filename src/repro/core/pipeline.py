@@ -61,8 +61,8 @@ from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding, default_embedding
 from repro.ocr import OcrEngine, OcrResult
 from repro.ocr.deskew import rotate_back
-from repro.perf.cache import TranscriptionCache, transcribe_and_clean
-from repro.perf.metrics import PipelineMetrics
+from repro.instrument import PipelineMetrics
+from repro.ocr.cache import TranscriptionCache, transcribe_and_clean
 
 
 @dataclass

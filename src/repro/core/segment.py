@@ -19,6 +19,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.analysis.contracts import (
+    check_cut_sets_in_whitespace,
+    check_layout_tree,
+    checked,
+    contracts_enabled,
+)
 from repro.core.clustering import cluster_elements
 from repro.core.config import SegmentConfig
 from repro.core.delimiters import identify_visual_delimiters
@@ -29,7 +35,7 @@ from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding
 from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
 from repro.geometry.cuts import CutSet, interior_cut_sets
-from repro.perf.metrics import PipelineMetrics
+from repro.instrument import PipelineMetrics
 
 
 class VS2Segmenter:
@@ -53,6 +59,7 @@ class VS2Segmenter:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @checked(post=lambda tree, self, doc: check_layout_tree(tree))
     def segment(self, doc: Document) -> LayoutTree:
         """Build the layout tree of ``doc``.
 
@@ -137,12 +144,12 @@ class VS2Segmenter:
         text_boxes = [a.bbox.translate(-frame.x, -frame.y) for a in node.atoms if a.is_textual]
         ref_boxes = text_boxes or local_boxes
 
-        horizontal = identify_visual_delimiters(
-            interior_cut_sets(grid, "horizontal"), ref_boxes, self.config.min_h_gap_ratio
-        )
-        vertical = identify_visual_delimiters(
-            interior_cut_sets(grid, "vertical"), ref_boxes, self.config.min_v_gap_ratio
-        )
+        h_sets = interior_cut_sets(grid, "horizontal")
+        v_sets = interior_cut_sets(grid, "vertical")
+        if contracts_enabled():
+            check_cut_sets_in_whitespace(grid, h_sets + v_sets)
+        horizontal = identify_visual_delimiters(h_sets, ref_boxes, self.config.min_h_gap_ratio)
+        vertical = identify_visual_delimiters(v_sets, ref_boxes, self.config.min_v_gap_ratio)
         if not horizontal and not vertical:
             return None
 

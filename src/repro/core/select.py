@@ -31,9 +31,9 @@ from repro.geometry import BBox, enclosing_bbox
 from repro.nlp.fuzzy import normalize_for_match, ocr_fold, similarity_ratio
 from repro.nlp.lesk import LeskCandidate, lesk_select
 from repro.nlp.tokenizer import normalize_text
-from repro.perf.metrics import PipelineMetrics
-from repro.synth.corpus import entity_vocabulary
-from repro.synth.tax_forms import form_faces
+from repro.analysis.contracts import check_extraction_spans, checked
+from repro.datasets import entity_vocabulary, form_faces
+from repro.instrument import PipelineMetrics
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,7 @@ class VS2Selector:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
+    @checked(post=lambda result, self, doc, blocks: check_extraction_spans(result))
     def extract(self, doc: Document, blocks: Sequence[LayoutNode]) -> List[Extraction]:
         """Search each entity's pattern over the logical blocks and pick
         one match per entity (disambiguating when several fire)."""

@@ -24,7 +24,7 @@ def _bbox_to_list(box: BBox) -> List[float]:
 
 
 def _bbox_from_list(values: List[float]) -> BBox:
-    return BBox(*values)
+    return BBox.from_tuple(values)
 
 
 def element_to_dict(element) -> Dict[str, Any]:

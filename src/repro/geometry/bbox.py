@@ -126,7 +126,10 @@ class BBox:
         union_area = self.area + other.area - inter.area
         if union_area <= 0:
             return 0.0
-        return inter.area / union_area
+        # Near-degenerate boxes can make ``union_area`` land a few ulps
+        # below ``inter.area`` (the areas are computed from derived
+        # corners), which would push the ratio above 1.
+        return min(inter.area / union_area, 1.0)
 
     def centroid_l1_distance(self, other: "BBox") -> float:
         """L1 distance between centroids — the ΔD term of Eq. 2."""
@@ -200,8 +203,38 @@ class BBox:
             ys.append(ry)
         return BBox(min(xs), min(ys), max(xs) - min(xs), max(ys) - min(ys))
 
+    def hsplit(self, frac: float, gap: float = 0.0) -> Tuple["BBox", "BBox"]:
+        """Split the box vertically at ``frac`` of its width.
+
+        Returns the ``(left, right)`` halves; ``gap`` units of the right
+        half's leading edge are given up as horizontal spacing (the right
+        half never collapses below one unit wide).
+        """
+        if not 0.0 < frac < 1.0:
+            raise ValueError(f"hsplit fraction must be in (0, 1), got {frac}")
+        left_w = self.w * frac
+        left = BBox(self.x, self.y, left_w, self.h)
+        right = BBox(
+            self.x + left_w + gap,
+            self.y,
+            max(self.w - left_w - gap, 1.0),
+            self.h,
+        )
+        return left, right
+
     def as_tuple(self) -> Tuple[float, float, float, float]:
         return (self.x, self.y, self.w, self.h)
+
+    @staticmethod
+    def from_tuple(values: Sequence[float]) -> "BBox":
+        """Rebuild a box from an ``(x, y, w, h)`` sequence.
+
+        The sanctioned deserialisation path (rule ``FRAME002``): going
+        through a named factory keeps every tuple→box conversion in one
+        place should the serialised layout ever change.
+        """
+        x, y, w, h = values
+        return BBox(float(x), float(y), float(w), float(h))
 
     @staticmethod
     def from_corners(x1: float, y1: float, x2: float, y2: float) -> "BBox":

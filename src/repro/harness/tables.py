@@ -21,11 +21,11 @@ from repro.baselines.segmentation import (
 from repro.core import VS2Config, VS2Segmenter, VS2Selector
 from repro.core.config import SegmentConfig, SelectConfig
 from repro.core.holdout import (
-    build_holdout_corpus,
     distribution_is_approximately_normal,
     pattern_distribution,
 )
 from repro.core.patterns import CURATED_PATTERNS, mine_entity_patterns
+from repro.synth.holdout import build_holdout_corpus
 from repro.core.select import Extraction
 from repro.doc import Document
 from repro.embeddings import default_embedding

@@ -159,9 +159,7 @@ class OcrEngine:
             return [element]
         cut = int(rng.integers(2, len(text) - 1))
         frac = cut / len(text)
-        b = element.bbox
-        left = BBox(b.x, b.y, b.w * frac, b.h)
-        right = BBox(b.x + b.w * frac + 1.0, b.y, max(b.w * (1 - frac) - 1.0, 1.0), b.h)
+        left, right = element.bbox.hsplit(frac, gap=1.0)
         return [
             element.with_text(text[:cut]).with_bbox(left),
             element.with_text(text[cut:]).with_bbox(right),

@@ -10,6 +10,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import check_pareto_front, checked
+
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     """Whether point ``a`` Pareto-dominates ``b``.
@@ -24,6 +26,7 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return no_worse and strictly_better
 
 
+@checked(post=lambda front, points: check_pareto_front(points, front))
 def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
     """Indices of the first-order (non-dominated) front.
 

@@ -1,231 +1,24 @@
-"""Per-stage instrumentation for the VS2 pipeline.
+"""Historical import path for the per-stage instrumentation.
 
-:class:`PipelineMetrics` is a lightweight accumulator of wall-time,
-call counts and item counts per named stage.  :class:`StageTimer` is
-the context manager that feeds it::
-
-    metrics = PipelineMetrics()
-    with metrics.stage("segment") as t:
-        tree = segmenter.segment(doc)
-        t.items = len(tree.logical_blocks())
-    print(metrics.format_table())
-
-Stage names are free-form, but the pipeline uses a fixed vocabulary
-(``ocr``, ``deskew``, ``segment``, ``select`` and dotted sub-stages
-such as ``segment.cuts``) so tables from different runs line up; see
-``docs/PROFILING.md``.  Recording costs two ``perf_counter`` calls and
-a dict lookup, so instrumentation stays on in production paths.
-
-Accumulators merge (:meth:`PipelineMetrics.merge`), which is how the
-parallel :class:`repro.perf.runner.CorpusRunner` folds per-worker
-timings back into one table, and they serialise to plain dicts
-(:meth:`PipelineMetrics.to_dict`) for ``BENCH_*.json`` snapshots.
+The accumulator lives in :mod:`repro.instrument` (base layer, importable
+from ``repro.core`` without violating the layering contract).  This
+module re-exports it so existing callers and snapshots keep working.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from repro.instrument import (
+    STAGE_ORDER,
+    PipelineMetrics,
+    StageStats,
+    StageTimer,
+    merge_all,
+)
 
-#: Canonical ordering of the pipeline's stage vocabulary; stages not
-#: listed here render after these, in first-recorded order.
-STAGE_ORDER: List[str] = [
-    "corpus",
-    "ocr",
-    "ocr.cache_hit",
-    "deskew",
-    "segment",
-    "segment.cuts",
-    "segment.cluster",
-    "segment.merge",
-    "select",
-    "select.search",
-    "select.disambiguate",
-    "select.form_fields",
-    "rotate_back",
+__all__ = [
+    "STAGE_ORDER",
+    "PipelineMetrics",
+    "StageStats",
+    "StageTimer",
+    "merge_all",
 ]
-
-
-@dataclass
-class StageStats:
-    """Accumulated statistics of one named stage."""
-
-    calls: int = 0
-    seconds: float = 0.0
-    items: int = 0
-
-    def add(self, seconds: float, items: int = 0, calls: int = 1) -> None:
-        self.calls += calls
-        self.seconds += seconds
-        self.items += items
-
-    @property
-    def ms_per_call(self) -> float:
-        return (self.seconds / self.calls) * 1000.0 if self.calls else 0.0
-
-    def to_dict(self) -> Dict[str, float]:
-        return {"calls": self.calls, "seconds": self.seconds, "items": self.items}
-
-
-class StageTimer:
-    """Times one ``with`` block and reports into a :class:`PipelineMetrics`.
-
-    Set :attr:`items` inside the block to attach a work count (blocks
-    produced, words transcribed, extractions emitted …) to the sample.
-    The sample is recorded even when the block raises, so failed
-    documents still show up in the per-stage table.
-    """
-
-    __slots__ = ("_metrics", "name", "items", "_start")
-
-    def __init__(self, metrics: "PipelineMetrics", name: str):
-        self._metrics = metrics
-        self.name = name
-        self.items = 0
-        self._start = 0.0
-
-    def __enter__(self) -> "StageTimer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self._metrics.record(
-            self.name, time.perf_counter() - self._start, items=self.items
-        )
-
-
-@dataclass
-class PipelineMetrics:
-    """Wall-time / call-count / item-count accumulator, keyed by stage."""
-
-    stages: Dict[str, StageStats] = field(default_factory=dict)
-
-    # ------------------------------------------------------------------
-    # Recording
-    # ------------------------------------------------------------------
-    def stage(self, name: str) -> StageTimer:
-        """A context manager timing one occurrence of ``name``."""
-        return StageTimer(self, name)
-
-    def record(self, name: str, seconds: float, items: int = 0, calls: int = 1) -> None:
-        self._stats(name).add(seconds, items=items, calls=calls)
-
-    def count(self, name: str, items: int = 0) -> None:
-        """Record an instantaneous event (a call with no duration)."""
-        self._stats(name).add(0.0, items=items)
-
-    def _stats(self, name: str) -> StageStats:
-        stats = self.stages.get(name)
-        if stats is None:
-            stats = self.stages[name] = StageStats()
-        return stats
-
-    # ------------------------------------------------------------------
-    # Aggregation
-    # ------------------------------------------------------------------
-    def merge(self, other: "PipelineMetrics") -> "PipelineMetrics":
-        """Fold ``other``'s samples into this accumulator (in place)."""
-        for name, stats in other.stages.items():
-            self._stats(name).add(stats.seconds, items=stats.items, calls=stats.calls)
-        return self
-
-    def drain(self) -> "PipelineMetrics":
-        """Return a snapshot holding the current samples and reset this
-        accumulator — the per-chunk handoff of the parallel runner."""
-        snapshot = PipelineMetrics(stages=self.stages)
-        self.stages = {}
-        return snapshot
-
-    def clear(self) -> None:
-        self.stages = {}
-
-    # ------------------------------------------------------------------
-    # Access / serialisation
-    # ------------------------------------------------------------------
-    def __getitem__(self, name: str) -> StageStats:
-        return self.stages[name]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self.stages
-
-    def ordered_names(self) -> Iterator[str]:
-        known = [n for n in STAGE_ORDER if n in self.stages]
-        extra = [n for n in self.stages if n not in STAGE_ORDER]
-        return iter(known + extra)
-
-    def total_seconds(self) -> float:
-        """Sum of the top-level (undotted) stage times.  Dotted
-        sub-stages are nested inside their parents and excluded so the
-        total is not double-counted."""
-        return sum(
-            s.seconds for n, s in self.stages.items() if "." not in n and n != "corpus"
-        )
-
-    def to_dict(self) -> Dict[str, Dict[str, float]]:
-        return {name: self.stages[name].to_dict() for name in self.ordered_names()}
-
-    @staticmethod
-    def from_dict(data: Dict[str, Dict[str, float]]) -> "PipelineMetrics":
-        metrics = PipelineMetrics()
-        for name, stats in data.items():
-            metrics.record(
-                name,
-                float(stats.get("seconds", 0.0)),
-                items=int(stats.get("items", 0)),
-                calls=int(stats.get("calls", 0)),
-            )
-        return metrics
-
-    # ------------------------------------------------------------------
-    # Rendering
-    # ------------------------------------------------------------------
-    def format_table(self, title: str = "Per-stage timing") -> str:
-        """An aligned text table of every recorded stage.
-
-        Dotted sub-stages are indented under their parent stage; the
-        trailing total row sums top-level stages only.
-        """
-        headers = ["stage", "calls", "total s", "ms/call", "items"]
-        rows: List[List[str]] = []
-        for name in self.ordered_names():
-            stats = self.stages[name]
-            label = ("  " + name) if "." in name else name
-            rows.append(
-                [
-                    label,
-                    str(stats.calls),
-                    f"{stats.seconds:.3f}",
-                    f"{stats.ms_per_call:.2f}",
-                    str(stats.items),
-                ]
-            )
-        rows.append(["total (top-level)", "", f"{self.total_seconds():.3f}", "", ""])
-        widths = [
-            max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
-        ]
-        lines = [title, "=" * len(title)]
-        lines.append(
-            " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
-        )
-        lines.append("-+-".join("-" * w for w in widths))
-        for r in rows:
-            lines.append(
-                " | ".join(
-                    cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
-                    for i, cell in enumerate(r)
-                )
-            )
-        return "\n".join(lines)
-
-    def __str__(self) -> str:
-        return self.format_table()
-
-
-def merge_all(parts: List[Optional[PipelineMetrics]]) -> PipelineMetrics:
-    """Merge many accumulators (``None`` entries skipped) into a new one."""
-    merged = PipelineMetrics()
-    for part in parts:
-        if part is not None:
-            merged.merge(part)
-    return merged

@@ -20,10 +20,16 @@ real data:
 * :mod:`repro.synth.providers` — seeded fake-data provider (names,
   organisations, addresses, times, descriptions, ...);
 * :mod:`repro.synth.corpus` — corpus containers, generation dispatch
-  and train/test splitting.
+  and train/test splitting;
+* :mod:`repro.synth.holdout` — the Table 2 holdout-corpus scraper over
+  the synthetic websites.
+
+The dataset *schemas* (entity vocabularies, D1 form faces) live one
+layer down in :mod:`repro.datasets`, shared with ``repro.core``.
 """
 
 from repro.synth.corpus import Corpus, generate_corpus, train_test_split
+from repro.synth.holdout import build_holdout_corpus
 from repro.synth.providers import FakeProvider
 from repro.synth.tax_forms import TaxFormGenerator, D1_ENTITY_PREFIX
 from repro.synth.posters import PosterGenerator, D2_ENTITIES
@@ -33,6 +39,7 @@ __all__ = [
     "Corpus",
     "generate_corpus",
     "train_test_split",
+    "build_holdout_corpus",
     "FakeProvider",
     "TaxFormGenerator",
     "PosterGenerator",

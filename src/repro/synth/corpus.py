@@ -87,15 +87,7 @@ def train_test_split(
     return Corpus(corpus.dataset, train), Corpus(corpus.dataset, test)
 
 
-def entity_vocabulary(dataset: str) -> Sequence[str]:
-    """The semantic vocabulary of each IE task."""
-    dataset = dataset.upper()
-    if dataset == "D2":
-        return D2_ENTITIES
-    if dataset == "D3":
-        return D3_ENTITIES
-    if dataset == "D1":
-        from repro.synth.tax_forms import all_field_descriptors
-
-        return tuple(all_field_descriptors())
-    raise ValueError(f"unknown dataset {dataset!r}")
+# ``entity_vocabulary`` moved to :mod:`repro.datasets` (the schema
+# layer shared with ``repro.core.select``); re-exported for callers of
+# the historical path.
+from repro.datasets import entity_vocabulary  # noqa: E402, F401  (re-export)

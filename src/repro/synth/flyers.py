@@ -26,14 +26,9 @@ from repro.html import HtmlNode, el
 from repro.synth.layout import TextStyle, layout_line, layout_paragraph
 from repro.synth.providers import FakeProvider
 
-D3_ENTITIES = (
-    "broker_name",
-    "broker_phone",
-    "broker_email",
-    "property_address",
-    "property_size",
-    "property_description",
-)
+# The D3 entity vocabulary lives in :mod:`repro.datasets` (shared with
+# the extraction side); re-exported here for its historical path.
+from repro.datasets import D3_ENTITIES  # noqa: F401  (re-export)
 
 PAGE_W, PAGE_H = 850.0, 1100.0
 

@@ -1,0 +1,58 @@
+"""Holdout-corpus scraper (§5.2.1, Table 2) over the synthetic websites.
+
+Step (a)–(c) of the paper's holdout construction: query each dataset's
+Table 2 sources, parse the rendered HTML back, and run the source's web
+wrapper over it.  The corpus *container* and the pattern-distribution
+stopping rule live in :mod:`repro.core.holdout`; this module sits above
+the synth layer so ``repro.core`` never imports ``repro.synth``
+(layering rule ``LAYER001``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.holdout import HoldoutCorpus
+from repro.html import parse_html
+from repro.html.wrapper import extract_records
+from repro.synth.websites import HOLDOUT_SOURCES
+
+
+def build_holdout_corpus(
+    dataset: str,
+    seed: int = 0,
+    max_entries_per_entity: Optional[int] = None,
+) -> HoldoutCorpus:
+    """Scrape the dataset's Table 2 sources into a holdout corpus.
+
+    The full scrape → parse → wrap path runs: sites are serialised to
+    HTML strings, parsed back and traversed by each source's wrapper
+    rule.  For D2 the paper keeps the first 500 results per query; for
+    D3 the top 100 per query; D1 takes the complete field index.
+    """
+    dataset = dataset.upper()
+    if dataset not in HOLDOUT_SOURCES:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    corpus = HoldoutCorpus(dataset)
+    defaults = {"D1": None, "D2": 250, "D3": 100}
+    for builder, wrapper, _note in HOLDOUT_SOURCES[dataset]:
+        if dataset == "D1":
+            html = builder(seed)
+        else:
+            html = builder(seed, defaults[dataset])
+        root = parse_html(html)
+        for record in extract_records(root, wrapper):
+            for entity_type, text in record.items():
+                if dataset == "D1":
+                    # D1 records are (field_id, descriptor) rows: the
+                    # descriptor is the annotated text of the field id.
+                    continue
+                if max_entries_per_entity is not None and len(
+                    corpus.texts_for(entity_type)
+                ) >= max_entries_per_entity:
+                    continue
+                corpus.add(entity_type, text)
+        if dataset == "D1":
+            for record in extract_records(root, wrapper):
+                corpus.add(record["field_id"], record["descriptor"])
+    return corpus

@@ -32,13 +32,9 @@ from repro.synth.layout import (
 )
 from repro.synth.providers import FakeProvider
 
-D2_ENTITIES = (
-    "event_title",
-    "event_place",
-    "event_time",
-    "event_organizer",
-    "event_description",
-)
+# The D2 entity vocabulary lives in :mod:`repro.datasets` (shared with
+# the extraction side); re-exported here for its historical path.
+from repro.datasets import D2_ENTITIES  # noqa: F401  (re-export)
 
 PAGE_W, PAGE_H = 850.0, 1100.0
 

@@ -1,0 +1,97 @@
+"""End-to-end determinism regression (what the DET* lint rules protect).
+
+The pipeline promises byte-identical output for identical inputs —
+across reruns, across serial/parallel execution, and across Python
+hash-seed randomisation (the channel through which accidental set
+iteration leaks into results).  The canonical form is a sorted-key
+JSON document covering every extraction field and the skew estimate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf import CorpusRunner
+from repro.synth import generate_corpus
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The D2 smoke corpus: mixed digital/mobile-capture posters, so the
+#: deskew + sloped-cut paths are exercised, small enough to run twice.
+SMOKE = {"dataset": "D2", "n": 4, "seed": 3}
+
+
+def canonical_bytes(outcome) -> bytes:
+    """Byte-stable JSON of a corpus run's observable output."""
+    payload = [
+        {
+            "doc_id": r.doc_id,
+            "skew": r.skew_angle,
+            "extractions": [
+                {
+                    "entity": e.entity_type,
+                    "text": e.text,
+                    "bbox": e.bbox.as_tuple(),
+                    "span": e.span_bbox.as_tuple(),
+                    "score": e.score,
+                }
+                for e in r.extractions
+            ],
+        }
+        for r in outcome.results
+    ]
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def run_smoke(workers: int) -> bytes:
+    corpus = list(generate_corpus(SMOKE["dataset"], n=SMOKE["n"], seed=SMOKE["seed"]))
+    outcome = CorpusRunner(SMOKE["dataset"], workers=workers).run(corpus)
+    assert not outcome.failures
+    return canonical_bytes(outcome)
+
+
+class TestDeterminism:
+    def test_serial_rerun_byte_identical(self):
+        assert run_smoke(workers=1) == run_smoke(workers=1)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_parallel_byte_identical_to_serial(self):
+        assert run_smoke(workers=1) == run_smoke(workers=2)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_hash_seed_independence(self, workers):
+        """Fresh interpreters with different PYTHONHASHSEEDs agree —
+        the strongest guard against set-iteration order reaching the
+        output (lint rule DET003's runtime counterpart)."""
+        if workers > 1 and not HAVE_FORK:
+            pytest.skip("needs fork start method")
+        script = (
+            "import sys, json\n"
+            "sys.path.insert(0, 'src')\n"
+            "from tests.test_determinism import run_smoke\n"
+            f"sys.stdout.buffer.write(run_smoke(workers={workers}))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = "src" + os.pathsep + str(REPO_ROOT)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr.decode()
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert json.loads(outputs[0])  # non-empty, well-formed

@@ -8,10 +8,10 @@ from repro.baselines.extraction.reportminer import layout_signature
 from repro.core import VS2Segmenter
 from repro.core.config import SelectConfig
 from repro.core.holdout import (
-    build_holdout_corpus,
     distribution_is_approximately_normal,
     pattern_distribution,
 )
+from repro.synth.holdout import build_holdout_corpus
 from repro.core.interest_points import interest_point_matrix, select_interest_points
 from repro.doc import Document, TextElement
 from repro.geometry import BBox

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.core.holdout import (
-    build_holdout_corpus,
     distribution_is_approximately_normal,
     pattern_distribution,
     pattern_signature,
 )
+from repro.synth.holdout import build_holdout_corpus
 from repro.html import parse_html
 from repro.html.wrapper import extract_records
 from repro.synth.websites import (
