@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint contracts bench bench-smoke tables
+.PHONY: test lint contracts bench bench-smoke tables trace-smoke
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
@@ -18,6 +18,15 @@ contracts:       ## the runtime-contract test subset with contracts forced on
 
 bench-smoke:     ## tiny instrumented run; refreshes benchmarks/results/BENCH_pipeline.json
 	$(PY) -m pytest benchmarks/test_bench_smoke.py -m bench_smoke -q -s
+
+trace-smoke:     ## traced 3-doc extract + schema validation of both exporters
+	$(PY) -m repro extract --dataset D2 --n 3 --seed 0 \
+	    --trace /tmp/repro_trace_smoke.json \
+	    --trace-jsonl /tmp/repro_trace_smoke.jsonl > /dev/null
+	$(PY) -c "from repro.trace import validate_chrome_trace, validate_jsonl; \
+	    n = validate_chrome_trace('/tmp/repro_trace_smoke.json'); \
+	    m = validate_jsonl('/tmp/repro_trace_smoke.jsonl'); \
+	    print(f'trace-smoke: chrome trace ok ({n} events), jsonl ok ({m} records)')"
 
 bench:           ## same snapshot via the CLI, tunable (N=…, WORKERS=…, DATASET=…)
 	$(PY) -m repro bench --dataset $(or $(DATASET),D2) --n $(or $(N),8) \

@@ -16,6 +16,7 @@ import pytest
 
 from repro.harness import ExperimentContext, timing_table
 from repro.perf.snapshot import write_snapshot
+from repro.trace import Tracer, validate_chrome_trace, write_chrome_trace
 
 from conftest import save_result
 
@@ -25,15 +26,17 @@ SMOKE_WORKERS = 2
 
 @pytest.mark.bench_smoke
 def test_bench_smoke_pipeline(results_dir):
+    tracer = Tracer()
     ctx = ExperimentContext({"D2": SMOKE_DOCS}, seed=0)
-    outcome = ctx.run_pipeline("D2", workers=SMOKE_WORKERS)
+    outcome = ctx.run_pipeline("D2", workers=SMOKE_WORKERS, tracer=tracer)
 
     assert not outcome.failures, [str(f) for f in outcome.failures]
     assert len(outcome.ok) == SMOKE_DOCS
     for stage in ("ocr", "deskew", "segment", "select"):
         assert outcome.metrics[stage].calls > 0, f"stage {stage} not recorded"
+        assert outcome.metrics[stage].p95_ms is not None, f"stage {stage} has no histogram"
 
-    write_snapshot(
+    snapshot_path = write_snapshot(
         results_dir / "BENCH_pipeline.json",
         outcome.metrics,
         dataset="D2",
@@ -42,6 +45,15 @@ def test_bench_smoke_pipeline(results_dir):
         seed=0,
         failures=len(outcome.failures),
     )
+    assert "p95" in snapshot_path.read_text() or "hist" in snapshot_path.read_text()
+
+    # The smoke bench doubles as the trace exporter's schema check:
+    # normalised so the artefact is diffable across machines.
+    trace_path = write_chrome_trace(
+        results_dir / "BENCH_pipeline_trace.json", tracer.drain(), normalize=True
+    )
+    assert validate_chrome_trace(trace_path) > 0
+
     save_result(
         results_dir,
         "bench_smoke",

@@ -5,7 +5,12 @@ Commands
 ``extract``   run the VS2 pipeline over a synthetic corpus and print
               the extracted key-value pairs per document
               (``--workers N`` parallelises, ``--profile`` prints the
-              per-stage timing table; see docs/PROFILING.md)
+              per-stage timing table, ``--trace out.json`` writes a
+              Chrome/Perfetto trace; see docs/PROFILING.md and
+              docs/TRACING.md)
+``explain``   run one document with tracing on and print the decision
+              report — the cut ledger, merge ledger, Pareto table and
+              final extractions (docs/TRACING.md)
 ``table``     regenerate one of the paper's tables (2, 5, 6, 7, 8, 9)
 ``figure``    regenerate Fig. 3 or Figs. 4/6
 ``render``    rasterise a synthetic document to a PPM image
@@ -23,12 +28,37 @@ import json
 import sys
 
 
+def _build_tracer(args: argparse.Namespace):
+    """The tracer for a CLI run: real when any --trace flag was given,
+    the shared no-op otherwise."""
+    from repro.trace import NULL_TRACER, Tracer
+
+    if getattr(args, "trace", None) or getattr(args, "trace_jsonl", None):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    from repro.trace import write_chrome_trace, write_jsonl
+
+    roots = tracer.drain()
+    if not roots:
+        return
+    if getattr(args, "trace", None):
+        path = write_chrome_trace(args.trace, roots)
+        print(f"wrote {path} (Chrome trace_event; open in Perfetto)")
+    if getattr(args, "trace_jsonl", None):
+        path = write_jsonl(args.trace_jsonl, roots)
+        print(f"wrote {path} (JSONL event log)")
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     from repro.perf import CorpusRunner
     from repro.synth import generate_corpus
 
+    tracer = _build_tracer(args)
     corpus = generate_corpus(args.dataset, n=args.n, seed=args.seed)
-    runner = CorpusRunner(args.dataset, workers=args.workers)
+    runner = CorpusRunner(args.dataset, workers=args.workers, tracer=tracer)
     outcome = runner.run(list(corpus))
     for doc, result in zip(corpus, outcome.results):
         print(f"== {doc.doc_id} ({doc.source}) ==")
@@ -41,15 +71,60 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(outcome.metrics.format_table())
+    _export_trace(tracer, args)
     return 1 if len(outcome.failures) == len(corpus) and len(corpus) else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Trace one document end to end and print its decision report."""
+    from repro.core.pipeline import VS2Pipeline
+    from repro.synth import generate_corpus
+    from repro.trace import Tracer, explain_report
+
+    tracer = Tracer()
+    corpus = generate_corpus(args.dataset, n=args.doc + 1, seed=args.seed)
+    doc = corpus[args.doc]
+    pipeline = VS2Pipeline(args.dataset, tracer=tracer)
+    with tracer.span("doc", index=args.doc, doc_id=doc.doc_id):
+        result = pipeline.run(doc)
+    rows = [
+        {
+            "entity": e.entity_type,
+            "text": e.text[:48],
+            "score": round(e.score, 3),
+            "bbox": f"({e.bbox.x:.0f},{e.bbox.y:.0f},{e.bbox.w:.0f},{e.bbox.h:.0f})",
+        }
+        for e in result.extractions
+    ]
+    roots = tracer.drain()
+    print(
+        explain_report(
+            roots,
+            extraction_rows=rows,
+            title=f"Decision report — {doc.doc_id} ({args.dataset}, seed {args.seed})",
+        )
+    )
+    _export_trace(_Preloaded(roots), args)
+    return 0
+
+
+class _Preloaded:
+    """Adapter so :func:`_export_trace` can reuse already-drained roots."""
+
+    def __init__(self, roots):
+        self._roots = roots
+
+    def drain(self):
+        return self._roots
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import ExperimentContext, timing_table
     from repro.perf.snapshot import write_snapshot
 
+    tracer = _build_tracer(args)
     context = ExperimentContext({args.dataset: args.n}, seed=args.seed)
-    outcome = context.run_pipeline(args.dataset, workers=args.workers)
+    outcome = context.run_pipeline(args.dataset, workers=args.workers, tracer=tracer)
     print(timing_table(outcome.metrics, title="Pipeline per-stage timing").format())
     for failure in outcome.failures:
         print(f"!! {failure}", file=sys.stderr)
@@ -63,6 +138,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         failures=len(outcome.failures),
     )
     print(f"wrote {path}")
+    _export_trace(tracer, args)
     return 0
 
 
@@ -144,13 +220,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="write a Chrome trace_event file of the run (Perfetto-loadable)",
+    )
+    p.add_argument(
+        "--trace-jsonl", metavar="OUT.jsonl", default=None,
+        help="write the JSONL span/decision event log of the run",
+    )
+
+
+def _dataset_arg(p: argparse.ArgumentParser, default: str = "D2") -> None:
+    p.add_argument(
+        "--dataset", choices=["D1", "D2", "D3"], default=default,
+        type=lambda s: s.upper(),
+        help="which dataset wiring to run (case-insensitive)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the module CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("extract", help="run VS2 over a synthetic corpus")
-    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    _dataset_arg(p)
     p.add_argument("--n", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -161,7 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the per-stage timing table after the run",
     )
+    _add_trace_flags(p)
     p.set_defaults(fn=_cmd_extract)
+
+    p = sub.add_parser(
+        "explain",
+        help="trace one document and print its decision report",
+    )
+    _dataset_arg(p)
+    p.add_argument("--doc", type=int, default=0, help="document index in the corpus")
+    p.add_argument("--seed", type=int, default=0)
+    _add_trace_flags(p)
+    p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", choices=["2", "5", "6", "7", "8", "9"])
@@ -179,11 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="instrumented corpus run + BENCH_pipeline.json timing snapshot",
     )
-    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    _dataset_arg(p)
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--out", default="benchmarks/results/BENCH_pipeline.json")
+    _add_trace_flags(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -207,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("render", help="rasterise a synthetic document to PPM")
-    p.add_argument("--dataset", choices=["D1", "D2", "D3"], default="D2")
+    _dataset_arg(p)
     p.add_argument("--index", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)

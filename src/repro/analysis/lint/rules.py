@@ -415,6 +415,56 @@ class BboxConstructionRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+#: Monotonic-clock reads that constitute hand-rolled timing.  DET002
+#: deliberately allows these in deterministic layers (timing does not
+#: change outputs); OBS001 narrows further *inside the pipeline*:
+#: ``repro.core`` must report time through ``PipelineMetrics.stage`` /
+#: ``Tracer.span`` so every measurement lands in the shared tables,
+#: histograms and traces instead of a print statement.
+_AD_HOC_TIMING = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+
+@register
+class AdHocTimingRule(Rule):
+    """OBS001 — hand-rolled timing inside ``repro.core``.
+
+    A bare ``time.perf_counter()`` pair measures one site and reports
+    nowhere: the measurement is invisible to ``--profile`` tables,
+    latency histograms, BENCH snapshots and traces, and drifts from
+    the stage vocabulary.  Core code must time through the shared
+    instrumentation (``metrics.stage(...)`` context managers or
+    ``tracer.span(...)``), which records into all of them at once.
+    """
+
+    rule_id = "OBS001"
+    summary = "repro.core must time via metrics/tracer, not perf_counter"
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        if not _in_layer(module.module, ["repro.core"]):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call_name(node.func)
+            if name in _AD_HOC_TIMING:
+                yield module.violation(
+                    node, self.rule_id,
+                    f"{name}() is ad-hoc timing invisible to the shared instrumentation; "
+                    "wrap the work in metrics.stage(...) or tracer.span(...) instead",
+                )
+
+
+# ----------------------------------------------------------------------
 # General hazards
 # ----------------------------------------------------------------------
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.analysis.contracts import check_separators_clear_of_boxes, checked
 from repro.geometry import BBox
 from repro.geometry.cuts import CutSet
+from repro.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -94,11 +95,13 @@ def first_inflection_index(values: Sequence[float]) -> Optional[int]:
     return int(np.argmax(np.abs(second))) + 1
 
 
-@checked(post=lambda result, cut_sets, boxes, min_gap_ratio: check_separators_clear_of_boxes(result, boxes))
+@checked(post=lambda result, cut_sets, boxes, min_gap_ratio, **_: check_separators_clear_of_boxes(result, boxes))
 def identify_visual_delimiters(
     cut_sets: Sequence[CutSet],
     boxes: Sequence[BBox],
     min_gap_ratio: float,
+    tracer: Optional[Tracer] = None,
+    orientation: str = "",
 ) -> List[CutSet]:
     """Algorithm 1: the subset of ``cut_sets`` acting as separators.
 
@@ -112,6 +115,11 @@ def identify_visual_delimiters(
     min_gap_ratio:
         Physical floor: a delimiter's span must be at least this
         multiple of the area's max element height.
+    tracer / orientation:
+        When a tracer with tracing enabled is supplied, one
+        ``cut.decision`` event is emitted per candidate cut set (in
+        topological order) carrying its score, the running prefix
+        correlation, and the verdict with its reason.
     """
     if not cut_sets or not boxes:
         return []
@@ -121,7 +129,7 @@ def identify_visual_delimiters(
     scored = score_cut_sets(cut_sets, boxes)
     # Correlation scan (pseudocode lines 7–11) — kept for diagnostic
     # fidelity; the decision below keys on the sorted width curve.
-    _ = prefix_correlations(scored)
+    correlations = prefix_correlations(scored)
 
     by_width = sorted(scored, key=lambda s: -s.normalized_width)
     head = by_width
@@ -137,4 +145,28 @@ def identify_visual_delimiters(
         if significant and tail_is_spacing:
             head = by_width[: k + 1]
 
-    return [s.cut_set for s in head if s.cut_set.span_units >= floor]
+    accepted = [s.cut_set for s in head if s.cut_set.span_units >= floor]
+
+    if tracer is not None and tracer.enabled:
+        head_ids = {id(s) for s in head}
+        ordered = sorted(scored, key=lambda s: s.cut_set.start_position()[::-1])
+        for j, s in enumerate(ordered):
+            if s.cut_set.span_units < floor:
+                reason = "below_floor"
+            elif id(s) not in head_ids:
+                reason = "inflection_tail"
+            else:
+                reason = "delimiter"
+            tracer.event(
+                "cut.decision",
+                orientation=orientation,
+                position=round(float(s.cut_set.mid_units), 3),
+                span_units=round(float(s.cut_set.span_units), 3),
+                normalized_width=round(float(s.normalized_width), 4),
+                correlation=round(float(correlations[j - 1]), 4) if j >= 1 else 0.0,
+                floor=round(float(floor), 3),
+                accepted=reason == "delimiter",
+                reason=reason,
+            )
+
+    return accepted

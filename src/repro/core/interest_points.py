@@ -22,6 +22,7 @@ import numpy as np
 from repro.doc.layout_tree import LayoutNode
 from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
 from repro.optimize import pareto_front
+from repro.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -67,15 +68,40 @@ def block_objectives(
 def select_interest_points(
     blocks: Sequence[LayoutNode],
     embedding: Optional[WordEmbedding] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[LayoutNode]:
     """The first-order Pareto front of ``blocks`` under the three
-    objectives.  Blocks without text never qualify."""
+    objectives.  Blocks without text never qualify.
+
+    With tracing enabled, one ``pareto.front`` event records every
+    block's objective vector and whether it survived non-dominated
+    sorting.
+    """
     embedding = embedding or default_embedding()
     textual = [b for b in blocks if b.text_atoms]
     if not textual:
+        if tracer is not None and tracer.enabled:
+            tracer.event("pareto.front", blocks=[], selected=0, total=0)
         return []
     points = [block_objectives(b, embedding).as_tuple() for b in textual]
     front = pareto_front(points)
+    if tracer is not None and tracer.enabled:
+        keep = set(front)
+        tracer.event(
+            "pareto.front",
+            blocks=[
+                {
+                    "index": i,
+                    "height": round(float(p[0]), 3),
+                    "coherence": round(float(p[1]), 4),
+                    "density": round(-float(p[2]), 4),
+                    "selected": i in keep,
+                }
+                for i, p in enumerate(points)
+            ],
+            selected=len(front),
+            total=len(textual),
+        )
     return [textual[i] for i in front]
 
 

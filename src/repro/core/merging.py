@@ -28,6 +28,7 @@ from repro.core.config import SegmentConfig
 from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
 from repro.geometry import enclosing_bbox
+from repro.trace import Tracer
 
 
 def merge_threshold(height: int, config: SegmentConfig) -> float:
@@ -108,14 +109,35 @@ def _merge_nodes(parent: LayoutNode, a: LayoutNode, b: LayoutNode) -> LayoutNode
     return merged
 
 
-def semantic_merge(tree: LayoutTree, config: SegmentConfig, embedding: Optional[WordEmbedding] = None) -> int:
+def _node_label(node: LayoutNode) -> str:
+    """Stable, cross-process identification of a node for trace events.
+
+    ``node_id`` comes from a process-global counter, so it differs
+    between a serial run and a worker process; a text snippet plus the
+    rounded bbox identifies the node deterministically instead.
+    """
+    text = node.text().strip()
+    snippet = text[:24] + ("…" if len(text) > 24 else "")
+    b = node.bbox
+    return f"{snippet!r}@({b.x:.0f},{b.y:.0f},{b.w:.0f},{b.h:.0f})"
+
+
+def semantic_merge(
+    tree: LayoutTree,
+    config: SegmentConfig,
+    embedding: Optional[WordEmbedding] = None,
+    tracer: Optional[Tracer] = None,
+) -> int:
     """Run the merging fixpoint over ``tree``; returns merges performed.
 
     Each pass walks levels deepest-first; a pass that performs no merge
-    terminates the loop.
+    terminates the loop.  With tracing enabled, every Eq. 1 comparison
+    becomes a ``merge.decision`` event and every fixpoint pass a
+    ``merge.pass`` event.
     """
     if embedding is None:
         embedding = default_embedding()
+    tracing = tracer is not None and tracer.enabled
     cache: Dict[int, np.ndarray] = {}
     total = 0
     for _pass in range(32):  # fixpoint bound (defensive)
@@ -140,24 +162,64 @@ def semantic_merge(tree: LayoutTree, config: SegmentConfig, embedding: Optional[
                     continue
                 sc = semantic_contribution(node, textual, embedding, cache)
                 if sc <= theta:
+                    if tracing:
+                        tracer.event(
+                            "merge.decision",
+                            height=height,
+                            level=level,
+                            theta=round(theta, 4),
+                            sc=round(sc, 4),
+                            node=_node_label(node),
+                            merged=False,
+                            partner=None,
+                            sim=None,
+                            reason="sc_below_theta",
+                        )
                     continue
                 v = node_vector(node, embedding, cache)
                 candidates = sorted(
                     siblings,
                     key=lambda s: -cosine_similarity(v, node_vector(s, embedding, cache)),
                 )
+                chosen = None
+                best_sim = None
                 for partner in candidates:
                     sim = cosine_similarity(v, node_vector(partner, embedding, cache))
+                    if best_sim is None:
+                        best_sim = sim
                     # The θ schedule gates the *contribution*; the pair
                     # itself must genuinely share semantics, or tightly
                     # adjacent but semantically distinct areas (title vs
                     # schedule line) would re-merge.
                     if sim > max(theta, 0.3) and _not_visually_separated(node, partner, config):
+                        chosen = (partner, sim)
                         merged = _merge_nodes(node.parent, node, partner)
                         cache.pop(merged.node_id, None)
                         merged_this_pass += 1
                         break
+                if tracing:
+                    tracer.event(
+                        "merge.decision",
+                        height=height,
+                        level=level,
+                        theta=round(theta, 4),
+                        sc=round(sc, 4),
+                        node=_node_label(node),
+                        merged=chosen is not None,
+                        partner=_node_label(chosen[0]) if chosen else None,
+                        sim=round(float(chosen[1] if chosen else best_sim), 4)
+                        if (chosen or best_sim is not None)
+                        else None,
+                        reason="merged" if chosen else "no_eligible_partner",
+                    )
         total += merged_this_pass
+        if tracing:
+            tracer.event(
+                "merge.pass",
+                height=height,
+                theta=round(theta, 4),
+                merges=merged_this_pass,
+            )
         # Merging two of a node's children can leave a unary chain
         # whose surviving leaf would be invisible to its aunt nodes on
         # the next pass; collapse chains before re-walking.

@@ -63,6 +63,7 @@ from repro.ocr import OcrEngine, OcrResult
 from repro.ocr.deskew import rotate_back
 from repro.instrument import PipelineMetrics
 from repro.ocr.cache import TranscriptionCache, transcribe_and_clean
+from repro.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -129,6 +130,7 @@ class VS2Pipeline:
         embedding: Optional[WordEmbedding] = None,
         cache: Optional[TranscriptionCache] = None,
         metrics: Optional[PipelineMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config or VS2Config.for_dataset(self.dataset)
@@ -136,32 +138,43 @@ class VS2Pipeline:
         self.ocr = ocr_engine or OcrEngine(seed=self.config.ocr_seed)
         self.cache = cache
         self.metrics = metrics or PipelineMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.segmenter = VS2Segmenter(
-            self.config.segment, self.embedding, metrics=self.metrics
+            self.config.segment, self.embedding, metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.selector = VS2Selector(
             self.dataset,
             self.config.select,
             embedding=self.embedding,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     def run(self, doc: Document) -> PipelineResult:
         """Extract every named entity of the dataset's vocabulary from
         one document.  ``doc`` ground truth is never consulted."""
         if self.cache is not None:
-            ocr, observed, angle = self.cache.cleaned(self.ocr, doc, self.metrics)
+            ocr, observed, angle = self.cache.cleaned(
+                self.ocr, doc, self.metrics, tracer=self.tracer
+            )
         else:
-            ocr, observed, angle = transcribe_and_clean(self.ocr, doc, self.metrics)
-        with self.metrics.stage("segment") as t:
+            ocr, observed, angle = transcribe_and_clean(
+                self.ocr, doc, self.metrics, tracer=self.tracer
+            )
+        with self.metrics.stage("segment") as t, self.tracer.span("segment") as sp:
             tree = self.segmenter.segment(observed)
             blocks = tree.logical_blocks()
             t.items = len(blocks)
-        with self.metrics.stage("select") as t:
+            sp.attrs["blocks"] = len(blocks)
+        with self.metrics.stage("select") as t, self.tracer.span("select") as sp:
             extractions = self.selector.extract(observed, blocks)
             t.items = len(extractions)
+            sp.attrs["extractions"] = len(extractions)
         if angle != 0.0:
-            with self.metrics.stage("rotate_back") as t:
+            with self.metrics.stage("rotate_back") as t, self.tracer.span(
+                "rotate_back"
+            ):
                 t.items = len(extractions)
                 extractions = [
                     Extraction(

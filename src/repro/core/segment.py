@@ -36,6 +36,7 @@ from repro.embeddings import WordEmbedding
 from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
 from repro.geometry.cuts import CutSet, interior_cut_sets
 from repro.instrument import PipelineMetrics
+from repro.trace import NULL_TRACER, Tracer
 
 
 class VS2Segmenter:
@@ -44,6 +45,8 @@ class VS2Segmenter:
     ``metrics`` records the ``segment.cuts`` / ``segment.cluster`` /
     ``segment.merge`` sub-stages; the pipeline passes its own
     accumulator so they nest under its top-level ``segment`` timing.
+    ``tracer`` receives the same sub-stages as spans plus the
+    per-decision events (``cut.decision``, ``merge.decision``).
     """
 
     def __init__(
@@ -51,10 +54,12 @@ class VS2Segmenter:
         config: Optional[SegmentConfig] = None,
         embedding: Optional[WordEmbedding] = None,
         metrics: Optional[PipelineMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config or SegmentConfig()
         self.embedding = embedding
         self.metrics = metrics if metrics is not None else PipelineMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Public API
@@ -76,8 +81,10 @@ class VS2Segmenter:
         self._recurse(root, depth=0)
         tree = LayoutTree(root)
         if self.config.use_semantic_merging:
-            with self.metrics.stage("segment.merge"):
-                semantic_merge(tree, self.config, self.embedding)
+            with self.metrics.stage("segment.merge"), self.tracer.span(
+                "segment.merge"
+            ):
+                semantic_merge(tree, self.config, self.embedding, tracer=self.tracer)
         return tree
 
     def logical_blocks(self, doc: Document) -> List[LayoutNode]:
@@ -101,12 +108,17 @@ class VS2Segmenter:
         if len(node.atoms) < self.config.min_atoms_to_split:
             return
 
-        with self.metrics.stage("segment.cuts"):
+        with self.metrics.stage("segment.cuts"), self.tracer.span(
+            "segment.cuts", depth=depth
+        ):
             groups = self._split_by_cuts(node)
         kind = "cut"
         if groups is None and self.config.use_visual_clustering:
-            with self.metrics.stage("segment.cluster"):
+            with self.metrics.stage("segment.cluster"), self.tracer.span(
+                "segment.cluster", depth=depth
+            ) as sp:
                 groups = self._split_by_clustering(node)
+                sp.attrs["clusters"] = len(groups) if groups else 0
             kind = "cluster"
         if not groups or len(groups) < 2:
             return
@@ -148,8 +160,14 @@ class VS2Segmenter:
         v_sets = interior_cut_sets(grid, "vertical")
         if contracts_enabled():
             check_cut_sets_in_whitespace(grid, h_sets + v_sets)
-        horizontal = identify_visual_delimiters(h_sets, ref_boxes, self.config.min_h_gap_ratio)
-        vertical = identify_visual_delimiters(v_sets, ref_boxes, self.config.min_v_gap_ratio)
+        horizontal = identify_visual_delimiters(
+            h_sets, ref_boxes, self.config.min_h_gap_ratio,
+            tracer=self.tracer, orientation="horizontal",
+        )
+        vertical = identify_visual_delimiters(
+            v_sets, ref_boxes, self.config.min_v_gap_ratio,
+            tracer=self.tracer, orientation="vertical",
+        )
         if not horizontal and not vertical:
             return None
 

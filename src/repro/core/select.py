@@ -34,6 +34,7 @@ from repro.nlp.tokenizer import normalize_text
 from repro.analysis.contracts import check_extraction_spans, checked
 from repro.datasets import entity_vocabulary, form_faces
 from repro.instrument import PipelineMetrics
+from repro.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -94,11 +95,13 @@ class VS2Selector:
         patterns: Optional[Dict[str, SyntacticPattern]] = None,
         embedding: Optional[WordEmbedding] = None,
         metrics: Optional[PipelineMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config or SelectConfig()
         self.embedding = embedding or default_embedding()
         self.metrics = metrics if metrics is not None else PipelineMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if patterns is not None:
             self.patterns = patterns
         elif self.dataset in ("D2", "D3"):
@@ -115,23 +118,47 @@ class VS2Selector:
         """Search each entity's pattern over the logical blocks and pick
         one match per entity (disambiguating when several fire)."""
         if self.dataset == "D1":
-            with self.metrics.stage("select.form_fields") as t:
+            if self.tracer.enabled:
+                # The descriptor path never consults interest points;
+                # compute the Pareto front anyway (trace-only) so an
+                # explain report shows the §5.3.1 objectives on every
+                # dataset.  Guarded on `enabled`, so the tracing-off
+                # path pays nothing.
+                select_interest_points(blocks, self.embedding, tracer=self.tracer)
+            with self.metrics.stage("select.form_fields") as t, self.tracer.span(
+                "select.form_fields"
+            ):
                 out = self._extract_form_fields(doc, blocks)
                 t.items = len(out)
             return out
         extractions: List[Extraction] = []
-        interest_points = select_interest_points(blocks, self.embedding)
+        interest_points = select_interest_points(
+            blocks, self.embedding, tracer=self.tracer
+        )
         page_diag = float(np.hypot(doc.width, doc.height))
         weights = Eq2Weights.from_tuple(
             self.config.eq2_weights.get(self.dataset, (0.25, 0.25, 0.25, 0.25))
         )
         for entity_type, pattern in self.patterns.items():
-            with self.metrics.stage("select.search") as t:
+            with self.metrics.stage("select.search") as t, self.tracer.span(
+                "select.search", entity=entity_type
+            ):
                 candidates = self._find_candidates(blocks, pattern)
                 t.items = len(candidates)
-            with self.metrics.stage("select.disambiguate"):
+            with self.metrics.stage("select.disambiguate"), self.tracer.span(
+                "select.disambiguate", entity=entity_type
+            ):
                 chosen = self._choose(
                     candidates, entity_type, interest_points, weights, page_diag
+                )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "select.decision",
+                    entity=entity_type,
+                    candidates=len(candidates),
+                    matched=chosen is not None,
+                    block=chosen.block_index if chosen is not None else None,
+                    text=chosen.match.text if chosen is not None else "",
                 )
             if chosen is not None:
                 extractions.append(
@@ -234,6 +261,15 @@ class VS2Selector:
                     continue
                 if best is None or ratio > best[0]:
                     best = (ratio, b, value_words, end_w)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "select.decision",
+                    entity=field.entity_type,
+                    candidates=len(by_first_token.get(first, [])),
+                    matched=best is not None,
+                    block=None,
+                    text=" ".join(w.text for w in best[2]) if best else "",
+                )
             if best is None:
                 continue
             ratio, block, value_words, _ = best

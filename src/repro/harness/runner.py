@@ -121,17 +121,27 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------
     def run_pipeline(
-        self, dataset: str, workers: int = 1, chunk_size: Optional[int] = None
+        self,
+        dataset: str,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        tracer=None,
     ) -> CorpusRunResult:
         """Run the full VS2 pipeline over one dataset's corpus through
         the instrumented :class:`CorpusRunner`.
 
         ``workers > 1`` uses a process pool; results keep corpus order
         either way, per-document failures are isolated, and the run's
-        per-stage metrics are folded into :attr:`metrics`.
+        per-stage metrics are folded into :attr:`metrics`.  An optional
+        ``tracer`` (:class:`repro.trace.Tracer`) receives the run's
+        span tree and decision events.
         """
         runner = CorpusRunner(
-            dataset, workers=workers, chunk_size=chunk_size, cache=self.cache
+            dataset,
+            workers=workers,
+            chunk_size=chunk_size,
+            cache=self.cache,
+            tracer=tracer,
         )
         outcome = runner.run(list(self.corpus(dataset)))
         self.metrics.merge(outcome.metrics)

@@ -23,14 +23,22 @@ such as ``segment.cuts``) so tables from different runs line up; see
 ``docs/PROFILING.md``.  Recording costs two ``perf_counter`` calls and
 a dict lookup, so instrumentation stays on in production paths.
 
+Each stage additionally keeps a **bounded log-scale latency
+histogram** (:data:`HIST_BUCKETS` doubling buckets from 1 µs up) of
+its individually timed samples, so tables and ``BENCH_*.json``
+snapshots report p50/p95/max — a mean hides exactly the straggler
+documents the parallel runner exists for.
+
 Accumulators merge (:meth:`PipelineMetrics.merge`), which is how the
 parallel :class:`repro.perf.runner.CorpusRunner` folds per-worker
 timings back into one table, and they serialise to plain dicts
-(:meth:`PipelineMetrics.to_dict`) for ``BENCH_*.json`` snapshots.
+(:meth:`PipelineMetrics.to_dict`) for ``BENCH_*.json`` snapshots; the
+dict round-trip is lossless (``from_dict(m.to_dict()) == m``).
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -53,26 +61,135 @@ STAGE_ORDER: List[str] = [
     "rotate_back",
 ]
 
+#: Latency histogram shape: bucket 0 holds samples ≤ 1 µs, bucket *i*
+#: holds samples in ``(2^(i-1) µs, 2^i µs]``, and the last bucket is
+#: open-ended (≈ 33 s and beyond).  26 ints per stage — bounded memory
+#: no matter how many samples arrive.
+HIST_BUCKETS = 26
+_HIST_MIN_SECONDS = 1e-6
+
+
+def hist_bucket(seconds: float) -> int:
+    """Histogram bucket index for one sample duration."""
+    if seconds <= _HIST_MIN_SECONDS:
+        return 0
+    bucket = int(math.log2(seconds / _HIST_MIN_SECONDS)) + 1
+    return min(bucket, HIST_BUCKETS - 1)
+
+
+def bucket_upper_seconds(bucket: int) -> float:
+    """Upper edge (seconds) of a histogram bucket."""
+    return _HIST_MIN_SECONDS * (2.0 ** bucket)
+
 
 @dataclass
 class StageStats:
-    """Accumulated statistics of one named stage."""
+    """Accumulated statistics of one named stage.
+
+    ``calls``/``seconds``/``items`` aggregate everything recorded;
+    ``hist``/``max_seconds`` cover only *individually observed*
+    samples (:meth:`observe`), because an aggregate record of N calls
+    carries no per-call distribution to bucket.
+    """
 
     calls: int = 0
     seconds: float = 0.0
     items: int = 0
+    max_seconds: float = 0.0
+    hist: List[int] = field(default_factory=lambda: [0] * HIST_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, seconds: float, items: int = 0) -> None:
+        """Record one timed sample (updates the latency histogram)."""
+        self.calls += 1
+        self.seconds += seconds
+        self.items += items
+        self.hist[hist_bucket(seconds)] += 1
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
 
     def add(self, seconds: float, items: int = 0, calls: int = 1) -> None:
+        """Fold in an aggregate (no per-sample distribution known)."""
         self.calls += calls
         self.seconds += seconds
         self.items += items
 
+    def merge_from(self, other: "StageStats") -> None:
+        self.calls += other.calls
+        self.seconds += other.seconds
+        self.items += other.items
+        if other.max_seconds > self.max_seconds:
+            self.max_seconds = other.max_seconds
+        for i, count in enumerate(other.hist):
+            self.hist[i] += count
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
     @property
     def ms_per_call(self) -> float:
         return (self.seconds / self.calls) * 1000.0 if self.calls else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
-        return {"calls": self.calls, "seconds": self.seconds, "items": self.items}
+    def quantile_seconds(self, q: float) -> Optional[float]:
+        """Latency quantile estimate from the histogram (upper bucket
+        edge, clipped to the observed max); ``None`` without samples."""
+        total = sum(self.hist)
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        for bucket, count in enumerate(self.hist):
+            cumulative += count
+            if cumulative >= target:
+                upper = bucket_upper_seconds(bucket)
+                return min(upper, self.max_seconds) if self.max_seconds else upper
+        return self.max_seconds  # pragma: no cover - cumulative covers total
+
+    @property
+    def p50_ms(self) -> Optional[float]:
+        q = self.quantile_seconds(0.50)
+        return None if q is None else q * 1000.0
+
+    @property
+    def p95_ms(self) -> Optional[float]:
+        q = self.quantile_seconds(0.95)
+        return None if q is None else q * 1000.0
+
+    @property
+    def max_ms(self) -> Optional[float]:
+        return self.max_seconds * 1000.0 if sum(self.hist) else None
+
+    # ------------------------------------------------------------------
+    # Serialisation (lossless round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "items": self.items,
+        }
+        if self.max_seconds:
+            out["max_seconds"] = self.max_seconds
+        sparse = {str(i): n for i, n in enumerate(self.hist) if n}
+        if sparse:
+            out["hist"] = sparse
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "StageStats":
+        stats = StageStats(
+            calls=int(data.get("calls", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+            items=int(data.get("items", 0)),
+            max_seconds=float(data.get("max_seconds", 0.0)),
+        )
+        for key, count in dict(data.get("hist", {})).items():
+            bucket = int(key)
+            if 0 <= bucket < HIST_BUCKETS:
+                stats.hist[bucket] = int(count)
+        return stats
 
 
 class StageTimer:
@@ -116,10 +233,17 @@ class PipelineMetrics:
         return StageTimer(self, name)
 
     def record(self, name: str, seconds: float, items: int = 0, calls: int = 1) -> None:
-        self._stats(name).add(seconds, items=items, calls=calls)
+        """Record into ``name``: a single call (``calls == 1``) is a
+        histogram sample; anything else is an aggregate fold-in."""
+        stats = self._stats(name)
+        if calls == 1:
+            stats.observe(seconds, items=items)
+        else:
+            stats.add(seconds, items=items, calls=calls)
 
     def count(self, name: str, items: int = 0) -> None:
-        """Record an instantaneous event (a call with no duration)."""
+        """Record an instantaneous event (a call with no duration —
+        kept out of the latency histogram)."""
         self._stats(name).add(0.0, items=items)
 
     def _stats(self, name: str) -> StageStats:
@@ -132,9 +256,10 @@ class PipelineMetrics:
     # Aggregation
     # ------------------------------------------------------------------
     def merge(self, other: "PipelineMetrics") -> "PipelineMetrics":
-        """Fold ``other``'s samples into this accumulator (in place)."""
+        """Fold ``other``'s samples into this accumulator (in place),
+        histograms included."""
         for name, stats in other.stages.items():
-            self._stats(name).add(stats.seconds, items=stats.items, calls=stats.calls)
+            self._stats(name).merge_from(stats)
         return self
 
     def drain(self) -> "PipelineMetrics":
@@ -169,19 +294,18 @@ class PipelineMetrics:
             s.seconds for n, s in self.stages.items() if "." not in n and n != "corpus"
         )
 
-    def to_dict(self) -> Dict[str, Dict[str, float]]:
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
         return {name: self.stages[name].to_dict() for name in self.ordered_names()}
 
     @staticmethod
-    def from_dict(data: Dict[str, Dict[str, float]]) -> "PipelineMetrics":
+    def from_dict(data: Dict[str, Dict[str, object]]) -> "PipelineMetrics":
+        """Inverse of :meth:`to_dict` — field-for-field, so round-trips
+        are lossless even for degenerate stats (``calls: 0`` with
+        nonzero seconds survives unchanged rather than being replayed
+        through :meth:`record`'s sample/aggregate split)."""
         metrics = PipelineMetrics()
         for name, stats in data.items():
-            metrics.record(
-                name,
-                float(stats.get("seconds", 0.0)),
-                items=int(stats.get("items", 0)),
-                calls=int(stats.get("calls", 0)),
-            )
+            metrics.stages[name] = StageStats.from_dict(stats)
         return metrics
 
     # ------------------------------------------------------------------
@@ -191,9 +315,15 @@ class PipelineMetrics:
         """An aligned text table of every recorded stage.
 
         Dotted sub-stages are indented under their parent stage; the
-        trailing total row sums top-level stages only.
+        trailing total row sums top-level stages only.  p50/p95/max
+        come from the per-stage latency histograms (dashes for stages
+        that only ever recorded aggregates or instantaneous counts).
         """
-        headers = ["stage", "calls", "total s", "ms/call", "items"]
+        headers = ["stage", "calls", "total s", "ms/call", "p50 ms", "p95 ms", "max ms", "items"]
+
+        def ms_cell(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:.2f}"
+
         rows: List[List[str]] = []
         for name in self.ordered_names():
             stats = self.stages[name]
@@ -204,10 +334,15 @@ class PipelineMetrics:
                     str(stats.calls),
                     f"{stats.seconds:.3f}",
                     f"{stats.ms_per_call:.2f}",
+                    ms_cell(stats.p50_ms),
+                    ms_cell(stats.p95_ms),
+                    ms_cell(stats.max_ms),
                     str(stats.items),
                 ]
             )
-        rows.append(["total (top-level)", "", f"{self.total_seconds():.3f}", "", ""])
+        rows.append(
+            ["total (top-level)", "", f"{self.total_seconds():.3f}", "", "", "", "", ""]
+        )
         widths = [
             max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
         ]

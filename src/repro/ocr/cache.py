@@ -26,6 +26,7 @@ import threading
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.ocr.deskew import deskew
+from repro.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.doc import Document
@@ -41,20 +42,26 @@ def transcribe_and_clean(
     engine: "OcrEngine",
     doc: "Document",
     metrics: Optional["PipelineMetrics"] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CleanedView:
     """The uncached clean step: transcribe then deskew, instrumented.
 
     This is the single implementation both the cache's miss path and
     the cache-less pipeline call, so the two paths cannot drift.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     if metrics is None:
-        ocr = engine.transcribe(doc)
-        observed, angle = deskew(ocr.as_document(doc))
+        with tracer.span("ocr"):
+            ocr = engine.transcribe(doc)
+        with tracer.span("deskew"):
+            observed, angle = deskew(ocr.as_document(doc))
         return ocr, observed, angle
-    with metrics.stage("ocr") as t:
+    with metrics.stage("ocr") as t, tracer.span("ocr") as sp:
         ocr = engine.transcribe(doc)
         t.items = len(ocr.words)
-    with metrics.stage("deskew"):
+        sp.attrs["words"] = len(ocr.words)
+    with metrics.stage("deskew"), tracer.span("deskew"):
         observed, angle = deskew(ocr.as_document(doc))
     return ocr, observed, angle
 
@@ -91,14 +98,18 @@ class TranscriptionCache:
         engine: "OcrEngine",
         doc: "Document",
         metrics: Optional["PipelineMetrics"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> CleanedView:
         """Return the (memoised) cleaned view of ``doc``.
 
         On a hit the stored view is returned as-is and an
         ``ocr.cache_hit`` event is counted; on a miss the clean step
         runs under its ``ocr``/``deskew`` timers and the result is
-        stored.
+        stored.  Either way an ``ocr.cache`` trace event records the
+        outcome.
         """
+        if tracer is None:
+            tracer = NULL_TRACER
         key = (engine.seed, doc.doc_id)
         with self._lock:
             cached = self._entries.get(key)
@@ -106,8 +117,12 @@ class TranscriptionCache:
             self.hits += 1
             if metrics is not None:
                 metrics.count("ocr.cache_hit")
+            if tracer.enabled:
+                tracer.event("ocr.cache", hit=True, doc_id=doc.doc_id)
             return cached
-        view = transcribe_and_clean(engine, doc, metrics)
+        if tracer.enabled:
+            tracer.event("ocr.cache", hit=False, doc_id=doc.doc_id)
+        view = transcribe_and_clean(engine, doc, metrics, tracer=tracer)
         with self._lock:
             self.misses += 1
             if self.max_entries is not None and len(self._entries) >= self.max_entries:

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.perf.cache import TranscriptionCache
 from repro.perf.metrics import PipelineMetrics
+from repro.trace import NULL_TRACER, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids core import cycle)
     from repro.core.config import VS2Config
@@ -47,15 +48,30 @@ PipelineFactory = Callable[[], "VS2Pipeline"]
 @dataclass(frozen=True)
 class DocumentFailure:
     """One document that raised mid-pipeline, with enough context to
-    reproduce it (``python -m repro extract`` on the same seed/doc)."""
+    reproduce it (``python -m repro extract`` on the same seed/doc).
+
+    ``doc_index`` is the document's position in the submitted corpus
+    (``-1`` when unknown); ``ocr_seed`` the engine seed the failing
+    pipeline was built with; ``span_path`` the deepest open trace span
+    at the moment the exception unwound (empty when tracing was off).
+    """
 
     doc_id: str
     error_type: str
     message: str
     traceback: str
+    doc_index: int = -1
+    span_path: str = ""
+    ocr_seed: Optional[int] = None
 
     def __str__(self) -> str:
-        return f"{self.doc_id}: {self.error_type}: {self.message}"
+        where = f"doc[{self.doc_index}] {self.doc_id}" if self.doc_index >= 0 else self.doc_id
+        out = f"{where}: {self.error_type}: {self.message}"
+        if self.span_path:
+            out += f" (at {self.span_path})"
+        if self.ocr_seed is not None:
+            out += f" [ocr_seed={self.ocr_seed}]"
+        return out
 
 
 @dataclass
@@ -90,46 +106,67 @@ class CorpusRunResult:
 # Worker-side machinery (module level so the spawn start method works)
 # ----------------------------------------------------------------------
 _WORKER_PIPELINE: Optional["VS2Pipeline"] = None
+_WORKER_TRACER = NULL_TRACER
 
 
-def _default_factory(dataset: str, config: Optional["VS2Config"]) -> "VS2Pipeline":
+def _default_factory(
+    dataset: str, config: Optional["VS2Config"], tracer=NULL_TRACER
+) -> "VS2Pipeline":
     from repro.core.pipeline import VS2Pipeline
 
-    return VS2Pipeline(dataset, config=config, cache=TranscriptionCache())
+    return VS2Pipeline(
+        dataset, config=config, cache=TranscriptionCache(), tracer=tracer
+    )
 
 
 def _init_worker(
     dataset: str,
     config: Optional["VS2Config"],
     factory: Optional[PipelineFactory],
+    trace_enabled: bool = False,
 ) -> None:
-    """Process-pool initialiser: build this worker's pipeline once."""
-    global _WORKER_PIPELINE
-    _WORKER_PIPELINE = factory() if factory is not None else _default_factory(dataset, config)
+    """Process-pool initialiser: build this worker's pipeline once.
+
+    When the parent traces, each worker gets its own :class:`Tracer`;
+    its drained span buffers travel back with every chunk result and
+    are re-parented under the parent's ``corpus`` span.
+    """
+    global _WORKER_PIPELINE, _WORKER_TRACER
+    _WORKER_TRACER = Tracer() if trace_enabled else NULL_TRACER
+    _WORKER_PIPELINE = (
+        factory()
+        if factory is not None
+        else _default_factory(dataset, config, tracer=_WORKER_TRACER)
+    )
 
 
 def _run_one(
-    pipeline: "VS2Pipeline", index: int, doc: "Document"
+    pipeline: "VS2Pipeline", index: int, doc: "Document", tracer=NULL_TRACER
 ) -> Tuple[int, Optional["PipelineResult"], Optional[DocumentFailure]]:
     try:
-        return index, pipeline.run(doc), None
+        with tracer.span("doc", index=index, doc_id=doc.doc_id):
+            return index, pipeline.run(doc), None
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         failure = DocumentFailure(
             doc_id=doc.doc_id,
             error_type=type(exc).__name__,
             message=str(exc),
             traceback=_traceback.format_exc(),
+            doc_index=index,
+            span_path=tracer.consume_error_path(exc) or "",
+            ocr_seed=getattr(getattr(pipeline, "config", None), "ocr_seed", None),
         )
         return index, None, failure
 
 
 def _run_chunk(chunk: List[Tuple[int, "Document"]]):
     """Run one chunk in a worker; returns per-doc outcomes plus the
-    metrics accumulated *by this chunk* (drained so successive chunks
-    in the same worker never double-count)."""
+    metrics and trace spans accumulated *by this chunk* (both drained,
+    so successive chunks in the same worker never double-count)."""
     assert _WORKER_PIPELINE is not None, "worker initialiser did not run"
-    out = [_run_one(_WORKER_PIPELINE, index, doc) for index, doc in chunk]
-    return out, _WORKER_PIPELINE.metrics.drain().to_dict()
+    out = [_run_one(_WORKER_PIPELINE, index, doc, _WORKER_TRACER) for index, doc in chunk]
+    spans = [span.to_dict() for span in _WORKER_TRACER.drain()]
+    return out, _WORKER_PIPELINE.metrics.drain().to_dict(), spans
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +194,12 @@ class CorpusRunner:
     pipeline_factory:
         Custom pipeline builder (e.g. for tests or alternative
         configs).  Must be a picklable callable when ``workers > 1``.
+    tracer:
+        A :class:`repro.trace.Tracer` receiving the run's hierarchical
+        spans (``corpus > doc[i] > stage``) and decision events.
+        Workers trace into private buffers that are re-parented here in
+        deterministic document order, so a normalised export of a
+        parallel run is byte-identical to the serial one.
     """
 
     def __init__(
@@ -167,6 +210,7 @@ class CorpusRunner:
         chunk_size: Optional[int] = None,
         cache: Optional[TranscriptionCache] = None,
         pipeline_factory: Optional[PipelineFactory] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config
@@ -174,6 +218,7 @@ class CorpusRunner:
         self.chunk_size = chunk_size
         self.cache = cache
         self.pipeline_factory = pipeline_factory
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._serial_pipeline: Optional["VS2Pipeline"] = None
 
     # ------------------------------------------------------------------
@@ -182,13 +227,15 @@ class CorpusRunner:
         pipeline error (see :class:`CorpusRunResult`)."""
         docs = list(docs)
         metrics = PipelineMetrics()
-        with metrics.stage("corpus") as t:
+        with metrics.stage("corpus") as t, self.tracer.span(
+            "corpus", dataset=self.dataset, docs=len(docs)
+        ):
             t.items = len(docs)
             if self.workers <= 1 or len(docs) <= 1:
                 slots, failures = self._run_serial(docs, metrics)
             else:
                 slots, failures = self._run_parallel(docs, metrics)
-        failures.sort(key=lambda f: f.doc_id)
+        failures.sort(key=lambda f: (f.doc_index, f.doc_id))
         return CorpusRunResult(results=slots, failures=failures, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -203,6 +250,7 @@ class CorpusRunner:
                     self.dataset,
                     config=self.config,
                     cache=self.cache or TranscriptionCache(),
+                    tracer=self.tracer,
                 )
         return self._serial_pipeline
 
@@ -212,7 +260,7 @@ class CorpusRunner:
         slots: List[Optional["PipelineResult"]] = [None] * len(docs)
         failures: List[DocumentFailure] = []
         for index, doc in enumerate(docs):
-            _, result, failure = _run_one(pipeline, index, doc)
+            _, result, failure = _run_one(pipeline, index, doc, self.tracer)
             slots[index] = result
             if failure is not None:
                 failures.append(failure)
@@ -234,21 +282,34 @@ class CorpusRunner:
             executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.dataset, self.config, self.pipeline_factory),
+                initargs=(
+                    self.dataset,
+                    self.config,
+                    self.pipeline_factory,
+                    self.tracer.enabled,
+                ),
             )
         except (OSError, ValueError):  # no process support: degrade, don't die
             return self._run_serial(docs, metrics)
+        adopted: List[Span] = []
         try:
             pending = {executor.submit(_run_chunk, chunk) for chunk in chunks}
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    outcomes, chunk_metrics = future.result()
+                    outcomes, chunk_metrics, chunk_spans = future.result()
                     metrics.merge(PipelineMetrics.from_dict(chunk_metrics))
+                    adopted.extend(Span.from_dict(s) for s in chunk_spans)
                     for index, result, failure in outcomes:
                         slots[index] = result
                         if failure is not None:
                             failures.append(failure)
         finally:
             executor.shutdown()
+        # Chunks complete in whichever order the pool schedules them;
+        # re-parent worker spans sorted by document index so a traced
+        # parallel run is structurally identical to the serial one.
+        adopted.sort(key=lambda s: (s.attrs.get("index", -1), s.name))
+        for span in adopted:
+            self.tracer.adopt(span)
         return slots, failures

@@ -18,8 +18,13 @@ from typing import Dict, List, Optional, Union
 
 from repro.perf.metrics import PipelineMetrics
 
-#: Bumped when the JSON layout changes incompatibly.
-SCHEMA = "repro.bench.pipeline/1"
+#: Bumped when the JSON layout changes incompatibly.  ``/2`` added the
+#: optional per-stage ``hist``/``max_seconds`` latency-histogram fields;
+#: ``/1`` snapshots (no histograms) still load.
+SCHEMA = "repro.bench.pipeline/2"
+
+#: Older layouts :func:`load_snapshot` still accepts.
+COMPATIBLE_SCHEMAS = (SCHEMA, "repro.bench.pipeline/1")
 
 
 def write_snapshot(
@@ -42,7 +47,7 @@ def write_snapshot(
 def load_snapshot(path: Union[str, pathlib.Path]) -> Dict[str, object]:
     """Load a snapshot; raises ``ValueError`` on a foreign schema."""
     data = json.loads(pathlib.Path(path).read_text())
-    if data.get("schema") != SCHEMA:
+    if data.get("schema") not in COMPATIBLE_SCHEMAS:
         raise ValueError(f"{path}: unknown snapshot schema {data.get('schema')!r}")
     return data
 

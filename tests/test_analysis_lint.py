@@ -57,10 +57,20 @@ FIXTURES = [
         "from numpy.random import default_rng\nrng = default_rng(0)\n",
     ),
     (
+        # Lives in repro/nlp (a deterministic layer outside repro.core)
+        # so the perf_counter clean counterpart is not an OBS001 hit.
         "DET002",
-        "repro/core/stamp.py",
+        "repro/nlp/stamp.py",
         "import time\n\ndef stamp():\n    return time.time()\n",
         "import time\n\ndef took():\n    return time.perf_counter()\n",
+    ),
+    (
+        "OBS001",
+        "repro/core/hot.py",
+        "import time\n\ndef took():\n    return time.perf_counter()\n",
+        "def timed(metrics, work):\n"
+        "    with metrics.stage('segment'):\n"
+        "        return work()\n",
     ),
     (
         "DET003",
@@ -153,6 +163,7 @@ class TestEngine:
             "LAYER001", "LAYER002", "LAYER003",
             "FRAME001", "FRAME002",
             "MUT001", "EXC001",
+            "OBS001",
         }
         assert expected <= set(ALL_RULES)
         for rule in ALL_RULES.values():

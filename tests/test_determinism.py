@@ -58,6 +58,19 @@ def run_smoke(workers: int) -> bytes:
     return canonical_bytes(outcome)
 
 
+def run_traced_smoke(workers: int) -> bytes:
+    """The normalised JSONL event log of a traced smoke run: a pure
+    function of the decisions taken, independent of wall time and of
+    which process produced each span."""
+    from repro.trace import Tracer, jsonl_lines
+
+    tracer = Tracer()
+    corpus = list(generate_corpus(SMOKE["dataset"], n=SMOKE["n"], seed=SMOKE["seed"]))
+    outcome = CorpusRunner(SMOKE["dataset"], workers=workers, tracer=tracer).run(corpus)
+    assert not outcome.failures
+    return ("\n".join(jsonl_lines(tracer.drain(), normalize=True)) + "\n").encode()
+
+
 class TestDeterminism:
     def test_serial_rerun_byte_identical(self):
         assert run_smoke(workers=1) == run_smoke(workers=1)
@@ -66,6 +79,28 @@ class TestDeterminism:
     def test_parallel_byte_identical_to_serial(self):
         assert run_smoke(workers=1) == run_smoke(workers=2)
 
+class TestTraceDeterminism:
+    """The trace is part of the determinism contract: once timestamps
+    are normalised away, the event log depends only on the pipeline's
+    decisions — so serial and multi-process traced runs must agree to
+    the byte."""
+
+    def test_traced_serial_rerun_byte_identical(self):
+        assert run_traced_smoke(workers=1) == run_traced_smoke(workers=1)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_traced_parallel_byte_identical_to_serial(self):
+        assert run_traced_smoke(workers=1) == run_traced_smoke(workers=2)
+
+    def test_traced_log_covers_every_document(self):
+        log = run_traced_smoke(workers=1).decode()
+        for index in range(SMOKE["n"]):
+            assert f"doc[{index}]" in log
+        for family in ("cut.decision", "merge.", "pareto.front", "select.decision"):
+            assert family in log
+
+
+class TestDeterminismAcrossInterpreters:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_hash_seed_independence(self, workers):
         """Fresh interpreters with different PYTHONHASHSEEDs agree —

@@ -49,6 +49,17 @@ def _exploding_factory():
     return ExplodingPipeline("D2", cache=TranscriptionCache())
 
 
+class ExplodeAllPipeline(VS2Pipeline):
+    """Raises for every document (failure-ordering tests)."""
+
+    def run(self, doc):
+        raise RuntimeError("boom")
+
+
+def _explode_all_factory():
+    return ExplodeAllPipeline("D2", cache=TranscriptionCache())
+
+
 @pytest.fixture(scope="module")
 def corpus():
     return list(generate_corpus("D2", n=8, seed=3))
@@ -104,6 +115,105 @@ class TestPipelineMetrics:
         m.record("segment.cuts", 0.8)
         m.record("corpus", 2.0)
         assert m.total_seconds() == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Latency histograms (p50/p95/max)
+# ----------------------------------------------------------------------
+class TestLatencyHistograms:
+    def test_observed_samples_populate_quantiles(self):
+        m = PipelineMetrics()
+        for seconds in (0.001, 0.002, 0.004, 0.100):
+            m.record("segment", seconds)
+        stats = m["segment"]
+        assert sum(stats.hist) == 4
+        assert stats.max_seconds == pytest.approx(0.100)
+        assert stats.p50_ms is not None and stats.p95_ms is not None
+        # Quantiles are bucket upper-edge estimates: monotone and
+        # bounded by the observed maximum.
+        assert stats.p50_ms <= stats.p95_ms <= stats.max_ms
+        assert stats.max_ms == pytest.approx(100.0)
+
+    def test_aggregate_records_stay_out_of_the_histogram(self):
+        """A multi-call aggregate carries no per-call distribution, so
+        it must not fabricate histogram samples."""
+        m = PipelineMetrics()
+        m.record("ocr", 1.5, calls=3)
+        assert m["ocr"].calls == 3
+        assert sum(m["ocr"].hist) == 0
+        assert m["ocr"].p50_ms is None and m["ocr"].max_ms is None
+
+    def test_count_is_not_a_latency_sample(self):
+        m = PipelineMetrics()
+        m.count("ocr.cache_hit", items=1)
+        assert m["ocr.cache_hit"].calls == 1
+        assert sum(m["ocr.cache_hit"].hist) == 0
+
+    def test_merge_folds_histograms(self):
+        a, b = PipelineMetrics(), PipelineMetrics()
+        a.record("segment", 0.010)
+        b.record("segment", 0.500)
+        a.merge(b)
+        assert sum(a["segment"].hist) == 2
+        assert a["segment"].max_seconds == pytest.approx(0.500)
+
+    def test_format_table_has_percentile_columns(self):
+        m = PipelineMetrics()
+        m.record("segment", 0.020)
+        table = m.format_table()
+        assert "p50 ms" in table and "p95 ms" in table and "max ms" in table
+
+    def test_timing_table_has_percentile_columns(self):
+        from repro.harness import timing_table
+
+        m = PipelineMetrics()
+        m.record("segment", 0.020)
+        m.record("ocr", 3.0, calls=4)  # aggregate: dashes, not percentages
+        text = timing_table(m).format()
+        assert "p50 ms" in text and "p95 ms" in text
+
+
+class TestMetricsRoundTripProperty:
+    """Satellite invariant: ``from_dict(m.to_dict()) == m`` exactly,
+    for any accumulator reachable through the public recording API."""
+
+    def test_property_roundtrip_is_lossless(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        ops = st.lists(
+            st.tuples(
+                st.sampled_from(["ocr", "segment", "segment.cuts", "select", "odd"]),
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=1, max_value=7),
+            ),
+            max_size=40,
+        )
+
+        @settings(max_examples=200, deadline=None)
+        @given(ops=ops)
+        def check(ops):
+            m = PipelineMetrics()
+            for name, seconds, items, calls in ops:
+                m.record(name, seconds, items=items, calls=calls)
+            again = PipelineMetrics.from_dict(m.to_dict())
+            assert again == m
+            assert again.to_dict() == m.to_dict()
+            # And through the JSON layer snapshots actually use.
+            assert PipelineMetrics.from_dict(
+                json.loads(json.dumps(m.to_dict()))
+            ) == m
+
+        check()
+
+    def test_degenerate_stats_survive(self):
+        """calls=0 with nonzero seconds (a hand-edited snapshot) must
+        not be 'repaired' by the round-trip."""
+        payload = {"ocr": {"calls": 0, "seconds": 1.25, "items": 3}}
+        m = PipelineMetrics.from_dict(payload)
+        assert m["ocr"].calls == 0 and m["ocr"].seconds == 1.25
+        assert m.to_dict() == payload
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +344,44 @@ class TestCorpusRunner:
 
 
 # ----------------------------------------------------------------------
+# DocumentFailure context (doc index, seed, span path)
+# ----------------------------------------------------------------------
+class TestDocumentFailureContext:
+    def test_failure_carries_index_and_span_path(self, corpus):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        runner = CorpusRunner(
+            "D2", workers=1, pipeline_factory=_exploding_factory, tracer=tracer
+        )
+        outcome = runner.run(corpus[:5])
+        failure = outcome.failures[0]
+        bad_index = [d.doc_id for d in corpus].index(ExplodingPipeline.BAD_DOC)
+        assert failure.doc_index == bad_index
+        assert f"doc[{bad_index}]" in failure.span_path
+        rendered = str(failure)
+        assert f"doc[{bad_index}]" in rendered
+        assert ExplodingPipeline.BAD_DOC in rendered
+        assert failure.span_path in rendered
+
+    def test_failure_without_tracer_still_reports_index(self, corpus):
+        outcome = CorpusRunner(
+            "D2", workers=1, pipeline_factory=_exploding_factory
+        ).run(corpus[:5])
+        failure = outcome.failures[0]
+        assert failure.doc_index >= 0
+        assert failure.span_path == ""
+        assert failure.ocr_seed is not None  # from the pipeline's config
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_failures_sorted_by_document_index(self, corpus):
+        outcome = CorpusRunner(
+            "D2", workers=2, chunk_size=1, pipeline_factory=_explode_all_factory
+        ).run(corpus[:4])
+        assert [f.doc_index for f in outcome.failures] == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
 # Snapshots
 # ----------------------------------------------------------------------
 class TestSnapshots:
@@ -264,3 +412,24 @@ class TestSnapshots:
         p.write_text('{"schema": "other/9", "stages": {}}')
         with pytest.raises(ValueError):
             load_snapshot(p)
+
+    def test_v1_snapshot_still_loads(self, tmp_path):
+        """Pre-histogram snapshots (schema /1) remain readable, with
+        empty histograms."""
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps({
+            "schema": "repro.bench.pipeline/1",
+            "meta": {"dataset": "D2"},
+            "stages": {"ocr": {"calls": 2, "seconds": 0.5, "items": 9}},
+        }))
+        snap = load_snapshot(p)
+        m = PipelineMetrics.from_dict(snap["stages"])
+        assert m["ocr"].calls == 2 and sum(m["ocr"].hist) == 0
+
+    def test_v2_snapshot_carries_histograms(self, tmp_path):
+        m = PipelineMetrics()
+        m.record("segment", 0.025)
+        snap = load_snapshot(write_snapshot(tmp_path / "b.json", m))
+        assert snap["schema"] == "repro.bench.pipeline/2"
+        assert "hist" in snap["stages"]["segment"]
+        assert snap["stages"]["segment"]["max_seconds"] == pytest.approx(0.025)
