@@ -4,14 +4,18 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint contracts bench bench-smoke tables trace-smoke
+.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
 	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts
 
 lint:            ## repo-specific static analysis (see docs/STATIC_ANALYSIS.md)
-	$(PY) -m repro check src tests
+	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats
+
+lint-cold:       ## same, but from scratch (ignores and rebuilds the result cache)
+	rm -f .repro_check_cache.json
+	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats
 
 contracts:       ## the runtime-contract test subset with contracts forced on
 	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts

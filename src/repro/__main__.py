@@ -192,6 +192,48 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_rule(rule_id: str) -> int:
+    """Print the catalogue entry (doc, example, fix) for one rule."""
+    from repro.analysis.lint import ALL_RULES
+    from repro.analysis.passes import load_catalogue
+    from repro.analysis.runner import PARSE_RULE
+
+    rule_id = rule_id.upper()
+    sections = None
+    if rule_id in ALL_RULES:
+        rule = ALL_RULES[rule_id]
+        doc = (rule.__doc__ or "").strip()
+        sections = (rule.summary, doc, rule.example, rule.fix)
+    else:
+        for pass_obj in load_catalogue().values():
+            if rule_id in pass_obj.rules:
+                entry = pass_obj.rules[rule_id]
+                sections = (entry.summary, entry.doc, entry.example, entry.fix)
+                break
+    if sections is None and rule_id == PARSE_RULE:
+        sections = (
+            "every linted file must parse",
+            "Emitted when a file cannot be parsed as Python; the rest of "
+            "the analysis skips the file, so fix the syntax error first.",
+            "def broken(:",
+            "fix the syntax error",
+        )
+    if sections is None:
+        print(f"unknown rule {rule_id!r}; see repro check --list-rules", file=sys.stderr)
+        return 2
+    summary, doc, example, fix = sections
+    print(f"{rule_id} — {summary}")
+    if doc:
+        print(f"\n{doc}")
+    if example:
+        print("\nExample:")
+        for line in example.splitlines():
+            print(f"  {line}")
+    if fix:
+        print(f"\nFix: {fix}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -199,23 +241,64 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ALL_RULES,
         format_human,
         format_json,
-        lint_paths,
         load_baseline,
         write_baseline,
     )
-    from repro.analysis.lint.engine import apply_baseline
+    from repro.analysis.lint.engine import apply_baseline, rekey_baseline
+    from repro.analysis.passes import load_catalogue
+    from repro.analysis.runner import check_project
 
     if args.list_rules:
         for rule_id, rule in sorted(ALL_RULES.items()):
             print(f"{rule_id}  {rule.summary}")
+        for pass_id, pass_obj in sorted(load_catalogue().items()):
+            for rule_id, entry in sorted(pass_obj.rules.items()):
+                print(f"{rule_id}  {entry.summary}  [{pass_id} pass]")
         return 0
-    violations = lint_paths([Path(p) for p in args.paths], rule_ids=args.rules or None)
+    if args.explain:
+        return _explain_rule(args.explain)
+
     baseline_path = Path(args.baseline)
+    if args.rekey:
+        renames = {}
+        for spec in args.rekey:
+            old, sep, new = spec.partition("=")
+            if not sep or not old or not new:
+                print(f"--rekey expects OLD=NEW, got {spec!r}", file=sys.stderr)
+                return 2
+            renames[old] = new
+        changed = rekey_baseline(baseline_path, renames)
+        print(f"rewrote {changed} fingerprint(s) in {baseline_path}")
+        return 0
+
+    cache_path = None
+    if args.cache and not args.no_cache:
+        cache_path = Path(args.cache)
+    result = check_project(
+        [Path(p) for p in args.paths],
+        rule_ids=args.rules or None,
+        jobs=args.jobs,
+        cache_path=cache_path,
+    )
+    if args.graph:
+        if args.graph == "dot":
+            print(result.index.to_dot())
+        else:
+            print(json.dumps(result.index.to_json(), indent=2, sort_keys=True))
+        return 0
+    violations = result.violations
     if args.write_baseline:
         write_baseline(baseline_path, violations)
         print(f"wrote {len(violations)} fingerprint(s) to {baseline_path}")
         return 0
     violations = apply_baseline(violations, load_baseline(baseline_path))
+    if args.stats:
+        s = result.stats
+        print(
+            f"repro check stats: {s['files']} file(s), {s['parsed']} parsed, "
+            f"{s['cached']} from cache",
+            file=sys.stderr,
+        )
     print(format_json(violations) if args.format == "json" else format_human(violations))
     return 1 if violations else 0
 
@@ -310,7 +393,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-baseline", action="store_true",
                    help="record current violations as the new baseline and exit")
     p.add_argument("--list-rules", action="store_true",
-                   help="print the rule catalogue and exit")
+                   help="print the rule catalogue (module rules + passes) and exit")
+    p.add_argument("--explain", metavar="RULEID",
+                   help="print one rule's documentation, example and fix, then exit")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process count for the per-file stage (1 = serial)")
+    p.add_argument("--cache", metavar="PATH", default=None,
+                   help="content-hash result cache file (off unless given)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache (force a cold run)")
+    p.add_argument("--graph", choices=["dot", "json"],
+                   help="dump the import/call graph instead of findings")
+    p.add_argument("--rekey", action="append", metavar="OLD=NEW",
+                   help="rewrite baseline fingerprints after a file rename "
+                        "(repeatable), then exit")
+    p.add_argument("--stats", action="store_true",
+                   help="print file/parse/cache counters to stderr")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("render", help="rasterise a synthetic document to PPM")

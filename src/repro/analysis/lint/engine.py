@@ -1,15 +1,32 @@
-"""Lint engine: discovery, suppression, baselines, output.
+"""Lint engine: per-file model, suppression, baselines, output.
 
-The engine is rule-agnostic.  A rule is an object with a ``rule_id``,
-a one-line ``summary`` and a ``check(module)`` generator yielding
-:class:`Violation`; rules register themselves with :func:`register`
-(see :mod:`repro.analysis.lint.rules` for the catalogue).
+The engine is rule-agnostic.  A *module-scope rule* is an object with a
+``rule_id``, a one-line ``summary`` and a ``check(module)`` generator
+yielding :class:`Violation`; rules register themselves with
+:func:`register` (see :mod:`repro.analysis.lint.rules` for the
+catalogue).  *Interprocedural passes* — which see the whole
+:class:`repro.analysis.index.ProjectIndex` rather than one file — live
+in :mod:`repro.analysis.passes` and reuse the same :class:`Violation`
+and suppression machinery.
 
-Suppression is per-line: a trailing ``# repro: noqa[DET001]`` comment
-silences the named rule(s) on that line, ``# repro: noqa`` silences
-every rule.  A *baseline* (JSON list of violation fingerprints) lets a
-new rule land while legacy hits are burned down — the shipped baseline
-is empty and should stay that way.
+Suppression is per-line: a trailing ``noqa`` comment in either the
+historical form (``repro: noqa[DET001,FRAME101]``) or the conventional
+form (``noqa: DET001,FRAME101``) silences the named rule(s) on that
+line.  A *bare* noqa (no rule list) still blanket-silences the line
+but is itself reported as ``SUPP001`` — unscoped suppressions hide
+future findings.  A *baseline* (JSON list of violation fingerprints)
+lets a new rule land while legacy hits are burned down — the shipped
+baseline is empty and should stay that way.
+
+Beyond noqa, two pragma vocabularies feed the interprocedural passes:
+
+* ``det: reviewed`` (trailing, on a ``def`` line) — the function was
+  audited and its impure-looking sinks do not reach the output; the
+  determinism pass stops propagating through it.
+* ``frame: <f>`` / ``frame: <f> -> <g>`` (trailing on a ``def`` line,
+  or a full-line comment for a whole module) — declares the coordinate
+  frame of the bbox values a function consumes/produces (``->`` for
+  converters); ``frame: any`` marks frame-polymorphic code.
 """
 
 from __future__ import annotations
@@ -19,12 +36,30 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-#: ``# repro: noqa`` (blanket) or ``# repro: noqa[DET001, LAYER002]``.
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+#: Both noqa spellings: historical ``repro: noqa[DET001]`` and
+#: conventional ``noqa: DET001,FRAME101``; a match with neither a
+#: bracketed nor a colon list is *bare* (blanket + SUPP001).
+_NOQA_RE = re.compile(
+    r"#\s*(?:repro:\s*)?noqa(?:\s*\[(?P<bracket>[A-Za-z0-9_,\s]+)\]|:\s*(?P<colon>[A-Za-z0-9_,\s]+))?"
+)
 
-_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist"}
+#: Trailing ``det: reviewed`` pragma on a ``def`` line.
+_DET_REVIEWED_RE = re.compile(r"#\s*det:\s*reviewed\b")
+
+#: Trailing ``frame: observed`` or converter ``frame: observed -> original``.
+_FRAME_PRAGMA_RE = re.compile(
+    r"#\s*frame:\s*(?P<src>[A-Za-z_]\w*)(?:\s*->\s*(?P<dst>[A-Za-z_]\w*))?"
+)
+
+#: Directory names pruned from discovery.  ``fixtures`` holds test
+#: inputs with *intentional* violations (tests copy them to a tmp dir
+#: before linting them on purpose).
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist",
+    "fixtures",
+}
 
 
 @dataclass(frozen=True, order=True)
@@ -55,6 +90,43 @@ class Violation:
             "message": self.message,
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Violation":
+        return Violation(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+
+@dataclass(frozen=True)
+class NoqaMark:
+    """The suppression state of one line.
+
+    ``blanket`` is a bare noqa (silences every rule except ``SUPP001``,
+    which reports the bare noqa itself); ``ids`` are explicitly listed
+    rule IDs (which silence exactly those rules, including ``SUPP001``).
+    One line can carry both — e.g. a string literal containing a bare
+    noqa plus a real trailing ``noqa: SUPP001``.
+    """
+
+    blanket: bool = False
+    ids: frozenset = frozenset()
+
+    def suppresses(self, rule_id: str) -> bool:
+        if rule_id in self.ids:
+            return True
+        return self.blanket and rule_id != "SUPP001"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"blanket": self.blanket, "ids": sorted(self.ids)}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "NoqaMark":
+        return NoqaMark(bool(data["blanket"]), frozenset(data["ids"]))  # type: ignore[arg-type]
+
 
 class ModuleInfo:
     """One parsed source file, as rules see it."""
@@ -70,8 +142,29 @@ class ModuleInfo:
         #: lives under a ``repro`` package directory, else ``None`` —
         #: layer-scoped rules key off this.
         self.module = _module_name(path)
-        #: line -> None (blanket noqa) or the set of silenced rule IDs.
-        self.noqa: Dict[int, Optional[Set[str]]] = _parse_noqa(self.lines)
+        #: line -> suppression state for that line.
+        self.noqa: Dict[int, NoqaMark] = _parse_noqa(self.lines)
+        #: lines carrying a trailing ``det: reviewed`` pragma.
+        self.det_reviewed_lines: Set[int] = {
+            i for i, line in enumerate(self.lines, start=1) if _DET_REVIEWED_RE.search(line)
+        }
+        #: line -> (consumed frame, produced frame) from a trailing
+        #: ``frame:`` pragma (both equal unless the ``->`` form is used).
+        self.frame_pragmas: Dict[int, Tuple[str, str]] = {}
+        #: whole-module frame declared by a full-line ``# frame: X``
+        #: comment (``any`` marks frame-polymorphic modules).
+        self.module_frame: Optional[str] = None
+        for i, line in enumerate(self.lines, start=1):
+            m = _FRAME_PRAGMA_RE.search(line)
+            if not m:
+                continue
+            src = m.group("src")
+            dst = m.group("dst") or src
+            if line.strip().startswith("#"):
+                if self.module_frame is None:
+                    self.module_frame = src
+            else:
+                self.frame_pragmas[i] = (src, dst)
         #: alias -> fully qualified module/name, e.g. ``np`` ->
         #: ``numpy``, ``default_rng`` -> ``numpy.random.default_rng``.
         self.import_aliases: Dict[str, str] = _collect_aliases(self.tree)
@@ -100,13 +193,8 @@ class ModuleInfo:
         )
 
     def suppressed(self, violation: Violation) -> bool:
-        marked = self.noqa.get(violation.line, _MISSING)
-        if marked is _MISSING:
-            return False
-        return marked is None or violation.rule in marked
-
-
-_MISSING = object()
+        marked = self.noqa.get(violation.line)
+        return marked is not None and marked.suppresses(violation.rule)
 
 
 def _module_name(path: Path) -> Optional[str]:
@@ -121,16 +209,19 @@ def _module_name(path: Path) -> Optional[str]:
     return ".".join(sub)
 
 
-def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
-    out: Dict[int, Optional[Set[str]]] = {}
+def _parse_noqa(lines: Sequence[str]) -> Dict[int, NoqaMark]:
+    out: Dict[int, NoqaMark] = {}
     for i, line in enumerate(lines, start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
-            continue
-        if m.group(1) is None:
-            out[i] = None
-        else:
-            out[i] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        blanket = False
+        ids: Set[str] = set()
+        for m in _NOQA_RE.finditer(line):
+            listed = m.group("bracket") or m.group("colon")
+            if listed is None:
+                blanket = True
+            else:
+                ids.update(r.strip() for r in listed.split(",") if r.strip())
+        if blanket or ids:
+            out[i] = NoqaMark(blanket, frozenset(ids))
     return out
 
 
@@ -159,11 +250,16 @@ ALL_RULES: Dict[str, "Rule"] = {}
 
 class Rule:
     """Base class: subclass, set ``rule_id``/``summary``, implement
-    ``check``.  Registration is explicit via :func:`register` so test
-    fixtures can instantiate rules without polluting the registry."""
+    ``check``.  ``example`` (a minimal violating snippet) and ``fix``
+    (what to write instead) feed ``repro check --explain`` so the
+    documentation cannot drift from the catalogue.  Registration is
+    explicit via :func:`register` so test fixtures can instantiate
+    rules without polluting the registry."""
 
     rule_id: str = ""
     summary: str = ""
+    example: str = ""
+    fix: str = ""
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
         raise NotImplementedError
@@ -195,50 +291,37 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
                     yield sub
 
 
+def run_module_rules(
+    module: ModuleInfo, active: Sequence[Rule]
+) -> List[Violation]:
+    """All unsuppressed module-scope rule hits for one parsed file."""
+    violations: List[Violation] = []
+    for rule in active:
+        for v in rule.check(module):
+            if not module.suppressed(v):
+                violations.append(v)
+    return violations
+
+
 def lint_paths(
     paths: Sequence[Path],
     rule_ids: Optional[Sequence[str]] = None,
     root: Optional[Path] = None,
 ) -> List[Violation]:
-    """Lint every ``*.py`` under ``paths`` with the registered rules.
+    """Lint every ``*.py`` under ``paths`` — module-scope rules *and*
+    the interprocedural passes — serially and without a cache.
 
-    ``rule_ids`` restricts the run to a subset of the catalogue;
-    ``root`` controls how paths are displayed (defaults to the cwd).
+    Thin wrapper over :func:`repro.analysis.runner.check_project`, kept
+    for callers that predate the whole-program framework.  ``rule_ids``
+    restricts the run to a subset of the combined catalogue; ``root``
+    controls how paths are displayed (defaults to the cwd).
     Unparseable files surface as ``PARSE001`` violations rather than
     crashing the run.  Returns violations sorted by location, with
-    ``# repro: noqa`` suppressions already applied.
+    noqa suppressions already applied.
     """
-    from repro.analysis.lint import rules  # noqa: F401  (registers catalogue)
+    from repro.analysis.runner import check_project
 
-    if rule_ids is None:
-        active = list(ALL_RULES.values())
-    else:
-        unknown = set(rule_ids) - set(ALL_RULES)
-        if unknown:
-            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
-        active = [ALL_RULES[r] for r in rule_ids]
-    root = root or Path.cwd()
-
-    violations: List[Violation] = []
-    for file_path in iter_python_files([Path(p) for p in paths]):
-        try:
-            display = str(file_path.relative_to(root))
-        except ValueError:
-            display = str(file_path)
-        try:
-            source = file_path.read_text(encoding="utf-8")
-            module = ModuleInfo(file_path, source, display)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            line = getattr(exc, "lineno", 1) or 1
-            violations.append(
-                Violation(display, line, 1, "PARSE001", f"could not parse: {exc.__class__.__name__}: {exc}")
-            )
-            continue
-        for rule in active:
-            for v in rule.check(module):
-                if not module.suppressed(v):
-                    violations.append(v)
-    return sorted(violations)
+    return check_project(paths, rule_ids=rule_ids, root=root).violations
 
 
 # ----------------------------------------------------------------------
@@ -265,6 +348,28 @@ def apply_baseline(
     violations: Sequence[Violation], baseline: Set[str]
 ) -> List[Violation]:
     return [v for v in violations if v.fingerprint() not in baseline]
+
+
+def rekey_baseline(path: Path, renames: Dict[str, str]) -> int:
+    """Rewrite baseline fingerprints after file renames.
+
+    Fingerprints embed the display path (``RULE::path::message``), so a
+    rename would orphan every entry for the moved file and its findings
+    would resurface.  ``renames`` maps old display paths to new ones;
+    returns the number of fingerprints rewritten.
+    """
+    fingerprints = load_baseline(path)
+    rewritten: Set[str] = set()
+    changed = 0
+    for fp in fingerprints:
+        parts = fp.split("::", 2)
+        if len(parts) == 3 and parts[1] in renames:
+            parts[1] = renames[parts[1]]
+            changed += 1
+        rewritten.add("::".join(parts))
+    if changed:
+        path.write_text(json.dumps(sorted(rewritten), indent=2) + "\n", encoding="utf-8")
+    return changed
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.lint.engine import ModuleInfo, Rule, Violation, register
+from repro.analysis.lint.engine import ALL_RULES, ModuleInfo, Rule, Violation, register
 
 # ----------------------------------------------------------------------
 # Shared helpers
@@ -508,6 +508,37 @@ class MutableDefaultRule(Rule):
 
 
 @register
+class BareNoqaRule(Rule):
+    """SUPP001 — bare (unscoped) noqa suppressions.
+
+    A noqa with no rule list silences every current *and future* rule
+    on its line, so a genuine new finding there would never surface.
+    Name the rules being waived — ``noqa: DET001,FRAME101`` or the
+    historical ``repro: noqa[DET001]`` — so each suppression stays an
+    auditable, single-purpose decision.  A bare noqa still blanket-
+    suppresses (changing that silently would un-suppress legacy lines)
+    but is reported by this rule until it is scoped.
+    """
+
+    rule_id = "SUPP001"
+    summary = "no bare noqa; list the rule IDs being suppressed"
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        for line in sorted(module.noqa):
+            if module.noqa[line].blanket:
+                yield Violation(
+                    path=module.display_path,
+                    line=line,
+                    col=1,
+                    rule=self.rule_id,
+                    message=(
+                        "bare noqa suppresses every current and future rule on this line; "
+                        "list the rule IDs instead (e.g. noqa: DET001,FRAME101)"
+                    ),
+                )
+
+
+@register
 class SwallowedExceptionRule(Rule):
     """EXC001 — ``except Exception: pass`` hides failures.
 
@@ -542,3 +573,70 @@ class SwallowedExceptionRule(Rule):
                     "blanket except with a bare pass swallows real failures; "
                     "narrow the exception type or record the failure",
                 )
+
+
+# ----------------------------------------------------------------------
+# Explain metadata
+# ----------------------------------------------------------------------
+
+#: rule_id -> (example violation, fix).  Attached to the registered
+#: instances below so ``repro check --explain RULE`` renders docstring,
+#: example and fix from one source of truth (no drift with the docs).
+_RULE_EXAMPLES: Dict[str, Tuple[str, str]] = {
+    "DET001": (
+        "import random\njitter = random.random()",
+        "rng = np.random.default_rng(seed)\njitter = rng.random()",
+    ),
+    "DET002": (
+        "# in repro/core/…\nstamp = time.time()",
+        "pass the timestamp in from the caller; use time.perf_counter()\n"
+        "only for timing (it never reaches the output)",
+    ),
+    "DET003": (
+        "for name in {'a', 'b', 'c'}:\n    emit(name)",
+        "for name in sorted({'a', 'b', 'c'}):\n    emit(name)",
+    ),
+    "LAYER001": (
+        "# in repro/core/…\nfrom repro.harness import ExperimentContext",
+        "move the shared piece below core (repro.instrument, repro.datasets, …)\n"
+        "or import lazily inside the function that needs it",
+    ),
+    "LAYER002": (
+        "# in repro/geometry/…\nfrom repro.doc import Document",
+        "geometry is the base layer: accept plain floats/boxes instead of\n"
+        "importing upward",
+    ),
+    "LAYER003": (
+        "# in repro/baselines/…\nfrom repro.core.segment import VS2Segmenter",
+        "share only the task surface (repro.core.select result types,\n"
+        "patterns, holdout, formfields, records, config)",
+    ),
+    "FRAME001": (
+        "right_edge = block.x + block.w",
+        "right_edge = block.x2   # or .centroid/.expand/.hsplit",
+    ),
+    "FRAME002": (
+        "box = BBox(*row)",
+        "box = BBox.from_tuple(row)",
+    ),
+    "OBS001": (
+        "# in repro/core/…\nt0 = time.perf_counter()\nwork()\ndt = time.perf_counter() - t0",
+        "with metrics.stage('segment'):\n    work()",
+    ),
+    "MUT001": (
+        "def collect(out=[]):\n    out.append(1)",
+        "def collect(out=None):\n    out = [] if out is None else out",
+    ),
+    "EXC001": (
+        "try:\n    risky()\nexcept Exception:\n    pass",
+        "except ValueError:\n    handle_or_record()",
+    ),
+    "SUPP001": (
+        "value = random.random()  # repro: " + "noqa",
+        "value = random.random()  # repro: noqa[DET001]",
+    ),
+}
+
+for _rule_id, (_example, _fix) in _RULE_EXAMPLES.items():
+    ALL_RULES[_rule_id].example = _example
+    ALL_RULES[_rule_id].fix = _fix

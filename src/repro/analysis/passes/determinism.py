@@ -1,0 +1,143 @@
+"""Determinism proofs: impurity propagated over the call graph.
+
+The serial-vs-parallel byte-identity tests only hold if everything
+Algorithm 1 / Eq. 1 executes is pure given its inputs.  The module-
+scope rules (DET001–003) catch direct sins, but a function-local
+import — the *sanctioned* layering escape hatch — lets a helper two
+calls away draw from the wall clock or the environment without any
+single file looking wrong.
+
+This pass closes that hole.  It seeds an impurity set at the classic
+sinks — global-RNG draws, wall-clock/entropy reads, ``os.environ``
+access, ``dict.popitem``, unordered-``set`` iteration — and walks the
+approximate call graph backwards from the pipeline's deterministic
+entry points: every function defined in ``repro.core.segment``,
+``repro.core.select`` and ``repro.core.merging`` (Algorithm 1, VS2-
+Select, and the Eq. 1 merge loop).  Any sink transitively reachable
+from an entry point is a ``DET101`` finding, reported at the sink with
+the call chain that reaches it.
+
+A function audited by a human can be excused with a trailing
+``det: reviewed`` pragma on its ``def`` line: the pass neither reports
+its sinks nor follows its calls.  Sinks that a module-scope rule
+already reports on the same line (a global-RNG draw is DET001
+everywhere, for instance) are deduplicated by the runner, so DET101
+surfaces exactly the findings only whole-program analysis can see.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+#: Modules whose functions are the roots of the determinism proof.
+ENTRY_MODULES = (
+    "repro.core.segment",
+    "repro.core.select",
+    "repro.core.merging",
+)
+
+_SINK_LABELS = {
+    "rng": "draws from global RNG state",
+    "clock": "reads the wall clock / OS entropy",
+    "env": "reads the process environment",
+    "popitem": "pops dict items in hash order",
+    "set-iter": "iterates an unordered set",
+}
+
+
+@register_pass
+class DeterminismPass(Pass):
+    pass_id = "determinism"
+    rules = {
+        "DET101": PassRuleDoc(
+            summary="no impure sink reachable from segment/select/merge",
+            doc=(
+                "Propagates impurity (global RNG, wall clock, os.environ, "
+                "dict.popitem, set iteration) over the call graph; any sink "
+                "transitively reachable from the deterministic entry points "
+                "(repro.core.segment / .select / .merging) breaks the end-to-"
+                "end byte-identity guarantee, even when it hides behind a "
+                "function-local import the layer rules permit."
+            ),
+            example=(
+                "# repro/core/segment.py\n"
+                "def segment(doc):\n"
+                "    from repro.harness.clock import stamp   # lazy import\n"
+                "    return stamp()\n"
+                "# repro/harness/clock.py\n"
+                "def stamp():\n"
+                "    return time.time()          # <- DET101, reachable sink"
+            ),
+            fix=(
+                "pass the value in from the caller, or — after a human "
+                "audit that the sink cannot reach the output — mark the "
+                "sink's function with a trailing 'det: reviewed' pragma"
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        graph = index.call_graph()
+        roots = [
+            key
+            for key, summary, fn in index.functions()
+            if summary.module in ENTRY_MODULES and not fn.det_reviewed
+        ]
+        # BFS with predecessor tracking for call-chain reporting.
+        parent: Dict[str, Optional[str]] = {}
+        queue = deque()
+        for root in roots:
+            if root not in parent:
+                parent[root] = None
+                queue.append(root)
+        order: List[str] = []
+        while queue:
+            key = queue.popleft()
+            order.append(key)
+            fn = index.function(key)
+            if fn is None or fn.det_reviewed:
+                continue
+            for callee in graph.get(key, ()):
+                target = index.function(callee)
+                if target is not None and target.det_reviewed:
+                    continue
+                if callee not in parent:
+                    parent[callee] = key
+                    queue.append(callee)
+
+        def chain(key: str) -> str:
+            names: List[str] = []
+            cursor: Optional[str] = key
+            while cursor is not None:
+                names.append(cursor.split("::", 1)[1])
+                cursor = parent[cursor]
+            return " <- ".join(names)
+
+        for key in order:
+            fn = index.function(key)
+            if fn is None or fn.det_reviewed:
+                continue
+            module_name = key.split("::", 1)[0]
+            summary = index.modules[module_name]
+            seen = set()
+            for kind, detail, line in fn.sinks:
+                if (kind, line) in seen:
+                    continue
+                seen.add((kind, line))
+                yield Violation(
+                    path=summary.display_path,
+                    line=line,
+                    col=1,
+                    rule="DET101",
+                    message=(
+                        f"{detail} {_SINK_LABELS.get(kind, kind)} and is reachable "
+                        f"from a deterministic entry point via {chain(key)}; pass the "
+                        "value in from the caller or mark the audited function with "
+                        "'det: reviewed'"
+                    ),
+                )

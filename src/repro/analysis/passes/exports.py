@@ -1,0 +1,119 @@
+"""Dead re-export shims and import-name drift.
+
+PR 2 split several modules and left behind compatibility shims — pure
+re-export modules whose only job is keeping old import paths alive.
+Shims are cheap to add and never removed, because no per-file check can
+answer the one question that matters: *does anybody still import this?*
+The import graph can.
+
+``DEAD001`` fires on a re-export-only module (docstring + imports +
+``__all__`` and nothing else) that no other file in the project imports
+— directly, by submodule, or by pulling one of its names out of its
+parent package.  Only shims that declare ``__all__`` are considered:
+an ``__all__``-less import-only module is usually a namespace package
+``__init__`` or a fixture, not a shim contract.
+
+``DEAD002`` fires on ``from M import N`` where ``M`` is inside the
+index but ``N`` is not defined there, not re-exported, not a
+submodule — the name drift that otherwise only explodes at import
+time on whichever machine imports the stale path first.  Modules with
+``__getattr__`` or star imports are exempt (their namespace is not
+statically knowable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+
+@register_pass
+class ExportsPass(Pass):
+    pass_id = "exports"
+    rules = {
+        "DEAD001": PassRuleDoc(
+            summary="re-export shims must still have importers",
+            doc=(
+                "A module that only re-exports names (docstring + imports + "
+                "__all__, nothing else) exists solely to keep old import "
+                "paths alive; when no file in the project imports it or "
+                "pulls its names from the parent package any more, the shim "
+                "is dead weight and should be deleted."
+            ),
+            example=(
+                "# repro/core/merge.py — shim left by a refactor\n"
+                '"""Deprecated: use repro.core.merging."""\n'
+                "from repro.core.merging import merge_pass\n"
+                '__all__ = ["merge_pass"]\n'
+                "# ...and no file imports repro.core.merge  <- DEAD001"
+            ),
+            fix="delete the shim (or the import path it preserved, if truly public)",
+        ),
+        "DEAD002": PassRuleDoc(
+            summary="'from M import N' must resolve statically",
+            doc=(
+                "For modules inside the index, every name pulled out of "
+                "them must be defined there, re-exported at module scope, "
+                "or name a submodule.  A miss is import-name drift from a "
+                "rename/split and raises ImportError at import time — "
+                "often only on the one code path (or machine) that still "
+                "uses the stale name."
+            ),
+            example=(
+                "from repro.core.merging import merge_passes  # renamed\n"
+                "# repro.core.merging defines merge_pass      <- DEAD002"
+            ),
+            fix="update the import to the renamed symbol (or restore the re-export)",
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        # DEAD001: dead shims.
+        for name in sorted(index.modules):
+            summary = index.modules[name]
+            if not summary.reexport_only or summary.all_names is None:
+                continue
+            if index.importers_of(name):
+                continue
+            line = 1
+            for record in summary.imports:
+                line = record.line
+                break
+            yield Violation(
+                path=summary.display_path,
+                line=line,
+                col=1,
+                rule="DEAD001",
+                message=(
+                    f"re-export shim {name} has no importers anywhere in the "
+                    "project; delete it (nothing depends on this compatibility "
+                    "path any more)"
+                ),
+            )
+
+        # DEAD002: unresolvable from-imports against in-index modules.
+        for path in sorted(index.files):
+            summary = index.files[path]
+            for record in summary.imports:
+                if record.names is None or "*" in record.names:
+                    continue
+                if record.module not in index.modules:
+                    continue
+                for imported in record.names:
+                    if index.resolves_name(record.module, imported):
+                        continue
+                    yield Violation(
+                        path=path,
+                        line=record.line,
+                        col=1,
+                        rule="DEAD002",
+                        message=(
+                            f"'from {record.module} import {imported}' cannot "
+                            f"resolve: {record.module} defines no '{imported}' "
+                            "(renamed or removed symbol — this raises "
+                            "ImportError at import time)"
+                        ),
+                    )

@@ -1,0 +1,400 @@
+"""Coordinate-frame dataflow: a taint lattice over bbox values.
+
+The pipeline lives in two coordinate frames (``docs/ARCHITECTURE.md``):
+the **original** frame of the input document and the **observed** frame
+the deskewed OCR view works in; other codebases call the same split
+``pixel`` vs ``normalized``.  Mixing frames in a comparison or an IoU
+does not crash — it produces plausible-but-wrong geometry, the worst
+failure mode a layout-IE system has (the valid-cut test and the
+VS2-Select Pareto objectives both consume raw bbox extents).
+
+The pass runs a lightweight intra- plus inter-procedural analysis:
+
+* **Seeds.**  A trailing ``frame: observed`` pragma on a ``def`` line
+  declares the frame of the bbox values a function consumes and
+  produces; the converter form ``frame: original -> observed``
+  declares both sides of a frame transition (e.g. ``deskew``); an
+  assignment-line pragma (``box = load()  # frame: original``) seeds a
+  single variable.  ``frame: any`` marks frame-polymorphic code, and a
+  full-line ``# frame: any`` comment marks a whole module (the
+  geometry layer, which works in whichever frame its caller chose).
+* **Lattice.**  ``unknown`` is bottom; concrete labels (``original``,
+  ``observed``, ``pixel``, ``normalized``, …) join to a conflict,
+  which is reported where it happens.
+* **Propagation.**  Assignments copy labels; attribute access keeps
+  its base's label (``b.x2`` is in ``b``'s frame); BBox methods
+  preserve the receiver's frame except ``scale``/``rotate``, which are
+  the sanctioned frame *transitions* and therefore produce ``unknown``.
+  Calls to frame-declared functions produce their declared frame and
+  check their arguments against it.
+
+Findings: ``FRAME101`` (arithmetic/comparison/IoU over two different
+concrete frames), ``FRAME102`` (call site or return value violating a
+declared frame contract), ``FRAME103`` (public geometry API handling
+boxes with no declared or inferable frame).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.index import ModuleSummary, ProjectIndex
+from repro.analysis.lint.engine import ModuleInfo, Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+#: Methods that transition between frames: their result's frame is not
+#: their receiver's, so taint stops (the conversion is the point).
+_FRAME_BREAKING = {"scale", "rotate"}
+
+#: Binary BBox methods whose receiver and first argument must share a
+#: frame for the result to mean anything.
+_FRAME_BINARY = {
+    "iou",
+    "intersection",
+    "union",
+    "intersects",
+    "contains_bbox",
+    "contains_point",
+    "gap_distance",
+    "centroid_l1_distance",
+    "centroid_l2_distance",
+    "sum_angular_distance",
+    "clip",
+}
+
+#: The polymorphic label: compatible with everything, never concrete.
+ANY = "any"
+
+
+def _concrete(label: Optional[str]) -> bool:
+    return label is not None and label != ANY
+
+
+def _conflict(a: Optional[str], b: Optional[str]) -> bool:
+    return _concrete(a) and _concrete(b) and a != b
+
+
+class _Registry:
+    """Frame declarations discovered across the whole index."""
+
+    def __init__(self, index: ProjectIndex):
+        #: function key -> (consumed, produced)
+        self.by_key: Dict[str, Tuple[str, str]] = {}
+        #: bare final name -> (consumed, produced); ambiguous names drop out.
+        self.by_name: Dict[str, Optional[Tuple[str, str]]] = {}
+        for key, _summary, fn in index.functions():
+            if fn.frame is None:
+                continue
+            self.by_key[key] = fn.frame
+            bare = fn.qualname.split(".")[-1]
+            if bare in self.by_name and self.by_name[bare] != fn.frame:
+                self.by_name[bare] = None  # ambiguous
+            else:
+                self.by_name[bare] = fn.frame
+
+    def lookup_call(
+        self, index: ProjectIndex, module: Optional[str], raw: Optional[str]
+    ) -> Optional[Tuple[str, str]]:
+        if raw is None:
+            return None
+        if module:
+            key = index.resolve_call(module, raw)
+            if key and key in self.by_key:
+                return self.by_key[key]
+        bare = raw.split(".")[-1]
+        return self.by_name.get(bare) or None
+
+    def relevant_names(self) -> Set[str]:
+        return {name for name, frame in self.by_name.items() if frame}
+
+
+class _FunctionAnalysis:
+    """Single linear walk over one function body."""
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        index: ProjectIndex,
+        registry: _Registry,
+        node: ast.FunctionDef,
+        declared: Optional[Tuple[str, str]],
+        findings: List[Violation],
+    ):
+        self.info = info
+        self.index = index
+        self.registry = registry
+        self.declared = declared
+        self.findings = findings
+        self.env: Dict[str, str] = {}
+        if declared and _concrete(declared[0]):
+            for arg in node.args.args:
+                if arg.arg not in ("self", "cls"):
+                    self.env[arg.arg] = declared[0]
+
+    # -- reporting ------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(self.info.violation(node, rule, message))
+
+    # -- expression labelling -------------------------------------------
+
+    def label(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.label(node.value)
+        if isinstance(node, ast.Call):
+            return self._label_call(node)
+        if isinstance(node, ast.BinOp):
+            left = self.label(node.left)
+            right = self.label(node.right)
+            if _conflict(left, right):
+                self._report(
+                    node,
+                    "FRAME101",
+                    f"arithmetic mixes coordinate frames ({left} vs {right}); "
+                    "convert one side first (BBox.scale / deskew rotate_back)",
+                )
+            return left if _concrete(left) else right
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            labels = [self.label(op) for op in operands]
+            for a, b in zip(labels, labels[1:]):
+                if _conflict(a, b):
+                    self._report(
+                        node,
+                        "FRAME101",
+                        f"comparison mixes coordinate frames ({a} vs {b}); "
+                        "values in different frames are not comparable",
+                    )
+                    break
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            labels = [self.label(elt) for elt in node.elts]
+            concrete = [l for l in labels if _concrete(l)]
+            return concrete[0] if concrete and all(c == concrete[0] for c in concrete) else None
+        if isinstance(node, ast.IfExp):
+            body = self.label(node.body)
+            orelse = self.label(node.orelse)
+            return body if _concrete(body) else orelse
+        return None
+
+    def _label_call(self, node: ast.Call) -> Optional[str]:
+        raw = self.info.resolve_call_name(node.func)
+        declared = self.registry.lookup_call(self.index, self.info.module, raw)
+        arg_labels = [self.label(a) for a in node.args]
+        for kw in node.keywords:
+            arg_labels.append(self.label(kw.value))
+        if declared is not None:
+            consumed, produced = declared
+            if _concrete(consumed):
+                for a, lbl in zip(node.args, arg_labels):
+                    if _conflict(lbl, consumed):
+                        self._report(
+                            a,
+                            "FRAME102",
+                            f"argument is in the {lbl} frame but "
+                            f"{(raw or '').split('.')[-1]}() declares "
+                            f"'frame: {consumed}'; convert before the call",
+                        )
+            return produced if _concrete(produced) else None
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.label(node.func.value)
+            method = node.func.attr
+            if method in _FRAME_BINARY and node.args:
+                other = arg_labels[0]
+                if _conflict(receiver, other):
+                    self._report(
+                        node,
+                        "FRAME101",
+                        f".{method}() mixes coordinate frames (receiver is "
+                        f"{receiver}, argument is {other}); its result is "
+                        "geometrically meaningless",
+                    )
+            if method in _FRAME_BREAKING:
+                return None
+            return receiver
+        return None
+
+    # -- statement walk -------------------------------------------------
+
+    def walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                label = self.label(stmt.value)
+                pragma = self.info.frame_pragmas.get(stmt.lineno)
+                if pragma is not None:
+                    label = pragma[1] if _concrete(pragma[1]) else None
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if label is None:
+                            self.env.pop(target.id, None)
+                        else:
+                            self.env[target.id] = label
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                label = self.label(stmt.value)
+                pragma = self.info.frame_pragmas.get(stmt.lineno)
+                if pragma is not None:
+                    label = pragma[1] if _concrete(pragma[1]) else None
+                if isinstance(stmt.target, ast.Name):
+                    if label is None:
+                        self.env.pop(stmt.target.id, None)
+                    else:
+                        self.env[stmt.target.id] = label
+            elif isinstance(stmt, ast.AugAssign):
+                self.label(stmt.value)
+            elif isinstance(stmt, ast.Expr):
+                self.label(stmt.value)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    label = self.label(stmt.value)
+                    if self.declared and _conflict(label, self.declared[1]):
+                        self._report(
+                            stmt,
+                            "FRAME102",
+                            f"returns a {label}-frame value but the function "
+                            f"declares 'frame: …-> {self.declared[1]}'",
+                        )
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self.label(stmt.test)
+                self.walk(stmt.body)
+                self.walk(stmt.orelse)
+            elif isinstance(stmt, ast.For):
+                self.label(stmt.iter)
+                self.walk(stmt.body)
+                self.walk(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                self.walk(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self.walk(stmt.body)
+                self.walk(stmt.orelse)
+                self.walk(stmt.finalbody)
+                for handler in stmt.handlers:
+                    self.walk(handler.body)
+
+
+@register_pass
+class FramePass(Pass):
+    pass_id = "frames"
+    rules = {
+        "FRAME101": PassRuleDoc(
+            summary="no arithmetic/comparison/IoU across coordinate frames",
+            doc=(
+                "Tracks a frame label (original/observed, pixel/normalized, "
+                "…) through assignments, attribute access and calls, seeded "
+                "by 'frame:' pragmas; flags arithmetic, comparisons and "
+                "binary BBox operations whose operands carry two different "
+                "concrete frames — the mix-up that yields plausible-but-"
+                "wrong geometry instead of a crash."
+            ),
+            example=(
+                "a = observed_box(doc)     # from a 'frame: observed' fn\n"
+                "b = layout_box(node)      # from a 'frame: original' fn\n"
+                "overlap = a.iou(b)        # <- FRAME101"
+            ),
+            fix=(
+                "convert one side across the frame boundary first "
+                "(rotate_back / BBox.scale), then compare"
+            ),
+        ),
+        "FRAME102": PassRuleDoc(
+            summary="call sites and returns must honour declared frames",
+            doc=(
+                "A function with a 'frame: X' (or converter 'frame: X -> Y') "
+                "pragma promises the frame of the bbox values it consumes "
+                "and produces; passing a value tainted with a different "
+                "concrete frame, or returning one, breaks the declared "
+                "contract."
+            ),
+            example=(
+                "def span(box):  # frame: observed\n"
+                "    ...\n"
+                "orig = layout_box(node)   # 'frame: original' producer\n"
+                "span(orig)                # <- FRAME102"
+            ),
+            fix="convert the value to the declared frame before the call/return",
+        ),
+        "FRAME103": PassRuleDoc(
+            summary="public geometry APIs must declare their frame",
+            doc=(
+                "A public function in repro.geometry that handles boxes but "
+                "carries no 'frame:' pragma (and whose module declares none) "
+                "leaves every caller guessing which frame its arguments live "
+                "in — the documentation gap frame bugs grow from.  Most "
+                "geometry is frame-polymorphic: declare '# frame: any' at "
+                "module scope, or a concrete frame on the def line."
+            ),
+            example=(
+                "# repro/geometry/overlap.py (no '# frame: any' comment)\n"
+                "def overlap_ratio(box_a, box_b):   # <- FRAME103\n"
+                "    ..."
+            ),
+            fix=(
+                "add '# frame: any' as a full-line comment for polymorphic "
+                "modules, or 'frame: observed' on the def line"
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        registry = _Registry(index)
+        relevant = registry.relevant_names()
+        findings: List[Violation] = []
+
+        for path in sorted(index.files):
+            summary = index.files[path]
+            yield from self._check_undeclared_geometry(summary)
+            if not self._needs_ast(summary, relevant):
+                continue
+            info = trees.get(path)
+            if info is None:
+                continue
+            for node in ast.walk(info.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    declared = info.frame_pragmas.get(node.lineno)
+                    if declared == (ANY, ANY):
+                        declared = None
+                    analysis = _FunctionAnalysis(
+                        info, index, registry, node, declared, findings
+                    )
+                    analysis.walk(node.body)
+        yield from findings
+
+    @staticmethod
+    def _needs_ast(summary: ModuleSummary, relevant: Set[str]) -> bool:
+        if summary.has_frame_pragmas:
+            return True
+        for fn in summary.functions.values():
+            for raw, _line in fn.calls:
+                if raw.split(".")[-1] in relevant:
+                    return True
+        return False
+
+    @staticmethod
+    def _check_undeclared_geometry(summary: ModuleSummary) -> Iterator[Violation]:
+        module = summary.module or ""
+        if not (module == "repro.geometry" or module.startswith("repro.geometry.")):
+            return
+        if summary.module_frame is not None:
+            return
+        for qual in sorted(summary.functions):
+            fn = summary.functions[qual]
+            leaf = qual.split(".")[-1]
+            if leaf.startswith("_"):
+                continue
+            if fn.frame is not None:
+                continue
+            if not any("box" in p.lower() for p in fn.params):
+                continue
+            yield Violation(
+                path=summary.display_path,
+                line=fn.line,
+                col=1,
+                rule="FRAME103",
+                message=(
+                    f"public geometry API {qual}() handles boxes but declares no "
+                    "frame; add a full-line '# frame: any' for frame-polymorphic "
+                    "modules or a 'frame: <f>' pragma on the def line"
+                ),
+            )

@@ -1,0 +1,110 @@
+"""Trace-event exhaustiveness against the schema registry.
+
+PR 3 gave the pipeline a decision-event layer: ``tracer.event("cut."
+"decision", …)`` calls whose names downstream tooling (the explain
+report, the Chrome-trace export, corpus diffing) matches on by string.
+The names live in :data:`repro.trace.tracer.EVENT_NAMES`; nothing at
+runtime stops a new call site from inventing ``"cut.descision"`` and
+silently vanishing from every report.
+
+This pass closes the loop statically, in both directions:
+
+* ``SCHEMA001`` — a string-literal ``.event("…")`` name emitted from a
+  ``repro.*`` module that the registry does not list (typo'd or simply
+  never registered);
+* ``SCHEMA002`` — a registered name no ``repro.*`` module ever emits
+  (schema rot: the registry promises an event the pipeline no longer
+  produces, and downstream consumers wait on it forever).
+
+Emissions in tests and scripts are deliberately out of scope — a test
+emitting a synthetic ``"stray"`` event at a tracer is testing, not
+extending, the schema.  The pass is inert when the index contains no
+registry (small fixture trees).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+
+@register_pass
+class SchemaPass(Pass):
+    pass_id = "schema"
+    rules = {
+        "SCHEMA001": PassRuleDoc(
+            summary="emitted trace-event names must be registered",
+            doc=(
+                "Every string-literal tracer.event(name, …) emitted from a "
+                "repro.* module must appear in the EVENT_NAMES registry "
+                "(repro.trace.tracer); unregistered names are invisible to "
+                "every downstream consumer that matches on event names, "
+                "which is how typo'd events silently vanish from reports."
+            ),
+            example=(
+                'tracer.event("cut.descision", depth=d)   # <- SCHEMA001\n'
+                "# EVENT_NAMES registers 'cut.decision'"
+            ),
+            fix="fix the name, or add the new event to EVENT_NAMES",
+        ),
+        "SCHEMA002": PassRuleDoc(
+            summary="registered trace-event names must be emitted",
+            doc=(
+                "A name in EVENT_NAMES that no repro.* module ever emits is "
+                "schema rot: the registry promises an event the pipeline no "
+                "longer produces, and consumers keyed on it wait forever."
+            ),
+            example=(
+                'EVENT_NAMES = frozenset({"cut.decision", "ocr.retry"})\n'
+                "# no module calls tracer.event('ocr.retry')  <- SCHEMA002"
+            ),
+            fix="drop the stale name from EVENT_NAMES (or restore the emitter)",
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        registry: Optional[Tuple[List[str], int]] = None
+        registry_module = None
+        for name in sorted(index.modules):
+            summary = index.modules[name]
+            if summary.event_registry is not None:
+                registry = summary.event_registry
+                registry_module = summary
+                break
+        if registry is None or registry_module is None:
+            return
+        registered: Set[str] = set(registry[0])
+
+        emitted: Set[str] = set()
+        for name in sorted(index.modules):
+            summary = index.modules[name]
+            for event, line in summary.events:
+                emitted.add(event)
+                if event not in registered:
+                    yield Violation(
+                        path=summary.display_path,
+                        line=line,
+                        col=1,
+                        rule="SCHEMA001",
+                        message=(
+                            f"trace event '{event}' is not in EVENT_NAMES "
+                            f"({registry_module.module}); register it or fix "
+                            "the name — unregistered events vanish from every "
+                            "name-keyed consumer"
+                        ),
+                    )
+
+        for event in sorted(registered - emitted):
+            yield Violation(
+                path=registry_module.display_path,
+                line=registry[1],
+                col=1,
+                rule="SCHEMA002",
+                message=(
+                    f"EVENT_NAMES registers '{event}' but no repro.* module "
+                    "emits it; drop the stale name or restore the emitter"
+                ),
+            )

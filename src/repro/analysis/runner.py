@@ -1,0 +1,273 @@
+"""Project-level driver for ``repro check``.
+
+One :func:`check_project` call does the whole job:
+
+1. **Discover** every ``*.py`` under the given paths.
+2. **Per-file work** — parse, run the module-scope rules, distill a
+   :class:`~repro.analysis.index.ModuleSummary`.  This is the only
+   expensive part, so it is the unit of both caching (content-hash
+   keyed, see :mod:`repro.analysis.cache`) and parallelism
+   (``jobs > 1`` fans files out over a process pool; summaries and
+   violations are plain data, so they cross the boundary for free).
+3. **Index** the summaries into a :class:`ProjectIndex` and run the
+   interprocedural passes (:mod:`repro.analysis.passes`) over it.
+   Pass findings are never cached — they depend on the whole program.
+4. **Merge**: suppress pass findings on noqa'd lines, drop ``DET1xx``
+   findings that duplicate a module-scope ``DET0xx`` hit at the same
+   location (whole-program analysis should only surface what only it
+   can see), sort everything by location.
+
+Unparseable files become ``PARSE001`` findings instead of crashing the
+run.  The result carries the index so the CLI can dump the import/call
+graph (``repro check --graph``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import ResultCache, content_hash, engine_fingerprint
+from repro.analysis.index import ModuleSummary, ProjectIndex, summarize_module
+from repro.analysis.lint import rules as _rules  # noqa: F401  (registers the catalogue)
+from repro.analysis.lint.engine import (
+    ALL_RULES,
+    ModuleInfo,
+    Violation,
+    iter_python_files,
+    run_module_rules,
+)
+from repro.analysis.passes import TreeProvider, load_catalogue
+
+#: Synthetic rule for files the parser rejects.
+PARSE_RULE = "PARSE001"
+
+
+@dataclass
+class CheckResult:
+    """Everything one ``repro check`` run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    index: ProjectIndex = field(default_factory=lambda: ProjectIndex([]))
+    #: files scanned / parsed this run / served from cache.
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _display(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _analyze_source(
+    args: Tuple[str, str, str, Optional[List[str]]],
+) -> Dict[str, object]:
+    """Per-file unit of work (top-level so process pools can import it).
+
+    Returns plain dicts only — this crosses process boundaries.
+    """
+    path_str, display, source, rule_ids = args
+    try:
+        info = ModuleInfo(Path(path_str), source, display)
+    except SyntaxError as exc:
+        return {
+            "display": display,
+            "error": Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=PARSE_RULE,
+                message=f"file does not parse: {exc.msg}",
+            ).to_dict(),
+        }
+    active = [
+        rule
+        for rule_id, rule in ALL_RULES.items()
+        if rule_ids is None or rule_id in rule_ids
+    ]
+    violations = run_module_rules(info, active)
+    summary = summarize_module(info)
+    return {
+        "display": display,
+        "summary": summary.to_dict(),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def check_project(
+    paths: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
+) -> CheckResult:
+    """Run the full analysis (module rules + passes) over ``paths``.
+
+    ``rule_ids`` restricts the combined catalogue (module rules and
+    pass rules alike); ``jobs > 1`` parallelises the per-file stage;
+    ``cache_path`` enables the content-hash result cache.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    active_ids = None if rule_ids is None else set(rule_ids)
+    passes = load_catalogue()
+    if active_ids is not None:
+        known = set(ALL_RULES) | {PARSE_RULE}
+        for pass_obj in passes.values():
+            known.update(pass_obj.rules)
+        unknown = active_ids - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    module_rule_ids = [
+        rule_id
+        for rule_id in ALL_RULES
+        if active_ids is None or rule_id in active_ids
+    ]
+    fingerprint = engine_fingerprint(module_rule_ids)
+    cache = ResultCache(cache_path) if cache_path is not None else None
+
+    # ------------------------------------------------------------------
+    # Discovery + cache probe.
+    # ------------------------------------------------------------------
+    files: List[Tuple[Path, str, str]] = []  # (path, display, source)
+    seen_paths = set()
+    for path in iter_python_files(paths):
+        resolved = path.resolve()
+        if resolved in seen_paths:
+            continue
+        seen_paths.add(resolved)
+        files.append((path, _display(path, root), ""))
+
+    violations: List[Violation] = []
+    summaries: List[ModuleSummary] = []
+    parsed_infos: Dict[str, ModuleInfo] = {}
+    display_to_path: Dict[str, Path] = {d: p for p, d, _ in files}
+    misses: List[Tuple[str, str, str, Optional[List[str]]]] = []
+
+    miss_shas: Dict[str, str] = {}
+    for path, display, _ in files:
+        data = path.read_bytes()
+        sha = content_hash(data)
+        if cache is not None:
+            hit = cache.get(display, sha, fingerprint)
+            if hit is not None:
+                summary, cached_violations = hit
+                summaries.append(summary)
+                violations.extend(cached_violations)
+                continue
+        miss_shas[display] = sha
+        misses.append(
+            (
+                str(path),
+                display,
+                data.decode("utf-8", errors="replace"),
+                sorted(active_ids) if active_ids is not None else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Per-file stage: serial or fanned out over a process pool.
+    # ------------------------------------------------------------------
+    active_rules = [
+        rule
+        for rule_id, rule in ALL_RULES.items()
+        if active_ids is None or rule_id in active_ids
+    ]
+    results: List[Dict[str, object]] = []
+    if jobs > 1 and len(misses) > 1:
+        # Summaries and violations are plain data; they come back over
+        # the pipe, and the passes re-parse the few trees they need.
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_analyze_source, misses))
+    else:
+        # Serial runs keep the parsed trees and lend them to the passes.
+        for path_str, display, source, _ in misses:
+            try:
+                info = ModuleInfo(Path(path_str), source, display)
+            except SyntaxError as exc:
+                violations.append(
+                    Violation(
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule=PARSE_RULE,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            parsed_infos[display] = info
+            file_violations = run_module_rules(info, active_rules)
+            summary = summarize_module(info)
+            summaries.append(summary)
+            violations.extend(file_violations)
+            if cache is not None:
+                cache.put(
+                    display, miss_shas[display], fingerprint, summary, file_violations
+                )
+
+    for item in results:
+        display = str(item["display"])
+        if "error" in item:
+            violations.append(Violation.from_dict(item["error"]))  # type: ignore[arg-type]
+            continue
+        summary = ModuleSummary.from_dict(item["summary"])  # type: ignore[arg-type]
+        file_violations = [Violation.from_dict(v) for v in item["violations"]]  # type: ignore[union-attr]
+        summaries.append(summary)
+        violations.extend(file_violations)
+        if cache is not None:
+            cache.put(display, miss_shas[display], fingerprint, summary, file_violations)
+
+    # ------------------------------------------------------------------
+    # Whole-program stage.
+    # ------------------------------------------------------------------
+    index = ProjectIndex(summaries)
+
+    def _load_tree(display: str) -> Optional[ModuleInfo]:
+        path = display_to_path.get(display)
+        if path is None:
+            return None
+        try:
+            return ModuleInfo(path, path.read_text(encoding="utf-8"), display)
+        except (OSError, SyntaxError):
+            return None
+
+    trees = TreeProvider(_load_tree)
+    for display, info in parsed_infos.items():
+        trees.seed(display, info)
+
+    module_hit_lines = {
+        (v.path, v.line) for v in violations if v.rule.startswith("DET0")
+    }
+    for pass_obj in passes.values():
+        pass_rules = [
+            rule_id
+            for rule_id in pass_obj.rules
+            if active_ids is None or rule_id in active_ids
+        ]
+        if not pass_rules:
+            continue
+        for v in pass_obj.run(index, trees):
+            if v.rule not in pass_rules:
+                continue
+            # DET1xx only surfaces what module-scope analysis cannot see.
+            if v.rule.startswith("DET1") and (v.path, v.line) in module_hit_lines:
+                continue
+            summary = index.files.get(v.path)
+            if summary is not None and summary.suppressed(v.line, v.rule):
+                continue
+            violations.append(v)
+
+    if cache is not None:
+        cache.save()
+
+    stats = {
+        "files": len(files),
+        "parsed": len(misses),
+        "cached": len(files) - len(misses),
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+    }
+    return CheckResult(violations=sorted(violations), index=index, stats=stats)

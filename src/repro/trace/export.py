@@ -33,7 +33,7 @@ import json
 import pathlib
 from typing import Any, Dict, Iterator, List, Sequence, Tuple, Union
 
-from repro.trace.tracer import Span
+from repro.trace.tracer import EVENT_NAMES, Span
 
 #: Bumped when either export layout changes incompatibly.
 EXPORT_SCHEMA = "repro.trace/1"
@@ -202,12 +202,17 @@ def write_chrome_trace(
 _JSONL_TYPES = {"header", "span_start", "event", "span_end"}
 
 
-def validate_chrome_trace(path: Union[str, pathlib.Path]) -> int:
+def validate_chrome_trace(
+    path: Union[str, pathlib.Path], strict_names: bool = False
+) -> int:
     """Check a Chrome trace file's structure; returns the event count.
 
     Raises ``ValueError`` naming the first malformed record.  Checks:
     top-level shape, required keys per phase, numeric timestamps, and
-    that at least one complete (``X``) span event exists.
+    that at least one complete (``X``) span event exists.  With
+    ``strict_names=True``, every decision (instant) event must also use
+    a name registered in :data:`repro.trace.tracer.EVENT_NAMES` — the
+    runtime complement of the static ``SCHEMA001`` check.
     """
     data = json.loads(pathlib.Path(path).read_text())
     if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
@@ -229,6 +234,11 @@ def validate_chrome_trace(path: Union[str, pathlib.Path]) -> int:
         elif record["ph"] == "i":
             if record.get("s") not in ("t", "p", "g"):
                 raise ValueError(f"{where}: instant event needs scope s")
+            if strict_names and record["name"] not in EVENT_NAMES:
+                raise ValueError(
+                    f"{where}: unregistered event name {record['name']!r} "
+                    "(see repro.trace.tracer.EVENT_NAMES)"
+                )
         else:
             raise ValueError(f"{where}: unexpected phase {record['ph']!r}")
     if spans == 0:
@@ -236,8 +246,14 @@ def validate_chrome_trace(path: Union[str, pathlib.Path]) -> int:
     return len(data["traceEvents"])
 
 
-def validate_jsonl(path: Union[str, pathlib.Path]) -> int:
-    """Check a JSONL event log's structure; returns the record count."""
+def validate_jsonl(
+    path: Union[str, pathlib.Path], strict_names: bool = False
+) -> int:
+    """Check a JSONL event log's structure; returns the record count.
+
+    ``strict_names=True`` additionally requires every ``event`` record
+    to use a registered :data:`~repro.trace.tracer.EVENT_NAMES` name.
+    """
     lines = pathlib.Path(path).read_text().splitlines()
     if not lines:
         raise ValueError(f"{path}: empty event log")
@@ -259,8 +275,14 @@ def validate_jsonl(path: Union[str, pathlib.Path]) -> int:
             if not open_paths or open_paths[-1] != record["path"]:
                 raise ValueError(f"{where}: unbalanced span_end for {record['path']!r}")
             open_paths.pop()
-        elif kind == "event" and record["path"] not in open_paths:
-            raise ValueError(f"{where}: event outside its span {record['path']!r}")
+        elif kind == "event":
+            if record["path"] not in open_paths:
+                raise ValueError(f"{where}: event outside its span {record['path']!r}")
+            if strict_names and record["name"] not in EVENT_NAMES:
+                raise ValueError(
+                    f"{where}: unregistered event name {record['name']!r} "
+                    "(see repro.trace.tracer.EVENT_NAMES)"
+                )
     if open_paths:
         raise ValueError(f"{path}: unclosed span(s) {open_paths!r}")
     return len(lines)

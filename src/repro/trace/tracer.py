@@ -35,6 +35,23 @@ from typing import Any, Dict, List, Optional
 #: Bumped when the serialised span layout changes incompatibly.
 SPAN_SCHEMA_VERSION = 1
 
+#: The trace-event schema: every decision-event name the pipeline may
+#: emit.  Downstream consumers (the explain report, trace diffing) key
+#: on these strings, so the set is closed — ``repro check`` verifies
+#: statically that every ``tracer.event("…")`` call site uses a
+#: registered name (SCHEMA001) and that no registered name has lost
+#: its emitter (SCHEMA002).  Register new events here first.
+EVENT_NAMES = frozenset(
+    {
+        "cut.decision",
+        "merge.decision",
+        "merge.pass",
+        "ocr.cache",
+        "pareto.front",
+        "select.decision",
+    }
+)
+
 
 class TraceEvent:
     """One decision event: a name, a timestamp, free-form attributes.

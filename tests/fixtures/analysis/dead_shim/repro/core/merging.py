@@ -1,0 +1,5 @@
+"""The real module a dead shim once forwarded to."""
+
+
+def merge_pass(blocks):
+    return blocks

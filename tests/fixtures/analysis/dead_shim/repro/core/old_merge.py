@@ -1,0 +1,5 @@
+"""Compatibility shim left behind by a refactor — nobody imports it."""
+
+from repro.core.merging import merge_pass
+
+__all__ = ["merge_pass"]

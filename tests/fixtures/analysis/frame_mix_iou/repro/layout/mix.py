@@ -1,0 +1,27 @@
+"""Frames-pass fixture: an IoU across two coordinate frames."""
+
+
+def observed_box(doc):  # frame: observed
+    return doc.box
+
+
+def original_box(node):  # frame: original
+    return node.box
+
+
+def mixed_overlap(doc, node):
+    a = observed_box(doc)
+    b = original_box(node)
+    return a.iou(b)
+
+
+def same_frame_overlap(doc, other):
+    a = observed_box(doc)
+    b = observed_box(other)
+    return a.iou(b)
+
+
+def converted_overlap(doc, node, s):
+    a = observed_box(doc)
+    b = original_box(node).scale(s)
+    return a.iou(b)

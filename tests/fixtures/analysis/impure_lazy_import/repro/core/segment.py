@@ -1,0 +1,13 @@
+"""Determinism-pass fixture: the lazy-import escape hatch.
+
+No single file here looks wrong — the layer rules explicitly allow
+function-local imports, and ``repro.harness`` is outside the DET002
+deterministic layers.  Only the whole-program pass (DET101) can see
+that ``segment`` reaches a wall-clock read two calls away.
+"""
+
+
+def segment(doc):
+    from repro.harness.clock import stamp
+
+    return stamp()

@@ -1,0 +1,11 @@
+"""Harness-side helper whose impurity is invisible per-file."""
+
+import time
+
+
+def stamp():
+    return helper()
+
+
+def helper():
+    return time.time()

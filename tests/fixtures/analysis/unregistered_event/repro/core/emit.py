@@ -1,0 +1,6 @@
+"""Emits one registered event and one typo'd, unregistered one."""
+
+
+def run(tracer, depth):
+    tracer.event("cut.decision", depth=depth)
+    tracer.event("cut.descision", depth=depth)

@@ -1,0 +1,3 @@
+"""Schema-pass fixture registry: one live name, one stale name."""
+
+EVENT_NAMES = frozenset({"cut.decision", "ocr.retry"})

@@ -142,18 +142,32 @@ class TestRuleFixtures:
     def test_noqa_suppresses_reported_line(self, tmp_path, rule_id, rel_path, dirty, clean):
         violations = run_lint(tmp_path, dirty, rel_path)
         lines = dirty.splitlines()
-        lines[violations[0].line - 1] += f"  # repro: noqa[{rule_id}]"
+        lines[violations[0].line - 1] += f"  # repro: noqa[{rule_id}]"  # noqa: SUPP001
         assert run_lint(tmp_path, "\n".join(lines) + "\n", rel_path) == []
 
 
 class TestSuppression:
-    def test_blanket_noqa_silences_every_rule(self, tmp_path):
-        source = "import random\nvalue = random.random()  # repro: noqa\n"
-        assert run_lint(tmp_path, source, "mod.py") == []
+    def test_blanket_noqa_silences_rules_but_reports_supp001(self, tmp_path):
+        source = "import random\nvalue = random.random()  # repro: noqa\n"  # noqa: SUPP001
+        violations = run_lint(tmp_path, source, "mod.py")
+        assert [v.rule for v in violations] == ["SUPP001"]
+        assert violations[0].line == 2
 
     def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
         source = "import random\nvalue = random.random()  # repro: noqa[MUT001]\n"
         assert [v.rule for v in run_lint(tmp_path, source, "mod.py")] == ["DET001"]
+
+    def test_conventional_colon_list_form(self, tmp_path):
+        source = "import random\nvalue = random.random()  # noqa: DET001,FRAME101\n"
+        assert run_lint(tmp_path, source, "mod.py") == []
+
+    def test_colon_form_for_other_rule_does_not_suppress(self, tmp_path):
+        source = "import random\nvalue = random.random()  # noqa: MUT001\n"
+        assert [v.rule for v in run_lint(tmp_path, source, "mod.py")] == ["DET001"]
+
+    def test_supp001_suppressed_only_by_explicit_listing(self, tmp_path):
+        source = "import random\nvalue = random.random()  # repro: noqa , and # noqa: SUPP001\n"  # noqa: SUPP001
+        assert run_lint(tmp_path, source, "mod.py") == []
 
 
 class TestEngine:
