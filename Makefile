@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke
+.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke chaos-smoke
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
@@ -31,6 +31,9 @@ trace-smoke:     ## traced 3-doc extract + schema validation of both exporters
 	    n = validate_chrome_trace('/tmp/repro_trace_smoke.json'); \
 	    m = validate_jsonl('/tmp/repro_trace_smoke.jsonl'); \
 	    print(f'trace-smoke: chrome trace ok ({n} events), jsonl ok ({m} records)')"
+
+chaos-smoke:     ## supervised 20-doc corpus under a canned hang+crash+poison+flaky FaultPlan
+	$(PY) -m pytest tests/test_resilience.py -m chaos_smoke -q
 
 bench:           ## same snapshot via the CLI, tunable (N=…, WORKERS=…, DATASET=…)
 	$(PY) -m repro bench --dataset $(or $(DATASET),D2) --n $(or $(N),8) \

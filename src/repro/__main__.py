@@ -6,8 +6,10 @@ Commands
               the extracted key-value pairs per document
               (``--workers N`` parallelises, ``--profile`` prints the
               per-stage timing table, ``--trace out.json`` writes a
-              Chrome/Perfetto trace; see docs/PROFILING.md and
-              docs/TRACING.md)
+              Chrome/Perfetto trace, ``--faults``/``--supervise``/
+              ``--checkpoint`` enable fault injection and supervised
+              execution; see docs/PROFILING.md, docs/TRACING.md and
+              docs/RESILIENCE.md)
 ``explain``   run one document with tracing on and print the decision
               report — the cut ledger, merge ledger, Pareto table and
               final extractions (docs/TRACING.md)
@@ -52,13 +54,54 @@ def _export_trace(tracer, args: argparse.Namespace) -> None:
         print(f"wrote {path} (JSONL event log)")
 
 
+def _build_fault_plan(args: argparse.Namespace):
+    """``--faults`` accepts either a JSON plan file or the compact
+    ``site:kind[@qualifier]`` spec grammar (docs/RESILIENCE.md)."""
+    import os
+
+    from repro.resilience import FaultPlan
+
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    if spec.endswith(".json") and os.path.exists(spec):
+        return FaultPlan.from_file(spec)
+    return FaultPlan.from_spec(spec, seed=args.seed)
+
+
+def _build_supervision(args: argparse.Namespace):
+    """A :class:`SupervisionPolicy` when any resilience flag was given."""
+    from repro.resilience import SupervisionPolicy
+
+    wants = (
+        getattr(args, "supervise", False)
+        or getattr(args, "faults", None)
+        or getattr(args, "checkpoint", None)
+        or getattr(args, "quarantine_report", None)
+    )
+    if not wants:
+        return None
+    return SupervisionPolicy(
+        timeout_s=args.timeout,
+        max_attempts=args.max_attempts,
+        checkpoint_path=args.checkpoint,
+        quarantine_report_path=args.quarantine_report,
+    )
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     from repro.perf import CorpusRunner
     from repro.synth import generate_corpus
 
     tracer = _build_tracer(args)
     corpus = generate_corpus(args.dataset, n=args.n, seed=args.seed)
-    runner = CorpusRunner(args.dataset, workers=args.workers, tracer=tracer)
+    runner = CorpusRunner(
+        args.dataset,
+        workers=args.workers,
+        tracer=tracer,
+        fault_plan=_build_fault_plan(args),
+        supervision=_build_supervision(args),
+    )
     outcome = runner.run(list(corpus))
     for doc, result in zip(corpus, outcome.results):
         print(f"== {doc.doc_id} ({doc.source}) ==")
@@ -66,8 +109,25 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             continue  # failed; reported below
         for key, value in sorted(result.as_key_values().items()):
             print(f"  {key:22s} {value[:70]!r}")
+        for degradation in getattr(result, "degradations", []):
+            print(
+                f"  ~~ degraded: {degradation.stage} -> {degradation.fallback} "
+                f"({degradation.error_type})"
+            )
     for failure in outcome.failures:
         print(f"!! {failure}", file=sys.stderr)
+    if outcome.degrade_reason:
+        print(f"!! run degraded to serial: {outcome.degrade_reason}", file=sys.stderr)
+    supervision = outcome.supervision
+    if supervision is not None:
+        retries = sum(1 for e in supervision.events if e.kind == "retry")
+        print(
+            f"supervision: {retries} retries, "
+            f"{len(supervision.quarantine.entries)} quarantined, "
+            f"{supervision.worker_replacements} workers replaced, "
+            f"{supervision.resumed_docs} resumed, "
+            f"{supervision.backoff_s:.2f}s virtual backoff"
+        )
     if args.profile:
         print()
         print(outcome.metrics.format_table())
@@ -338,6 +398,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile", action="store_true",
         help="print the per-stage timing table after the run",
+    )
+    p.add_argument(
+        "--faults", metavar="SPEC_OR_JSON", default=None,
+        help="deterministic fault plan: a JSON plan file or the compact "
+             "spec grammar, e.g. 'ocr:flaky@0.1,worker:crash@doc=7' "
+             "(docs/RESILIENCE.md); implies supervised execution",
+    )
+    p.add_argument(
+        "--supervise", action="store_true",
+        help="run under the supervised layer (timeouts, retries, "
+             "quarantine) even without a fault plan",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="RUN.jsonl", default=None,
+        help="JSONL checkpoint log; rerunning with the same corpus "
+             "resumes, skipping completed documents",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-document wall-clock budget in seconds (parallel "
+             "supervised runs; default 60)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per document before quarantine (default 3)",
+    )
+    p.add_argument(
+        "--quarantine-report", metavar="OUT.json", default=None,
+        help="write the machine-readable quarantine report here",
     )
     _add_trace_flags(p)
     p.set_defaults(fn=_cmd_extract)

@@ -576,6 +576,136 @@ class SwallowedExceptionRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# Resilience
+# ----------------------------------------------------------------------
+
+#: Layers whose waiting must go through the injectable budget clock
+#: (:mod:`repro.resilience.budget`) so retry schedules stay virtual and
+#: deterministic.
+_BUDGETED_LAYERS = ("repro.core", "repro.resilience")
+#: The one sanctioned home of a real ``time.sleep``.
+_BUDGET_MODULE = "repro.resilience.budget"
+#: Layers whose broad ``except`` handlers must convert failures into
+#: recorded outcomes rather than swallowing them.
+_ISOLATED_LAYERS = ("repro.core", "repro.resilience", "repro.perf")
+
+_SLEEP_CALLS = {"time.sleep", "asyncio.sleep"}
+
+
+@register
+class BareSleepRule(Rule):
+    """RES001 — wall-clock sleeping inside the pipeline/resilience layers.
+
+    A bare ``time.sleep`` makes retry backoff depend on the wall clock:
+    tests slow to real time, the chaos suite stops being instant, and
+    the waited amount never reaches the supervision report.  Waiting in
+    ``repro.core`` / ``repro.resilience`` must be *virtual* — charge
+    seconds to a :class:`repro.resilience.budget.BackoffClock` (whose
+    optional injected sleeper is the escape hatch for callers that
+    genuinely want pacing).  ``repro.resilience.budget`` itself is the
+    one sanctioned home of a real sleep (``block_forever``, which
+    exists so injected hangs really hang inside supervised workers).
+    """
+
+    rule_id = "RES001"
+    summary = "no bare time.sleep in core/resilience; charge a BackoffClock"
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        if not _in_layer(module.module, _BUDGETED_LAYERS):
+            return
+        if module.module == _BUDGET_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call_name(node.func)
+            if name in _SLEEP_CALLS:
+                yield module.violation(
+                    node, self.rule_id,
+                    f"{name}() blocks on the wall clock; charge the wait to an "
+                    "injectable repro.resilience.budget.BackoffClock instead",
+                )
+
+
+def _broad_handler(node: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception``/``BaseException``, or a
+    tuple containing either."""
+    if node.type is None:
+        return True
+    if isinstance(node.type, ast.Name):
+        return node.type.id in {"Exception", "BaseException"}
+    if isinstance(node.type, ast.Tuple):
+        return any(
+            isinstance(e, ast.Name) and e.id in {"Exception", "BaseException"}
+            for e in node.type.elts
+        )
+    return False
+
+
+def _handler_outcomes(node: ast.ExceptHandler) -> Tuple[bool, bool]:
+    """Whether the handler body re-raises and/or constructs a
+    ``DocumentFailure`` anywhere."""
+    raises = False
+    records = False
+    for stmt in node.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Raise):
+                raises = True
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name == "DocumentFailure":
+                    records = True
+    return raises, records
+
+
+@register
+class IsolationSiteRule(Rule):
+    """RES002 — broad ``except`` only at registered isolation sites.
+
+    Error isolation is a *feature* with exactly two legitimate shapes:
+    convert the failure into a recorded outcome (a ``DocumentFailure``,
+    a degradation) or re-raise it.  A broad handler that does neither
+    silently swallows faults the supervised runner is supposed to
+    retry, quarantine and explain.  Functions whose whole job is
+    conversion are registered in
+    :data:`repro.resilience.faults.ISOLATION_SITES`; everywhere else in
+    the pipeline/perf/resilience layers a broad handler must re-raise
+    (conditionally is fine) or construct a ``DocumentFailure``.
+    """
+
+    rule_id = "RES002"
+    summary = "broad except must re-raise, record a DocumentFailure, or be a registered isolation site"
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        if not _in_layer(module.module, _ISOLATED_LAYERS):
+            return
+        from repro.resilience.faults import ISOLATION_SITES
+
+        def visit(node: ast.AST, stack: Tuple[str, ...]) -> Iterator[Violation]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                stack = stack + (node.name,)
+            if isinstance(node, ast.ExceptHandler) and _broad_handler(node):
+                qualname = ".".join((module.module or "", *stack)).strip(".")
+                if qualname not in ISOLATION_SITES:
+                    raises, records = _handler_outcomes(node)
+                    if not raises and not records:
+                        yield module.violation(
+                            node, self.rule_id,
+                            "broad except outside a registered isolation site must "
+                            "re-raise or construct a DocumentFailure; register the "
+                            "function in repro.resilience.faults.ISOLATION_SITES if "
+                            "conversion is its whole job",
+                        )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, stack)
+
+        yield from visit(module.tree, ())
+
+
+# ----------------------------------------------------------------------
 # Explain metadata
 # ----------------------------------------------------------------------
 
@@ -634,6 +764,16 @@ _RULE_EXAMPLES: Dict[str, Tuple[str, str]] = {
     "SUPP001": (
         "value = random.random()  # repro: " + "noqa",
         "value = random.random()  # repro: noqa[DET001]",
+    ),
+    "RES001": (
+        "# in repro/core/…\ntime.sleep(2 ** attempt)",
+        "clock.charge(backoff_seconds(attempt, base_s, cap_s))\n"
+        "# a BackoffClock accounts the wait; inject a sleeper to pace for real",
+    ),
+    "RES002": (
+        "# in repro/core/…\ntry:\n    run(doc)\nexcept Exception:\n    return None",
+        "except Exception as exc:\n    if isinstance(exc, TransientFault):\n"
+        "        raise\n    failures.append(DocumentFailure(...))",
     ),
 }
 

@@ -28,6 +28,7 @@ from repro.core.config import SegmentConfig
 from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
 from repro.geometry import enclosing_bbox
+from repro.resilience.faults import fault_site
 from repro.trace import Tracer
 
 
@@ -135,6 +136,7 @@ def semantic_merge(
     becomes a ``merge.decision`` event and every fixpoint pass a
     ``merge.pass`` event.
     """
+    fault_site("segment.merge")
     if embedding is None:
         embedding = default_embedding()
     tracing = tracer is not None and tracer.enabled

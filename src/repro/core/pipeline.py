@@ -50,7 +50,7 @@ parallelism and per-document error isolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import VS2Config
@@ -63,7 +63,33 @@ from repro.ocr import OcrEngine, OcrResult
 from repro.ocr.deskew import rotate_back
 from repro.instrument import PipelineMetrics
 from repro.ocr.cache import TranscriptionCache, transcribe_and_clean
+from repro.resilience.faults import TransientFault
 from repro.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One rung of the degradation ladder a run had to take.
+
+    ``stage`` is the pipeline stage that failed (``segment`` or
+    ``select``); ``fallback`` names the substitute strategy that
+    produced the stage's output instead (``visual_only`` merging,
+    ``ner_fallback`` extraction); ``error_type`` / ``message`` describe
+    the original failure.
+    """
+
+    stage: str
+    fallback: str
+    error_type: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "stage": self.stage,
+            "fallback": self.fallback,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
 
 
 @dataclass
@@ -97,6 +123,10 @@ class PipelineResult:
         Estimated skew in degrees; ``0.0`` means the observed and
         original frames coincide (and ``extractions`` needed no
         rotation).
+    ``degradations``
+        The rungs of the degradation ladder this run took (empty on a
+        healthy run): each records a stage failure that was absorbed by
+        a documented fallback instead of failing the document.
     """
 
     doc_id: str
@@ -106,6 +136,7 @@ class PipelineResult:
     ocr: OcrResult
     observed: Document
     skew_angle: float
+    degradations: List[Degradation] = field(default_factory=list)
 
     def as_key_values(self) -> Dict[str, str]:
         """The paper's deliverable: a loadable list of key-value pairs."""
@@ -153,7 +184,17 @@ class VS2Pipeline:
 
     def run(self, doc: Document) -> PipelineResult:
         """Extract every named entity of the dataset's vocabulary from
-        one document.  ``doc`` ground truth is never consulted."""
+        one document.  ``doc`` ground truth is never consulted.
+
+        Per-stage failures degrade rather than abort where a documented
+        fallback exists (the *degradation ladder*, recorded on
+        :attr:`PipelineResult.degradations`): a semantic-merge failure
+        falls back to visual-only segmentation; a pattern-match failure
+        falls back to dictionary/NER extraction.  Transient faults are
+        re-raised untouched — those belong to the supervised runner's
+        retry budget, not to degradation.
+        """
+        degradations: List[Degradation] = []
         if self.cache is not None:
             ocr, observed, angle = self.cache.cleaned(
                 self.ocr, doc, self.metrics, tracer=self.tracer
@@ -163,12 +204,28 @@ class VS2Pipeline:
                 self.ocr, doc, self.metrics, tracer=self.tracer
             )
         with self.metrics.stage("segment") as t, self.tracer.span("segment") as sp:
-            tree = self.segmenter.segment(observed)
+            try:
+                tree = self.segmenter.segment(observed)
+            except Exception as exc:  # registered isolation site (RES002)
+                if isinstance(exc, TransientFault):
+                    raise
+                self._note_degradation(
+                    degradations, "segment", "visual_only", exc
+                )
+                tree = self.segmenter.segment(observed, semantic_merging=False)
             blocks = tree.logical_blocks()
             t.items = len(blocks)
             sp.attrs["blocks"] = len(blocks)
         with self.metrics.stage("select") as t, self.tracer.span("select") as sp:
-            extractions = self.selector.extract(observed, blocks)
+            try:
+                extractions = self.selector.extract(observed, blocks)
+            except Exception as exc:  # registered isolation site (RES002)
+                if isinstance(exc, TransientFault):
+                    raise
+                self._note_degradation(
+                    degradations, "select", "ner_fallback", exc
+                )
+                extractions = self._ner_fallback(blocks)
             t.items = len(extractions)
             sp.attrs["extractions"] = len(extractions)
         if angle != 0.0:
@@ -186,7 +243,48 @@ class VS2Pipeline:
                     )
                     for e in extractions
                 ]
-        return PipelineResult(doc.doc_id, extractions, tree, blocks, ocr, observed, angle)
+        return PipelineResult(
+            doc.doc_id, extractions, tree, blocks, ocr, observed, angle, degradations
+        )
+
+    def _note_degradation(
+        self,
+        degradations: List[Degradation],
+        stage: str,
+        fallback: str,
+        exc: BaseException,
+    ) -> None:
+        degradations.append(
+            Degradation(stage, fallback, type(exc).__name__, str(exc))
+        )
+        self.metrics.count("resilience.degrade")
+        self.tracer.event(
+            "pipeline.degrade",
+            stage=stage,
+            fallback=fallback,
+            error_type=type(exc).__name__,
+        )
+
+    def _ner_fallback(self, blocks: Sequence[LayoutNode]) -> List[Extraction]:
+        """Last-rung extraction: generic dictionary/NER recognition over
+        the block transcriptions when pattern matching is unavailable.
+        Entity types carry an ``ner:`` prefix so scoring code can tell
+        a degraded extraction from a pattern-matched one."""
+        from repro.nlp.ner import recognize_entities
+
+        picked: Dict[str, Extraction] = {}
+        for block in blocks:
+            text = block.text()
+            if not text.strip():
+                continue
+            for entity in recognize_entities(text):
+                key = f"ner:{entity.label.lower()}"
+                best = picked.get(key)
+                if best is None or entity.confidence > best.score:
+                    picked[key] = Extraction(
+                        key, entity.text, block.bbox, block.bbox, entity.confidence
+                    )
+        return [picked[key] for key in sorted(picked)]
 
     def run_corpus(
         self, docs: Sequence[Document], workers: int = 1

@@ -36,6 +36,7 @@ from repro.embeddings import WordEmbedding
 from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
 from repro.geometry.cuts import CutSet, interior_cut_sets
 from repro.instrument import PipelineMetrics
+from repro.resilience.faults import fault_site
 from repro.trace import NULL_TRACER, Tracer
 
 
@@ -64,13 +65,16 @@ class VS2Segmenter:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    @checked(post=lambda tree, self, doc: check_layout_tree(tree))
-    def segment(self, doc: Document) -> LayoutTree:
+    @checked(post=lambda tree, self, doc, **kw: check_layout_tree(tree))
+    def segment(self, doc: Document, semantic_merging: Optional[bool] = None) -> LayoutTree:
         """Build the layout tree of ``doc``.
 
         The input should be the *observed* document (OCR output view)
         when simulating the full pipeline, or the source document when
-        studying segmentation in isolation.
+        studying segmentation in isolation.  ``semantic_merging``
+        overrides ``config.use_semantic_merging`` for this call — the
+        pipeline's degradation ladder uses it to retry a document
+        visual-only after a semantic-merge failure.
         """
         atoms = list(doc.elements)
         if atoms:
@@ -80,7 +84,9 @@ class VS2Segmenter:
         root = LayoutNode(bbox=root_box, atoms=atoms, kind="root")
         self._recurse(root, depth=0)
         tree = LayoutTree(root)
-        if self.config.use_semantic_merging:
+        if semantic_merging is None:
+            semantic_merging = self.config.use_semantic_merging
+        if semantic_merging:
             with self.metrics.stage("segment.merge"), self.tracer.span(
                 "segment.merge"
             ):
@@ -111,6 +117,7 @@ class VS2Segmenter:
         with self.metrics.stage("segment.cuts"), self.tracer.span(
             "segment.cuts", depth=depth
         ):
+            fault_site("segment.cuts")
             groups = self._split_by_cuts(node)
         kind = "cut"
         if groups is None and self.config.use_visual_clustering:

@@ -34,6 +34,7 @@ from repro.nlp.tokenizer import normalize_text
 from repro.analysis.contracts import check_extraction_spans, checked
 from repro.datasets import entity_vocabulary, form_faces
 from repro.instrument import PipelineMetrics
+from repro.resilience.faults import fault_site
 from repro.trace import NULL_TRACER, Tracer
 
 
@@ -117,6 +118,7 @@ class VS2Selector:
     def extract(self, doc: Document, blocks: Sequence[LayoutNode]) -> List[Extraction]:
         """Search each entity's pattern over the logical blocks and pick
         one match per entity (disambiguating when several fire)."""
+        fault_site("select.match")
         if self.dataset == "D1":
             if self.tracer.enabled:
                 # The descriptor path never consults interest points;

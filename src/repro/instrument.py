@@ -59,6 +59,13 @@ STAGE_ORDER: List[str] = [
     "select.disambiguate",
     "select.form_fields",
     "rotate_back",
+    "resilience.retry",
+    "resilience.backoff",
+    "resilience.timeout",
+    "resilience.quarantine",
+    "resilience.worker_replace",
+    "resilience.resume",
+    "resilience.degrade",
 ]
 
 #: Latency histogram shape: bucket 0 holds samples ≤ 1 µs, bucket *i*

@@ -12,6 +12,7 @@ from repro.doc.document import group_into_lines, join_in_reading_order
 from repro.doc.elements import TextElement
 from repro.geometry import BBox
 from repro.ocr.noise import corrupt_word
+from repro.resilience.faults import fault_site
 
 
 def _stable_hash(text: str) -> int:
@@ -119,6 +120,7 @@ class OcrEngine:
 
     def transcribe(self, doc: Document) -> OcrResult:
         """Transcribe one document under its source's noise profile."""
+        fault = fault_site("ocr.transcribe")
         rng = np.random.default_rng((self.seed, _stable_hash(doc.doc_id)))
         profile = self.profile_for(doc)
         words: List[TextElement] = []
@@ -148,6 +150,8 @@ class OcrEngine:
                     noisy = corrupt_word(piece.text, rng, profile.char_p, profile.case_p)
                     box = self._jitter_box(piece.bbox, rng, profile.jitter, doc)
                     words.append(piece.with_text(noisy).with_bbox(box))
+        if fault is not None and fault.kind == "corrupt":
+            words = fault.corrupt_words(words)
         return OcrResult(doc.doc_id, doc.width, doc.height, words, doc.source)
 
     @staticmethod

@@ -18,13 +18,14 @@ See ``docs/ARCHITECTURE.md`` for where each hooks into the pipeline and
 
 from repro.perf.cache import TranscriptionCache, transcribe_and_clean
 from repro.perf.metrics import PipelineMetrics, StageStats, StageTimer, merge_all
-from repro.perf.runner import CorpusRunner, CorpusRunResult, DocumentFailure
+from repro.perf.runner import CorpusRunError, CorpusRunner, CorpusRunResult, DocumentFailure
 from repro.perf.snapshot import compare, load_snapshot, write_snapshot
 
 __all__ = [
     "compare",
     "load_snapshot",
     "write_snapshot",
+    "CorpusRunError",
     "CorpusRunner",
     "CorpusRunResult",
     "DocumentFailure",

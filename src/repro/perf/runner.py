@@ -25,20 +25,27 @@ processes (restricted sandboxes).
 
 from __future__ import annotations
 
+import builtins
+import logging
 import math
 import traceback as _traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.perf.cache import TranscriptionCache
 from repro.perf.metrics import PipelineMetrics
+from repro.resilience import faults as _faults
 from repro.trace import NULL_TRACER, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids core import cycle)
     from repro.core.config import VS2Config
     from repro.core.pipeline import PipelineResult, VS2Pipeline
     from repro.doc import Document
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.supervisor import SupervisionPolicy, SupervisionReport
+
+_LOG = logging.getLogger("repro.perf.runner")
 
 #: Builds the pipeline a worker runs; must be picklable (a module-level
 #: function) when ``workers > 1``.
@@ -53,7 +60,11 @@ class DocumentFailure:
     ``doc_index`` is the document's position in the submitted corpus
     (``-1`` when unknown); ``ocr_seed`` the engine seed the failing
     pipeline was built with; ``span_path`` the deepest open trace span
-    at the moment the exception unwound (empty when tracing was off).
+    at the moment the exception unwound (empty when tracing was off);
+    ``transient`` marks failures worth retrying (an injected
+    :class:`~repro.resilience.faults.TransientFault`, a watchdog
+    timeout, a worker crash) — the supervised runner's retry budget
+    applies only to these.
     """
 
     doc_id: str
@@ -63,6 +74,7 @@ class DocumentFailure:
     doc_index: int = -1
     span_path: str = ""
     ocr_seed: Optional[int] = None
+    transient: bool = False
 
     def __str__(self) -> str:
         where = f"doc[{self.doc_index}] {self.doc_id}" if self.doc_index >= 0 else self.doc_id
@@ -74,18 +86,41 @@ class DocumentFailure:
         return out
 
 
+class CorpusRunError(RuntimeError):
+    """A corpus run's first per-document failure, re-raised.
+
+    Carries the full :class:`DocumentFailure` (``.failure``) and the
+    original exception class name (``.error_type``) so callers of the
+    fail-fast path can still dispatch on what actually went wrong.
+    """
+
+    def __init__(self, failure: DocumentFailure):
+        super().__init__(
+            f"pipeline failed on {failure.doc_id}: "
+            f"{failure.error_type}: {failure.message}\n{failure.traceback}"
+        )
+        self.failure = failure
+        self.error_type = failure.error_type
+
+
 @dataclass
 class CorpusRunResult:
     """Everything one corpus run produces.
 
     ``results[i]`` corresponds to ``docs[i]`` of the input — ``None``
     where that document failed (its :class:`DocumentFailure` is in
-    ``failures``, in input order).
+    ``failures``, in input order).  ``degrade_reason`` is non-``None``
+    when a parallel run silently would have fallen back to serial — the
+    runner now records why (no process support, pool exhaustion).
+    ``supervision`` is populated only by supervised runs (see
+    :mod:`repro.resilience.supervisor`).
     """
 
     results: List[Optional["PipelineResult"]]
     failures: List[DocumentFailure] = field(default_factory=list)
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    degrade_reason: Optional[str] = None
+    supervision: Optional["SupervisionReport"] = None
 
     @property
     def ok(self) -> List["PipelineResult"]:
@@ -94,12 +129,17 @@ class CorpusRunResult:
 
     def raise_first(self) -> None:
         """Re-raise the first failure (for callers that want the old
-        fail-fast ``run_corpus`` semantics)."""
-        if self.failures:
-            f = self.failures[0]
-            raise RuntimeError(
-                f"pipeline failed on {f.doc_id}: {f.error_type}: {f.message}\n{f.traceback}"
-            )
+        fail-fast ``run_corpus`` semantics).  The raised
+        :class:`CorpusRunError` is chained ``from`` an instance of the
+        original exception type when that type is resolvable, so
+        ``except`` clauses and logs see the real cause."""
+        if not self.failures:
+            return
+        f = self.failures[0]
+        cause_type = getattr(builtins, f.error_type, None)
+        if isinstance(cause_type, type) and issubclass(cause_type, BaseException):
+            raise CorpusRunError(f) from cause_type(f.message)
+        raise CorpusRunError(f)
 
 
 # ----------------------------------------------------------------------
@@ -124,15 +164,21 @@ def _init_worker(
     config: Optional["VS2Config"],
     factory: Optional[PipelineFactory],
     trace_enabled: bool = False,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> None:
     """Process-pool initialiser: build this worker's pipeline once.
 
     When the parent traces, each worker gets its own :class:`Tracer`;
     its drained span buffers travel back with every chunk result and
-    are re-parented under the parent's ``corpus`` span.
+    are re-parented under the parent's ``corpus`` span.  A fault plan
+    is installed non-preemptible: pool workers cannot be individually
+    killed, so ``hang``/``crash`` faults simulate as transient raises
+    (the supervised runner's hand-managed workers run them for real).
     """
     global _WORKER_PIPELINE, _WORKER_TRACER
     _WORKER_TRACER = Tracer() if trace_enabled else NULL_TRACER
+    if fault_plan is not None:
+        _faults.install(fault_plan, tracer=_WORKER_TRACER)
     _WORKER_PIPELINE = (
         factory()
         if factory is not None
@@ -141,11 +187,20 @@ def _init_worker(
 
 
 def _run_one(
-    pipeline: "VS2Pipeline", index: int, doc: "Document", tracer=NULL_TRACER
+    pipeline: "VS2Pipeline",
+    index: int,
+    doc: "Document",
+    tracer=NULL_TRACER,
+    attempt: int = 1,
 ) -> Tuple[int, Optional["PipelineResult"], Optional[DocumentFailure]]:
+    attrs: Dict[str, Any] = {"index": index, "doc_id": doc.doc_id}
+    if attempt > 1:
+        attrs["attempt"] = attempt
     try:
-        with tracer.span("doc", index=index, doc_id=doc.doc_id):
-            return index, pipeline.run(doc), None
+        with _faults.doc_scope(doc.doc_id, index, attempt):
+            with tracer.span("doc", **attrs):
+                _faults.fault_site("worker.chunk")
+                return index, pipeline.run(doc), None
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         failure = DocumentFailure(
             doc_id=doc.doc_id,
@@ -155,6 +210,7 @@ def _run_one(
             doc_index=index,
             span_path=tracer.consume_error_path(exc) or "",
             ocr_seed=getattr(getattr(pipeline, "config", None), "ocr_seed", None),
+            transient=isinstance(exc, _faults.TransientFault),
         )
         return index, None, failure
 
@@ -200,6 +256,16 @@ class CorpusRunner:
         Workers trace into private buffers that are re-parented here in
         deterministic document order, so a normalised export of a
         parallel run is byte-identical to the serial one.
+    fault_plan:
+        A :class:`~repro.resilience.faults.FaultPlan` to install for
+        the run (parent process for serial runs, each worker for
+        parallel ones).  The plan's schedule is seeded per document, so
+        serial and parallel runs see identical faults.
+    supervision:
+        A :class:`~repro.resilience.supervisor.SupervisionPolicy`.
+        When set, :meth:`run` executes under the supervised layer:
+        per-document timeouts with worker replacement, retry of
+        transient failures, quarantine and checkpoint/resume.
     """
 
     def __init__(
@@ -211,6 +277,8 @@ class CorpusRunner:
         cache: Optional[TranscriptionCache] = None,
         pipeline_factory: Optional[PipelineFactory] = None,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        supervision: Optional["SupervisionPolicy"] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config
@@ -219,6 +287,8 @@ class CorpusRunner:
         self.cache = cache
         self.pipeline_factory = pipeline_factory
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_plan = fault_plan
+        self.supervision = supervision
         self._serial_pipeline: Optional["VS2Pipeline"] = None
 
     # ------------------------------------------------------------------
@@ -226,7 +296,12 @@ class CorpusRunner:
         """Process every document; never raises for a per-document
         pipeline error (see :class:`CorpusRunResult`)."""
         docs = list(docs)
+        if self.supervision is not None:
+            from repro.resilience.supervisor import run_supervised
+
+            return run_supervised(self, docs)
         metrics = PipelineMetrics()
+        degrade_reason: Optional[str] = None
         with metrics.stage("corpus") as t, self.tracer.span(
             "corpus", dataset=self.dataset, docs=len(docs)
         ):
@@ -234,9 +309,14 @@ class CorpusRunner:
             if self.workers <= 1 or len(docs) <= 1:
                 slots, failures = self._run_serial(docs, metrics)
             else:
-                slots, failures = self._run_parallel(docs, metrics)
+                slots, failures, degrade_reason = self._run_parallel(docs, metrics)
         failures.sort(key=lambda f: (f.doc_index, f.doc_id))
-        return CorpusRunResult(results=slots, failures=failures, metrics=metrics)
+        return CorpusRunResult(
+            results=slots,
+            failures=failures,
+            metrics=metrics,
+            degrade_reason=degrade_reason,
+        )
 
     # ------------------------------------------------------------------
     def _serial(self) -> "VS2Pipeline":
@@ -259,11 +339,19 @@ class CorpusRunner:
         pipeline.metrics.drain()  # only this run's samples
         slots: List[Optional["PipelineResult"]] = [None] * len(docs)
         failures: List[DocumentFailure] = []
-        for index, doc in enumerate(docs):
-            _, result, failure = _run_one(pipeline, index, doc, self.tracer)
-            slots[index] = result
-            if failure is not None:
-                failures.append(failure)
+        installed = False
+        if self.fault_plan is not None and not _faults.is_installed():
+            _faults.install(self.fault_plan, tracer=self.tracer)
+            installed = True
+        try:
+            for index, doc in enumerate(docs):
+                _, result, failure = _run_one(pipeline, index, doc, self.tracer)
+                slots[index] = result
+                if failure is not None:
+                    failures.append(failure)
+        finally:
+            if installed:
+                _faults.uninstall()
         metrics.merge(pipeline.metrics.drain())
         return slots, failures
 
@@ -287,10 +375,18 @@ class CorpusRunner:
                     self.config,
                     self.pipeline_factory,
                     self.tracer.enabled,
+                    self.fault_plan,
                 ),
             )
-        except (OSError, ValueError):  # no process support: degrade, don't die
-            return self._run_serial(docs, metrics)
+        except (OSError, ValueError) as exc:  # no process support: degrade, don't die
+            reason = f"{type(exc).__name__}: {exc}"
+            _LOG.warning(
+                "parallel corpus run degraded to serial (%s workers unavailable): %s",
+                workers, reason,
+            )
+            self.tracer.event("runner.degrade", reason=reason, to="serial")
+            slots, failures = self._run_serial(docs, metrics)
+            return slots, failures, reason
         adopted: List[Span] = []
         try:
             pending = {executor.submit(_run_chunk, chunk) for chunk in chunks}
@@ -312,4 +408,4 @@ class CorpusRunner:
         adopted.sort(key=lambda s: (s.attrs.get("index", -1), s.name))
         for span in adopted:
             self.tracer.adopt(span)
-        return slots, failures
+        return slots, failures, None

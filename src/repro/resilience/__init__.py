@@ -1,0 +1,95 @@
+"""repro.resilience — deterministic fault injection + supervised execution.
+
+Two halves, importable independently:
+
+* :mod:`repro.resilience.faults` — the seeded fault-injection plan.
+  :class:`FaultPlan` decides, per ``(site, doc, attempt)``, whether a
+  named fault site raises a typed error, hangs, crashes, charges
+  virtual latency or corrupts OCR output — deterministically, from the
+  plan seed alone.  Core pipeline code only ever calls the free
+  function :func:`fault_site`, which is a no-op unless a plan is
+  installed.
+* :mod:`repro.resilience.supervisor` — the supervised execution layer
+  behind ``CorpusRunner(..., supervision=SupervisionPolicy(...))``:
+  per-document timeouts with worker replacement, deterministic retry
+  with a virtual backoff budget, quarantine, and JSONL
+  checkpoint/resume.
+
+The supervisor half pulls in ``repro.perf``; it is exposed lazily so
+that ``repro.core`` modules can import the faults half without
+violating the layer rules (LAYER001).
+"""
+
+from __future__ import annotations
+
+from repro.resilience.budget import BackoffClock, backoff_seconds
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, CheckpointLog, run_fingerprint
+from repro.resilience.faults import (
+    FAULT_SITES,
+    ISOLATION_SITES,
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    PermanentFault,
+    TransientFault,
+    active_plan,
+    doc_scope,
+    drain_virtual_latency,
+    fault_site,
+    install,
+    is_installed,
+    uninstall,
+)
+from repro.resilience.quarantine import (
+    QUARANTINE_SCHEMA,
+    AttemptRecord,
+    QuarantineEntry,
+    QuarantineReport,
+)
+
+_SUPERVISOR_EXPORTS = {
+    "SupervisionPolicy",
+    "SupervisionEvent",
+    "SupervisionReport",
+    "run_supervised",
+}
+
+__all__ = [
+    "BackoffClock",
+    "backoff_seconds",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointLog",
+    "run_fingerprint",
+    "FAULT_SITES",
+    "ISOLATION_SITES",
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PermanentFault",
+    "TransientFault",
+    "active_plan",
+    "doc_scope",
+    "drain_virtual_latency",
+    "fault_site",
+    "install",
+    "is_installed",
+    "uninstall",
+    "QUARANTINE_SCHEMA",
+    "AttemptRecord",
+    "QuarantineEntry",
+    "QuarantineReport",
+    "SupervisionPolicy",
+    "SupervisionEvent",
+    "SupervisionReport",
+    "run_supervised",
+]
+
+
+def __getattr__(name: str):
+    if name in _SUPERVISOR_EXPORTS:
+        from repro.resilience import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,65 @@
+"""The injectable time budget: virtual backoff accounting, one blocker.
+
+This module is the **only** place in ``repro.core`` / ``repro.resilience``
+allowed to touch ``time.sleep`` — the RES001 lint rule enforces it.
+Everything else expresses waiting as *virtual seconds* charged to a
+:class:`BackoffClock`, so a supervised run's retry schedule is exact,
+deterministic and free: tests never sleep, and the accounted budget
+still rolls up into the supervision report.
+
+``block_forever`` is the one sanctioned real blocker — it exists solely
+so an injected ``hang`` fault inside a supervised worker really does
+hang (and gets killed by the parent watchdog) instead of simulating.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+def backoff_seconds(attempt: int, base_s: float, cap_s: float) -> float:
+    """Capped exponential backoff before retry ``attempt + 1``.
+
+    Attempt numbering is 1-based: after the first failed attempt the
+    wait is ``base_s``, doubling per subsequent attempt up to ``cap_s``.
+    Pure arithmetic — no jitter, no clock — so serial and parallel
+    supervised runs charge byte-identical budgets.
+    """
+    if attempt < 1:
+        attempt = 1
+    return min(cap_s, base_s * (2.0 ** (attempt - 1)))
+
+
+class BackoffClock:
+    """Accounts waiting without performing it.
+
+    :meth:`charge` adds virtual seconds to :attr:`total_s`.  A caller
+    that genuinely wants wall-clock pacing (none of the shipped code
+    paths do) can inject a ``sleeper`` callable; the default is pure
+    accounting, which keeps the chaos suite instant and the retry
+    ledger deterministic.
+    """
+
+    __slots__ = ("total_s", "_sleeper")
+
+    def __init__(self, sleeper: Optional[Callable[[float], None]] = None):
+        self.total_s = 0.0
+        self._sleeper = sleeper
+
+    def charge(self, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        self.total_s += seconds
+        if self._sleeper is not None:
+            self._sleeper(seconds)
+
+
+def block_forever(poll_s: float = 0.05) -> None:  # pragma: no cover - killed externally
+    """Hang the calling process until it is killed.
+
+    Used exclusively by an injected ``hang`` fault inside a supervised
+    worker; the parent's watchdog is what ends it.
+    """
+    while True:
+        time.sleep(poll_s)

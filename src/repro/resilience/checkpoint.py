@@ -1,0 +1,176 @@
+"""JSONL checkpoint/resume for supervised corpus runs.
+
+Format — one JSON object per line, flushed per record so a killed run
+loses at most the line being written:
+
+* line 1, the **header**: ``{"type": "header", "schema":
+  "repro.checkpoint/1", "fingerprint": "…"}``.  The fingerprint hashes
+  the dataset, the document ids and the fault-plan spec; resuming with
+  a different corpus or plan is refused rather than silently mixed.
+* ``{"type": "result", "index": i, "doc_id": "…", "payload": "…"}`` —
+  one completed document.  The payload is the base64-encoded pickle of
+  the full :class:`~repro.core.pipeline.PipelineResult`, so a resumed
+  run reproduces the uninterrupted result **byte-identically** (the
+  pipeline is deterministic; the stored object *is* the object).
+* ``{"type": "quarantine", "index": i, "doc_id": "…", "failure": {…},
+  "entry": {…}}`` — one document the run gave up on, carrying enough
+  to reconstruct its :class:`~repro.perf.runner.DocumentFailure` and
+  quarantine entry exactly.
+
+Loading tolerates exactly one truncated trailing line (the kill
+artefact); corruption anywhere else is an error.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Sequence
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+
+def run_fingerprint(
+    dataset: str, doc_ids: Sequence[str], plan_key: Optional[str], max_attempts: int
+) -> str:
+    """Identity of a run for resume purposes: same corpus, same fault
+    plan, same retry budget."""
+    payload = json.dumps(
+        {
+            "dataset": dataset,
+            "doc_ids": list(doc_ids),
+            "plan": plan_key,
+            "max_attempts": max_attempts,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def encode_payload(obj: Any) -> str:
+    return base64.b64encode(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class CheckpointLog:
+    """Append-only JSONL log of resolved documents.
+
+    :attr:`completed` maps doc index → deserialised result payload and
+    :attr:`quarantined` maps doc index → the raw quarantine record,
+    both populated from any pre-existing file at :meth:`open` time.
+    """
+
+    def __init__(self, path: str, fingerprint: str):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.completed: Dict[int, Any] = {}
+        self.quarantined: Dict[int, Dict[str, Any]] = {}
+        self._fh = None
+        self._valid_bytes: Optional[int] = None  # set when a kill artefact was found
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, fingerprint: str) -> "CheckpointLog":
+        log = cls(path, fingerprint)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        if not fresh:
+            log._load()
+            if log._valid_bytes is not None:
+                # Trim the half-written final line a kill left behind so
+                # the records we append don't fuse with it.
+                with open(path, "r+", encoding="utf-8") as fh:
+                    fh.truncate(log._valid_bytes)
+            else:
+                with open(path, "rb") as fh:
+                    tail = fh.read()[-1:]
+                if tail != b"\n":
+                    # Valid final record but the newline itself was lost:
+                    # restore it so appended records start on a fresh line.
+                    with open(path, "a", encoding="utf-8") as fh:
+                        fh.write("\n")
+        log._fh = open(path, "a", encoding="utf-8")
+        if fresh:
+            log._write(
+                {"type": "header", "schema": CHECKPOINT_SCHEMA, "fingerprint": fingerprint}
+            )
+        return log
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.decode("utf-8").splitlines(keepends=True)
+        records: List[Dict[str, Any]] = []
+        offset = 0
+        for lineno, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                offset += len(line.encode("utf-8"))
+                continue
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # The kill artefact: a half-written final line.
+                    # Remember where the valid prefix ends so `open`
+                    # can trim it before appending.
+                    self._valid_bytes = offset
+                    break
+                raise ValueError(
+                    f"corrupt checkpoint {self.path}: unparseable line {lineno + 1}"
+                )
+            offset += len(line.encode("utf-8"))
+        if not records or records[0].get("type") != "header":
+            raise ValueError(f"checkpoint {self.path} has no header line")
+        header = records[0]
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint {self.path} uses schema {header.get('schema')!r}, "
+                f"expected {CHECKPOINT_SCHEMA!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ValueError(
+                f"checkpoint {self.path} was written by a different run "
+                "(corpus, fault plan or retry budget changed); "
+                "delete it or point --checkpoint elsewhere"
+            )
+        for record in records[1:]:
+            kind = record.get("type")
+            if kind == "result":
+                self.completed[int(record["index"])] = decode_payload(record["payload"])
+            elif kind == "quarantine":
+                self.quarantined[int(record["index"])] = record
+
+    # ------------------------------------------------------------------
+    def _write(self, record: Dict[str, Any]) -> None:
+        assert self._fh is not None, "checkpoint log is closed"
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_result(self, index: int, doc_id: str, result: Any) -> None:
+        self._write(
+            {"type": "result", "index": index, "doc_id": doc_id, "payload": encode_payload(result)}
+        )
+
+    def record_quarantine(
+        self, index: int, doc_id: str, failure: Dict[str, Any], entry: Dict[str, Any]
+    ) -> None:
+        self._write(
+            {
+                "type": "quarantine",
+                "index": index,
+                "doc_id": doc_id,
+                "failure": failure,
+                "entry": entry,
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,112 @@
+"""The machine-readable quarantine report.
+
+A *quarantined* document is one the supervised runner gave up on:
+either a permanent failure, or a transient one that survived the full
+retry budget.  Each entry carries the complete attempt history —
+enough for ``repro explain`` (or a human with ``jq``) to answer "why
+is doc 12 missing from the results" without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Schema tag written into every serialised report.
+QUARANTINE_SCHEMA = "repro.quarantine/1"
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt at a document.
+
+    ``kind`` classifies how the attempt ended: ``transient`` /
+    ``permanent`` (the pipeline raised), ``timeout`` (the watchdog
+    killed the worker), or ``crash`` (the worker process died).
+    """
+
+    attempt: int
+    kind: str
+    error_type: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "AttemptRecord":
+        return AttemptRecord(
+            attempt=int(data["attempt"]),
+            kind=str(data["kind"]),
+            error_type=str(data.get("error_type", "")),
+            message=str(data.get("message", "")),
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One document the run gave up on, with its full attempt history."""
+
+    doc_id: str
+    doc_index: int
+    error_type: str
+    message: str
+    attempts: Tuple[AttemptRecord, ...] = ()
+    traceback: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "doc_index": self.doc_index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "traceback": self.traceback,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "QuarantineEntry":
+        return QuarantineEntry(
+            doc_id=str(data["doc_id"]),
+            doc_index=int(data["doc_index"]),
+            error_type=str(data.get("error_type", "")),
+            message=str(data.get("message", "")),
+            attempts=tuple(AttemptRecord.from_dict(a) for a in data.get("attempts", [])),
+            traceback=str(data.get("traceback", "")),
+        )
+
+
+@dataclass
+class QuarantineReport:
+    """All quarantined documents of one run, in resolution order."""
+
+    entries: List[QuarantineEntry] = field(default_factory=list)
+
+    def doc_ids(self) -> List[str]:
+        return [e.doc_id for e in self.entries]
+
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = sorted(self.entries, key=lambda e: (e.doc_index, e.doc_id))
+        return {
+            "schema": QUARANTINE_SCHEMA,
+            "quarantined": len(ordered),
+            "entries": [e.to_dict() for e in ordered],
+        }
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "QuarantineReport":
+        return QuarantineReport(
+            entries=[QuarantineEntry.from_dict(e) for e in data.get("entries", [])]
+        )

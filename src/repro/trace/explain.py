@@ -12,7 +12,10 @@ per-document decisions the paper's pipeline makes:
 * the **selection ledger** — per entity, how many candidates matched
   and which block won;
 * the caller-supplied **extraction rows** (the CLI passes the final
-  extractions with their source blocks).
+  extractions with their source blocks);
+* the **resilience ledger** — injected faults, degradation-ladder
+  fallbacks and supervision decisions (retries, timeouts, quarantines),
+  rendered only when such events occurred (docs/RESILIENCE.md).
 
 Everything here is plain text formatting over :class:`~repro.trace.
 tracer.Span` trees — no imports from the rest of ``repro`` — so the
@@ -183,6 +186,36 @@ def selection_ledger(roots: Sequence[Span]) -> str:
     )
 
 
+def resilience_ledger(roots: Sequence[Span]) -> str:
+    """Every fault injected and every supervision decision taken:
+    ``fault.injected``, ``pipeline.degrade`` and the ``runner.*``
+    family (retry / timeout / quarantine / worker_replace / resume /
+    degrade) rendered as one chronology."""
+    rows = []
+    for _path, event in collect_events(roots):
+        a = event.attrs
+        if event.name == "fault.injected":
+            rows.append(
+                ["fault", a.get("doc_id", ""), a.get("attempt"),
+                 f"{a.get('kind', '?')} @ {a.get('site', '?')}"]
+            )
+        elif event.name == "pipeline.degrade":
+            rows.append(
+                ["degrade", "", None,
+                 f"{a.get('stage', '?')} -> {a.get('fallback', '?')} "
+                 f"({a.get('error_type', '?')})"]
+            )
+        elif event.name.startswith("runner."):
+            kind = event.name[len("runner."):]
+            detail = a.get("error_type") or a.get("reason") or ""
+            rows.append([kind, a.get("doc_id", ""), a.get("attempt"), detail])
+    return _table(
+        "Resilience ledger (faults & supervision)",
+        ["kind", "doc", "attempt", "detail"],
+        rows,
+    )
+
+
 def explain_report(
     roots: Sequence[Span],
     extraction_rows: Optional[List[Dict[str, Any]]] = None,
@@ -210,6 +243,13 @@ def explain_report(
         "",
         selection_ledger(roots),
     ]
+    resilience_events = [
+        e for _p, e in collect_events(roots)
+        if e.name in ("fault.injected", "pipeline.degrade")
+        or e.name.startswith("runner.")
+    ]
+    if resilience_events:
+        sections += ["", resilience_ledger(roots)]
     if extraction_rows is not None:
         headers = sorted({k for row in extraction_rows for k in row})
         rows = [[row.get(h) for h in headers] for row in extraction_rows]

@@ -44,10 +44,18 @@ SPAN_SCHEMA_VERSION = 1
 EVENT_NAMES = frozenset(
     {
         "cut.decision",
+        "fault.injected",
         "merge.decision",
         "merge.pass",
         "ocr.cache",
         "pareto.front",
+        "pipeline.degrade",
+        "runner.degrade",
+        "runner.quarantine",
+        "runner.resume",
+        "runner.retry",
+        "runner.timeout",
+        "runner.worker_replace",
         "select.decision",
     }
 )

@@ -1,0 +1,16 @@
+"""RES001 fixture: hand-rolled wall-clock backoff inside ``repro.core``.
+
+The sleep makes the retry schedule real time instead of virtual budget
+— the one hit this package should produce.
+"""
+
+import time
+
+
+def retry(run, doc, attempts=3):
+    for attempt in range(attempts):
+        try:
+            return run(doc)
+        except ValueError:
+            time.sleep(0.05 * 2 ** attempt)
+    return None

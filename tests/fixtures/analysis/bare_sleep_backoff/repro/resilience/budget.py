@@ -1,0 +1,9 @@
+"""The sanctioned home of a real sleep: RES001 must NOT flag this
+module — it mirrors ``repro.resilience.budget``'s ``block_forever``."""
+
+import time
+
+
+def block_forever(poll_s=0.05):
+    while True:
+        time.sleep(poll_s)

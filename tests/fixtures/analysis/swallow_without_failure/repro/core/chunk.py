@@ -1,0 +1,22 @@
+"""RES002 fixture: a broad handler that swallows without recording.
+
+``safe`` neither re-raises nor constructs a ``DocumentFailure`` and its
+qualname is not a registered isolation site — the one hit this package
+should produce.  ``isolate`` records a ``DocumentFailure`` and must
+stay clean.
+"""
+
+
+def safe(run, doc):
+    try:
+        return run(doc)
+    except Exception:
+        return None
+
+
+def isolate(run, doc, failures):
+    try:
+        return run(doc)
+    except Exception as exc:
+        failures.append(DocumentFailure(doc, exc))  # noqa: F821 - lint fixture
+        return None

@@ -1,0 +1,21 @@
+"""RES002 fixture: the registered isolation-site exemption.
+
+This file pretends to be ``repro.core.pipeline``; the broad handler
+inside ``VS2Pipeline.run`` is registered in
+``repro.resilience.faults.ISOLATION_SITES``, so RES002 must not flag
+it even though it neither re-raises nor builds a ``DocumentFailure``.
+"""
+
+
+class VS2Pipeline:
+    def run(self, doc):
+        try:
+            return self._stages(doc)
+        except Exception:
+            return self._fallback(doc)
+
+    def _stages(self, doc):
+        return doc
+
+    def _fallback(self, doc):
+        return None

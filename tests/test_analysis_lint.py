@@ -120,6 +120,27 @@ FIXTURES = [
         "from repro.geometry import BBox\n\ndef load(t):\n    return BBox(*t)\n",
         "from repro.geometry import BBox\n\ndef load(t):\n    return BBox.from_tuple(t)\n",
     ),
+    (
+        "RES001",
+        "repro/core/wait.py",
+        "import time\n\ndef backoff(attempt):\n    time.sleep(0.05 * attempt)\n",
+        "def backoff(clock, attempt):\n    clock.charge(0.05 * attempt)\n",
+    ),
+    (
+        "RES002",
+        "repro/core/swallow.py",
+        "def safe(run, doc):\n"
+        "    try:\n"
+        "        return run(doc)\n"
+        "    except Exception:\n"
+        "        return None\n",
+        "def safe(run, doc, failures):\n"
+        "    try:\n"
+        "        return run(doc)\n"
+        "    except Exception as exc:\n"
+        "        failures.append(DocumentFailure(doc, exc))\n"
+        "        return None\n",
+    ),
 ]
 
 _CASE_IDS = [f"{rule}:{path}" for rule, path, _, _ in FIXTURES]
@@ -144,6 +165,32 @@ class TestRuleFixtures:
         lines = dirty.splitlines()
         lines[violations[0].line - 1] += f"  # repro: noqa[{rule_id}]"  # noqa: SUPP001
         assert run_lint(tmp_path, "\n".join(lines) + "\n", rel_path) == []
+
+
+class TestResilienceFixturePackages:
+    """The on-disk RES001/RES002 fixture trees, including the two
+    sanctioned escape hatches (the budget module, registered isolation
+    sites) that inline fixtures cannot express."""
+
+    def _lint(self, tmp_path, name):
+        import shutil
+
+        src = REPO_ROOT / "tests" / "fixtures" / "analysis" / name
+        dst = tmp_path / name
+        shutil.copytree(src, dst)
+        return lint_paths([dst], root=dst)
+
+    def test_bare_sleep_flagged_only_outside_budget_module(self, tmp_path):
+        violations = self._lint(tmp_path, "bare_sleep_backoff")
+        assert [(v.rule, v.path) for v in violations] == [
+            ("RES001", "repro/core/retry.py")
+        ]
+
+    def test_broad_except_exempt_only_at_isolation_sites(self, tmp_path):
+        violations = self._lint(tmp_path, "swallow_without_failure")
+        assert [(v.rule, v.path) for v in violations] == [
+            ("RES002", "repro/core/chunk.py")
+        ]
 
 
 class TestSuppression:
@@ -178,6 +225,7 @@ class TestEngine:
             "FRAME001", "FRAME002",
             "MUT001", "EXC001",
             "OBS001",
+            "RES001", "RES002",
         }
         assert expected <= set(ALL_RULES)
         for rule in ALL_RULES.values():

@@ -100,6 +100,53 @@ class TestTraceDeterminism:
             assert family in log
 
 
+class TestFaultDeterminism:
+    """Injected faults and the supervision decisions they trigger are
+    part of the determinism contract: the fault schedule is keyed on
+    ``(plan seed, site, doc, attempt)`` — never on process identity or
+    scheduling order — so a supervised serial run and a supervised
+    parallel run of the same plan produce identical results *and*
+    identical retry/quarantine ledgers."""
+
+    #: Transient faults that always clear on retry (``attempts=1``)
+    #: plus one permanent poison doc — exercises both ledger kinds.
+    PLAN_SPEC = "ocr:flaky@0.4@attempts=1,worker:fail@doc=2"
+    PLAN_SEED = 7
+
+    def run_supervised_smoke(self, workers: int):
+        from repro.resilience import FaultPlan, SupervisionPolicy
+
+        corpus = list(
+            generate_corpus(SMOKE["dataset"], n=SMOKE["n"], seed=SMOKE["seed"])
+        )
+        runner = CorpusRunner(
+            SMOKE["dataset"],
+            workers=workers,
+            fault_plan=FaultPlan.from_spec(self.PLAN_SPEC, seed=self.PLAN_SEED),
+            supervision=SupervisionPolicy(backoff_base_s=0.01, timeout_s=30.0),
+        )
+        outcome = runner.run(corpus)
+        payload = {
+            "results": [
+                None if r is None else {"doc_id": r.doc_id, "skew": r.skew_angle}
+                for r in outcome.results
+            ],
+            "failures": [
+                (f.doc_index, f.doc_id, f.error_type) for f in outcome.failures
+            ],
+            "ledger": outcome.supervision.ledger(),
+            "backoff_s": outcome.supervision.backoff_s,
+        }
+        return json.dumps(payload, sort_keys=True).encode()
+
+    def test_supervised_serial_rerun_byte_identical(self):
+        assert self.run_supervised_smoke(workers=1) == self.run_supervised_smoke(workers=1)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_supervised_ledger_parity_serial_vs_parallel(self):
+        assert self.run_supervised_smoke(workers=1) == self.run_supervised_smoke(workers=2)
+
+
 class TestDeterminismAcrossInterpreters:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_hash_seed_independence(self, workers):
