@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke chaos-smoke
+.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke chaos-smoke docs-check
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
@@ -20,7 +20,10 @@ lint-cold:       ## same, but from scratch (ignores and rebuilds the result cach
 contracts:       ## the runtime-contract test subset with contracts forced on
 	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts
 
-bench-smoke:     ## tiny instrumented run; refreshes benchmarks/results/BENCH_pipeline.json
+docs-check:      ## dead intra-repo markdown links + docs/ reachability from README
+	$(PY) tools/docs_check.py
+
+bench-smoke:     ## snapshot refresh + fast-vs-naive cut.decision ledger gate (docs/PERFORMANCE.md)
 	$(PY) -m pytest benchmarks/test_bench_smoke.py -m bench_smoke -q -s
 
 trace-smoke:     ## traced 3-doc extract + schema validation of both exporters

@@ -89,6 +89,18 @@ def _build_supervision(args: argparse.Namespace):
     )
 
 
+def _naive_cuts_config(args: argparse.Namespace):
+    """``VS2Config`` with the prefix-sum cut fast path disabled, or
+    ``None`` when ``--naive-cuts`` was not given (keep defaults)."""
+    if not getattr(args, "naive_cuts", False):
+        return None
+    from repro.core.config import VS2Config
+
+    config = VS2Config()
+    config.segment.fast_cuts = False
+    return config
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     from repro.perf import CorpusRunner
     from repro.synth import generate_corpus
@@ -99,6 +111,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         args.dataset,
         workers=args.workers,
         tracer=tracer,
+        config=_naive_cuts_config(args),
         fault_plan=_build_fault_plan(args),
         supervision=_build_supervision(args),
     )
@@ -144,7 +157,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     tracer = Tracer()
     corpus = generate_corpus(args.dataset, n=args.doc + 1, seed=args.seed)
     doc = corpus[args.doc]
-    pipeline = VS2Pipeline(args.dataset, tracer=tracer)
+    pipeline = VS2Pipeline(args.dataset, config=_naive_cuts_config(args), tracer=tracer)
     with tracer.span("doc", index=args.doc, doc_id=doc.doc_id):
         result = pipeline.run(doc)
     rows = [
@@ -179,13 +192,27 @@ class _Preloaded:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
     from repro.harness import ExperimentContext, timing_table
-    from repro.perf.snapshot import write_snapshot
+    from repro.perf.snapshot import delta_line, load_snapshot, write_snapshot
 
     tracer = _build_tracer(args)
     context = ExperimentContext({args.dataset: args.n}, seed=args.seed)
-    outcome = context.run_pipeline(args.dataset, workers=args.workers, tracer=tracer)
+    outcome = context.run_pipeline(
+        args.dataset, workers=args.workers, tracer=tracer,
+        config=_naive_cuts_config(args),
+    )
     print(timing_table(outcome.metrics, title="Pipeline per-stage timing").format())
+    # One-line drift vs the committed snapshot (read before ``--out``
+    # possibly overwrites the same file).
+    baseline_path = pathlib.Path("benchmarks/results/BENCH_pipeline.json")
+    try:
+        baseline = load_snapshot(baseline_path)
+    except (OSError, ValueError):
+        baseline = None
+    if baseline is not None:
+        print(delta_line(baseline, outcome.metrics))
     for failure in outcome.failures:
         print(f"!! {failure}", file=sys.stderr)
     path = write_snapshot(
@@ -382,6 +409,15 @@ def _dataset_arg(p: argparse.ArgumentParser, default: str = "D2") -> None:
     )
 
 
+def _naive_cuts_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--naive-cuts", action="store_true",
+        help="disable the prefix-sum cut fast path and rescan the grid "
+             "per candidate slope — the A/B reference; decisions are "
+             "byte-identical either way (docs/PERFORMANCE.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the module CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -428,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quarantine-report", metavar="OUT.json", default=None,
         help="write the machine-readable quarantine report here",
     )
+    _naive_cuts_arg(p)
     _add_trace_flags(p)
     p.set_defaults(fn=_cmd_extract)
 
@@ -438,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     _dataset_arg(p)
     p.add_argument("--doc", type=int, default=0, help="document index in the corpus")
     p.add_argument("--seed", type=int, default=0)
+    _naive_cuts_arg(p)
     _add_trace_flags(p)
     p.set_defaults(fn=_cmd_explain)
 
@@ -462,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--out", default="benchmarks/results/BENCH_pipeline.json")
+    _naive_cuts_arg(p)
     _add_trace_flags(p)
     p.set_defaults(fn=_cmd_bench)
 

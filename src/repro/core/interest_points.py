@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.doc.layout_tree import LayoutNode
-from repro.embeddings import WordEmbedding, cosine_similarity, default_embedding
+from repro.embeddings import WordEmbedding, default_embedding
 from repro.optimize import pareto_front
 from repro.trace import Tracer
 
@@ -47,10 +47,17 @@ def semantic_coherence(block: LayoutNode, embedding: WordEmbedding) -> float:
     if len(texts) < 2:
         return 0.0
     vectors = [embedding.embed(t) for t in texts]
+    # Norms hoisted out of the O(n²) pair loop; the inlined expression
+    # mirrors cosine_similarity exactly (same dot, same guards), so the
+    # sum is bitwise identical to the per-pair calls.
+    norms = [float(np.linalg.norm(v)) for v in vectors]
     total = 0.0
     for i in range(len(vectors)):
         for j in range(i + 1, len(vectors)):
-            total += cosine_similarity(vectors[i], vectors[j])
+            na, nb = norms[i], norms[j]
+            if na == 0.0 or nb == 0.0:
+                continue
+            total += float(np.dot(vectors[i], vectors[j]) / (na * nb))
     return total
 
 

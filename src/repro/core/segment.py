@@ -17,7 +17,9 @@ blocks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.contracts import (
     check_cut_sets_in_whitespace,
@@ -35,6 +37,7 @@ from repro.doc.layout_tree import LayoutNode, LayoutTree
 from repro.embeddings import WordEmbedding
 from repro.geometry import BBox, OccupancyGrid, enclosing_bbox
 from repro.geometry.cuts import CutSet, interior_cut_sets
+from repro.geometry.profiles import ProfileStore, RegionProfile
 from repro.instrument import PipelineMetrics
 from repro.resilience.faults import fault_site
 from repro.trace import NULL_TRACER, Tracer
@@ -61,6 +64,10 @@ class VS2Segmenter:
         self.embedding = embedding
         self.metrics = metrics if metrics is not None else PipelineMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Projection-profile store of the most recent :meth:`segment`
+        #: call (``None`` before the first call or with ``fast_cuts``
+        #: off); exposes window/rebuild counters for diagnostics.
+        self.profiles: Optional[ProfileStore] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -82,6 +89,9 @@ class VS2Segmenter:
         else:
             root_box = doc.page_bbox
         root = LayoutNode(bbox=root_box, atoms=atoms, kind="root")
+        # One ProfileStore per segmentation: applies the child-window
+        # memoisation contract and counts window reuses vs rebuilds.
+        self.profiles = ProfileStore() if self.config.fast_cuts else None
         self._recurse(root, depth=0)
         tree = LayoutTree(root)
         if semantic_merging is None:
@@ -108,7 +118,13 @@ class VS2Segmenter:
     # ------------------------------------------------------------------
     # Recursion
     # ------------------------------------------------------------------
-    def _recurse(self, node: LayoutNode, depth: int) -> None:
+    def _recurse(
+        self,
+        node: LayoutNode,
+        depth: int,
+        parent_profile: Optional[RegionProfile] = None,
+        parent_frame: Optional[BBox] = None,
+    ) -> None:
         if depth >= self.config.max_depth:
             return
         if len(node.atoms) < self.config.min_atoms_to_split:
@@ -118,7 +134,7 @@ class VS2Segmenter:
             "segment.cuts", depth=depth
         ):
             fault_site("segment.cuts")
-            groups = self._split_by_cuts(node)
+            groups, profile = self._split_by_cuts(node, parent_profile, parent_frame)
         kind = "cut"
         if groups is None and self.config.use_visual_clustering:
             with self.metrics.stage("segment.cluster"), self.tracer.span(
@@ -138,17 +154,28 @@ class VS2Segmenter:
             node.add_child(child)
         for child in node.children:
             if len(child.atoms) < len(node.atoms):
-                self._recurse(child, depth + 1)
+                self._recurse(child, depth + 1, profile, node.bbox)
 
     # ------------------------------------------------------------------
     # Explicit delimiters
     # ------------------------------------------------------------------
-    def _split_by_cuts(self, node: LayoutNode) -> Optional[List[List[AtomicElement]]]:
+    def _split_by_cuts(
+        self,
+        node: LayoutNode,
+        parent_profile: Optional[RegionProfile] = None,
+        parent_frame: Optional[BBox] = None,
+    ) -> Tuple[Optional[List[List[AtomicElement]]], Optional[RegionProfile]]:
         """Split the area at its accepted visual delimiters.
 
         Both orientations are scanned; the orientation holding the
         widest accepted delimiter wins this iteration (the other one is
         found again at the next recursion level).
+
+        Returns ``(groups, profile)`` — the region's projection profile
+        rides back up so the recursion can offer it to child regions
+        (which window into it when the memoisation contract holds, see
+        :mod:`repro.geometry.profiles`).  ``profile`` is ``None`` on
+        the naive path (``config.fast_cuts`` off).
         """
         frame = node.bbox
         # Atom boxes rebased to the frame: the grid and every cut
@@ -160,11 +187,14 @@ class VS2Segmenter:
             max(frame.h, self.config.cell),
             self.config.cell,
         )
+        profile = None
+        if self.profiles is not None:
+            profile = self.profiles.profile_for(grid, frame, parent_profile, parent_frame)
         text_boxes = [a.bbox.translate(-frame.x, -frame.y) for a in node.atoms if a.is_textual]
         ref_boxes = text_boxes or local_boxes
 
-        h_sets = interior_cut_sets(grid, "horizontal")
-        v_sets = interior_cut_sets(grid, "vertical")
+        h_sets = interior_cut_sets(grid, "horizontal", profile=profile)
+        v_sets = interior_cut_sets(grid, "vertical", profile=profile)
         if contracts_enabled():
             check_cut_sets_in_whitespace(grid, h_sets + v_sets)
         horizontal = identify_visual_delimiters(
@@ -176,7 +206,7 @@ class VS2Segmenter:
             tracer=self.tracer, orientation="vertical",
         )
         if not horizontal and not vertical:
-            return None
+            return None, profile
 
         best_h = max((s.span_units for s in horizontal), default=0.0)
         best_v = max((s.span_units for s in vertical), default=0.0)
@@ -187,8 +217,8 @@ class VS2Segmenter:
 
         groups = self._partition_by_separators(node.atoms, frame, separators, orientation)
         if groups is not None and len(groups) < 2:
-            return None
-        return groups
+            return None, profile
+        return groups, profile
 
     @staticmethod
     def _partition_by_separators(
@@ -197,26 +227,33 @@ class VS2Segmenter:
         separators: Sequence[CutSet],
         orientation: str,
     ) -> Optional[List[List[AtomicElement]]]:
-        """Assign atoms to the bands between separator centre lines."""
+        """Assign atoms to the bands between separator centre lines.
+
+        The band index of an atom is how many centre lines lie above
+        (left of) its centroid — evaluated as one vectorised
+        comparison against the hoisted ``mid + slope·t`` line values
+        (bitwise the same predicate as :meth:`CutSet.line_value_at`
+        per atom, just not recomputed per pair).
+        """
         if not separators:
             return None
         lines = sorted(separators, key=lambda s: s.mid_units)
-
-        def band_of(a: AtomicElement) -> int:
-            cx, cy = a.bbox.centroid
-            if orientation == "horizontal":
-                coordinate, crossing = cy - frame.y, cx - frame.x
-            else:
-                coordinate, crossing = cx - frame.x, cy - frame.y
-            band = 0
-            for line in lines:
-                if coordinate > line.line_value_at(crossing):
-                    band += 1
-            return band
+        mids = np.array([line.mid_units for line in lines])
+        slopes = np.array([line.slope for line in lines])
+        centroids = np.array([a.bbox.centroid for a in atoms])
+        if orientation == "horizontal":
+            coordinate = centroids[:, 1] - frame.y
+            crossing = centroids[:, 0] - frame.x
+        else:
+            coordinate = centroids[:, 0] - frame.x
+            crossing = centroids[:, 1] - frame.y
+        bands = (
+            coordinate[:, None] > mids[None, :] + slopes[None, :] * crossing[:, None]
+        ).sum(axis=1)
 
         groups: dict = {}
-        for atom in atoms:
-            groups.setdefault(band_of(atom), []).append(atom)
+        for atom, band in zip(atoms, bands):
+            groups.setdefault(int(band), []).append(atom)
         ordered = [groups[k] for k in sorted(groups)]
         return [g for g in ordered if g]
 

@@ -15,6 +15,10 @@ This package provides those primitives:
 ``cuts``
     Valid k-hop movements, horizontal/vertical cuts, and grouping of
     consecutive cuts into candidate separators (Fig. 5 of the paper).
+``profiles``
+    Prefix-sum / integral-image whitespace projections — the O(1)
+    per-candidate fast path of the cut search, plus the child-window
+    memoisation contract (``docs/PERFORMANCE.md``).
 """
 
 from repro.geometry.bbox import BBox, Point, enclosing_bbox, pairwise_iou
@@ -27,8 +31,11 @@ from repro.geometry.cuts import (
     has_valid_horizontal_movement,
     has_valid_vertical_movement,
 )
+from repro.geometry.profiles import ProfileStore, RegionProfile
 
 __all__ = [
+    "ProfileStore",
+    "RegionProfile",
     "BBox",
     "Point",
     "enclosing_bbox",

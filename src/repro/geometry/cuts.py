@@ -28,12 +28,17 @@ from __future__ import annotations
 # frame the caller discretised; no frame mixing happens here.
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.geometry.bbox import BBox
 from repro.geometry.grid import OccupancyGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.profiles import RegionProfile
+
+from repro.geometry.profiles import interior_scores_from_flags, runs_of_flags
 
 
 @dataclass(frozen=True)
@@ -245,6 +250,7 @@ def interior_cut_sets(
     orientation: str,
     origin: Tuple[float, float] = (0.0, 0.0),
     slopes: Sequence[float] = DEFAULT_SLOPES,
+    profile: Optional["RegionProfile"] = None,
 ) -> List[CutSet]:
     """Interior cut runs at the dominant slope.
 
@@ -253,7 +259,15 @@ def interior_cut_sets(
     wins — a page rotates as a whole, so one slope per area suffices.
     Margins always admit cuts but never separate content; Algorithm 1
     only reasons about interior separators.
+
+    ``profile`` — a :class:`repro.geometry.profiles.RegionProfile` of
+    the *same* grid — switches to the prefix-sum fast path: identical
+    cut sets (the flags are integer-exact), evaluated in O(1) per
+    candidate instead of rescanning the grid per slope.  Without it
+    the original scan runs (the ``--naive-cuts`` A/B reference).
     """
+    if profile is not None:
+        return _interior_cut_sets_fast(grid, orientation, origin, slopes, profile)
     n = grid.n_rows if orientation == "horizontal" else grid.n_cols
     best: List[CutSet] = []
     best_score = -1
@@ -268,3 +282,42 @@ def interior_cut_sets(
             best = interior
             best_score = score
     return best
+
+
+def _interior_cut_sets_fast(
+    grid: OccupancyGrid,
+    orientation: str,
+    origin: Tuple[float, float],
+    slopes: Sequence[float],
+    profile: "RegionProfile",
+) -> List[CutSet]:
+    """The prefix-sum fast path of :func:`interior_cut_sets`.
+
+    Replicates the naive slope-selection loop exactly (same iteration
+    order, same score, same straighter-slope tie-break — a non-empty
+    run list is equivalent to a positive score) but evaluates every
+    slope's score in one batched integral-image query and materialises
+    runs and :class:`CutSet` objects only for the winning slope.
+    """
+    if (profile.n_rows, profile.n_cols) != (grid.n_rows, grid.n_cols):
+        raise ValueError("profile shape does not match the grid")
+    flags = profile.slope_line_occupancy(orientation, tuple(slopes)) == 0
+    scores = interior_scores_from_flags(flags)
+    best_idx = 0
+    best_score = -1
+    for i, slope in enumerate(slopes):
+        score = int(scores[i])
+        if score > best_score or (
+            score == best_score
+            and best_score > 0
+            and abs(slope) < abs(slopes[best_idx])
+        ):
+            best_idx, best_score = i, score
+    if best_score <= 0:
+        return []
+    n = flags.shape[1]
+    return [
+        CutSet(orientation, start, size, grid.cell, origin, slopes[best_idx])
+        for start, size in runs_of_flags(flags[best_idx])
+        if start > 0 and start + size < n
+    ]

@@ -126,6 +126,7 @@ class ExperimentContext:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         tracer=None,
+        config=None,
     ) -> CorpusRunResult:
         """Run the full VS2 pipeline over one dataset's corpus through
         the instrumented :class:`CorpusRunner`.
@@ -134,7 +135,10 @@ class ExperimentContext:
         either way, per-document failures are isolated, and the run's
         per-stage metrics are folded into :attr:`metrics`.  An optional
         ``tracer`` (:class:`repro.trace.Tracer`) receives the run's
-        span tree and decision events.
+        span tree and decision events; an optional ``config``
+        (:class:`repro.core.config.VS2Config`) overrides the pipeline
+        configuration — ``repro bench --naive-cuts`` uses it to run
+        the A/B reference cut search.
         """
         runner = CorpusRunner(
             dataset,
@@ -142,6 +146,7 @@ class ExperimentContext:
             chunk_size=chunk_size,
             cache=self.cache,
             tracer=tracer,
+            config=config,
         )
         outcome = runner.run(list(self.corpus(dataset)))
         self.metrics.merge(outcome.metrics)

@@ -9,7 +9,10 @@ Three pieces, each usable alone:
   OCR-transcription + deskew step keyed by ``(seed, doc_id)``;
 * :mod:`repro.perf.runner` — :class:`CorpusRunner`, the process-pool
   corpus executor with chunked dispatch, deterministic result ordering
-  and per-document error isolation.
+  and per-document error isolation;
+* :mod:`repro.perf.profiles` — :class:`RegionProfile` /
+  :class:`ProfileStore`, the prefix-sum projection profiles behind the
+  ``segment.cuts`` fast path (see ``docs/PERFORMANCE.md``).
 
 See ``docs/ARCHITECTURE.md`` for where each hooks into the pipeline and
 ``docs/PROFILING.md`` for the operator's view (``--workers`` /
@@ -18,11 +21,15 @@ See ``docs/ARCHITECTURE.md`` for where each hooks into the pipeline and
 
 from repro.perf.cache import TranscriptionCache, transcribe_and_clean
 from repro.perf.metrics import PipelineMetrics, StageStats, StageTimer, merge_all
+from repro.perf.profiles import ProfileStore, RegionProfile
 from repro.perf.runner import CorpusRunError, CorpusRunner, CorpusRunResult, DocumentFailure
-from repro.perf.snapshot import compare, load_snapshot, write_snapshot
+from repro.perf.snapshot import compare, delta_line, load_snapshot, write_snapshot
 
 __all__ = [
+    "ProfileStore",
+    "RegionProfile",
     "compare",
+    "delta_line",
     "load_snapshot",
     "write_snapshot",
     "CorpusRunError",

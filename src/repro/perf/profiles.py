@@ -1,0 +1,18 @@
+"""Perf-layer face of the projection-profile fast path.
+
+The implementation lives in :mod:`repro.geometry.profiles` — the base
+layer — so ``repro.core`` can use it without importing ``repro.perf``
+(the ``LAYER001`` contract), exactly like :mod:`repro.perf.metrics`
+re-exports :mod:`repro.instrument`.  Import from here when writing
+perf tooling; import from ``repro.geometry`` inside the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.profiles import (
+    ProfileStore,
+    RegionProfile,
+    runs_of_flags,
+)
+
+__all__ = ["ProfileStore", "RegionProfile", "runs_of_flags"]

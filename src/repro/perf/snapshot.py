@@ -56,6 +56,34 @@ def metrics_of(snapshot: Dict[str, object]) -> PipelineMetrics:
     return PipelineMetrics.from_dict(snapshot["stages"])  # type: ignore[arg-type]
 
 
+def delta_line(
+    baseline: Dict[str, object],
+    metrics: PipelineMetrics,
+    stages: Optional[List[str]] = None,
+) -> str:
+    """One-line per-stage delta of a live run vs a committed snapshot.
+
+    ``repro bench`` prints this after its table so a run immediately
+    shows its drift against ``benchmarks/results/BENCH_pipeline.json``
+    without a separate compare step.  Top-level stages only by default
+    (sub-stages stay in the table); stages absent from the baseline
+    show as ``new``.
+    """
+    base = metrics_of(baseline).stages
+    if stages is None:
+        stages = sorted(n for n in metrics.stages if "." not in n)
+    parts: List[str] = []
+    for name in stages:
+        c = metrics.stages[name].seconds
+        if name not in base:
+            parts.append(f"{name} {c:.3f}s (new)")
+            continue
+        b = base[name].seconds
+        pct = (c - b) / b * 100.0 if b > 0 else 0.0
+        parts.append(f"{name} {c:.3f}s ({pct:+.0f}%)")
+    return "vs committed baseline: " + ("  ".join(parts) if parts else "(no stages)")
+
+
 def compare(
     baseline: Dict[str, object],
     current: Dict[str, object],

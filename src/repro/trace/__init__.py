@@ -13,7 +13,7 @@ order — it imports nothing from the rest of :mod:`repro` — so
 the ``LAYER001`` rule, and the perf runner can ship span buffers
 across process boundaries without cycles.
 
-Three modules:
+Four modules:
 
 * :mod:`repro.trace.tracer` — :class:`Tracer` (hierarchical spans +
   decision events, thread-safe buffer) and :data:`NULL_TRACER` (the
@@ -24,12 +24,16 @@ Three modules:
   normalisation for byte-identity tests;
 * :mod:`repro.trace.explain` — the human-readable decision report
   behind ``python -m repro explain`` (cut ledger, merge ledger,
-  Pareto table).
+  Pareto table);
+* :mod:`repro.trace.ledger` — the canonical ``cut.decision`` ledger
+  and its diff, the byte-equivalence oracle of the ``segment.cuts``
+  fast path (docs/PERFORMANCE.md).
 
 See ``docs/TRACING.md`` for the span model and event schema.
 """
 
 from repro.trace.explain import collect_events, explain_report
+from repro.trace.ledger import cut_ledger, ledger_diff, ledger_lines
 from repro.trace.export import (
     chrome_trace_events,
     jsonl_lines,
@@ -56,8 +60,11 @@ __all__ = [
     "Tracer",
     "chrome_trace_events",
     "collect_events",
+    "cut_ledger",
     "explain_report",
     "jsonl_lines",
+    "ledger_diff",
+    "ledger_lines",
     "validate_chrome_trace",
     "validate_jsonl",
     "write_chrome_trace",

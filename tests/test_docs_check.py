@@ -1,0 +1,77 @@
+"""The docs hygiene checker (``tools/docs_check.py``): link parsing,
+dead-link detection, README reachability — and the real repo is clean."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import docs_check  # noqa: E402
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_markdown_links_ignore_external_anchors_and_code(tmp_path):
+    md = _write(
+        tmp_path,
+        "a.md",
+        "[ok](docs/x.md#section) and [web](https://example.com) and\n"
+        "[anchor](#local) and [mail](mailto:x@y.z)\n"
+        "```\n[not a link](inside/fence.md)\n```\n"
+        "inline `[also not](inline/code.md)` span\n",
+    )
+    assert docs_check.markdown_links(md) == ["docs/x.md"]
+
+
+def test_check_links_flags_dead_and_escaping_targets(tmp_path):
+    _write(tmp_path, "README.md", "[gone](docs/missing.md) [up](../outside.md)")
+    problems = docs_check.check_links(tmp_path)
+    assert any("dead link: docs/missing.md" in p for p in problems)
+    assert any("escapes the repository" in p for p in problems)
+
+
+def test_check_links_clean_tree(tmp_path):
+    _write(tmp_path, "README.md", "[d](docs/D.md)")
+    _write(tmp_path, "docs/D.md", "[back](../README.md)")
+    assert docs_check.check_links(tmp_path) == []
+
+
+def test_reachability_flags_orphaned_doc(tmp_path):
+    _write(tmp_path, "README.md", "[d](docs/LINKED.md)")
+    _write(tmp_path, "docs/LINKED.md", "no further links")
+    _write(tmp_path, "docs/ORPHAN.md", "nobody links here")
+    problems = docs_check.check_reachability(tmp_path)
+    assert len(problems) == 1
+    assert "ORPHAN.md" in problems[0] and "unreachable" in problems[0]
+
+
+def test_reachability_follows_chains(tmp_path):
+    _write(tmp_path, "README.md", "[a](docs/A.md)")
+    _write(tmp_path, "docs/A.md", "[b](B.md)")
+    _write(tmp_path, "docs/B.md", "leaf")
+    assert docs_check.check_reachability(tmp_path) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    _write(tmp_path, "README.md", "[d](docs/D.md)")
+    _write(tmp_path, "docs/D.md", "ok")
+    assert docs_check.main([str(tmp_path)]) == 0
+    assert "ok" in capsys.readouterr().out
+    _write(tmp_path, "docs/D.md", "[dead](nope.md)")
+    assert docs_check.main([str(tmp_path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_repository_docs_are_clean():
+    """The repo's own documentation passes its own gate."""
+    problems, stats = docs_check.run(REPO_ROOT)
+    assert problems == []
+    assert stats["files"] >= 6  # README + docs/*.md at minimum

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Docs hygiene checker (``make docs-check``).
+
+Two guarantees, both cheap enough for CI:
+
+1. **No dead intra-repo links** — every relative markdown link in the
+   repo's documentation resolves to a file that exists (external
+   ``http(s)``/``mailto`` links and pure ``#anchor`` links are out of
+   scope; fenced code blocks and inline code spans are stripped first,
+   so example snippets cannot false-positive).
+2. **No orphaned docs** — every ``docs/*.md`` is reachable from
+   ``README.md`` by following relative links (a doc nobody links to is
+   a doc nobody reads; new docs must be wired into the tree).
+
+Exit status 0 when clean; 1 with one ``file: message`` line per
+problem — the same contract as the other repo checkers.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+#: ``[text](target)`` — target captured up to the closing paren.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+
+#: Link schemes that are not files in this repository.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Markdown minus fenced blocks and inline code spans."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(_INLINE_CODE.sub("", line))
+    return "\n".join(out)
+
+
+def markdown_links(path: Path) -> List[str]:
+    """Relative (intra-repo) link targets of one markdown file, with
+    anchors stripped; external and anchor-only links are dropped."""
+    links: List[str] = []
+    for target in _LINK.findall(_strip_code(path.read_text(encoding="utf-8"))):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if bare:
+            links.append(bare)
+    return links
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The markdown files under check: root-level ``*.md`` plus
+    everything under ``docs/``."""
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_links(root: Path) -> List[str]:
+    """Dead-link problems, as ``file: message`` strings."""
+    problems: List[str] = []
+    for md in doc_files(root):
+        for target in markdown_links(md):
+            resolved = (md.parent / target).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                problems.append(
+                    f"{md.relative_to(root)}: link escapes the repository: {target}"
+                )
+                continue
+            if not resolved.exists():
+                problems.append(f"{md.relative_to(root)}: dead link: {target}")
+    return problems
+
+
+def reachable_from(root: Path, start: Path) -> set:
+    """Markdown files reachable from ``start`` via relative links."""
+    seen = set()
+    frontier = [start.resolve()]
+    while frontier:
+        current = frontier.pop()
+        if current in seen or not current.exists():
+            continue
+        seen.add(current)
+        if current.suffix.lower() != ".md":
+            continue
+        for target in markdown_links(current):
+            frontier.append((current.parent / target).resolve())
+    return seen
+
+
+def check_reachability(root: Path) -> List[str]:
+    """``docs/*.md`` files no link chain from README.md reaches."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return ["README.md: missing (reachability root)"]
+    seen = reachable_from(root, readme)
+    problems = []
+    docs = root / "docs"
+    if docs.is_dir():
+        for md in sorted(docs.rglob("*.md")):
+            if md.resolve() not in seen:
+                problems.append(
+                    f"{md.relative_to(root)}: unreachable from README.md "
+                    "(add a link from README or another reachable doc)"
+                )
+    return problems
+
+
+def run(root: Path) -> Tuple[List[str], Dict[str, int]]:
+    """All problems plus summary counts."""
+    files = doc_files(root)
+    problems = check_links(root) + check_reachability(root)
+    n_links = sum(len(markdown_links(f)) for f in files)
+    return problems, {"files": len(files), "links": n_links}
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    args = list(argv)
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    problems, stats = run(root)
+    for problem in problems:
+        print(problem)
+    status = "FAIL" if problems else "ok"
+    print(
+        f"docs-check: {status} — {stats['files']} markdown files, "
+        f"{stats['links']} intra-repo links, {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
