@@ -4,18 +4,25 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-cold contracts bench bench-smoke tables trace-smoke chaos-smoke docs-check
+.PHONY: test lint lint-cold lint-flow contracts bench bench-smoke tables trace-smoke chaos-smoke docs-check
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
 	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts
 
 lint:            ## repo-specific static analysis (see docs/STATIC_ANALYSIS.md)
-	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats
+	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats --timings
 
 lint-cold:       ## same, but from scratch (ignores and rebuilds the result cache)
 	rm -f .repro_check_cache.json
-	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats
+	$(PY) -m repro check src tests --cache .repro_check_cache.json --stats --timings
+
+lint-flow:       ## cold+warm flow-analysis round trip; the warm run must build zero CFGs
+	rm -f .lint_flow_cache.json
+	$(PY) -m repro check src tests --cache .lint_flow_cache.json --stats
+	$(PY) -m repro check src tests --cache .lint_flow_cache.json --stats 2>&1 \
+	    | tee /dev/stderr | grep -q "0 CFG(s) built"
+	rm -f .lint_flow_cache.json
 
 contracts:       ## the runtime-contract test subset with contracts forced on
 	REPRO_CONTRACTS=1 $(PY) -m pytest -x -q -m contracts

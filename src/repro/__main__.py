@@ -257,7 +257,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
+def _cmd_figure(args: argparse.Namespace) -> int:  # exc: boundary - CLI surface; injected faults print as tracebacks
     from repro.harness import ExperimentContext, figure3, figure4_and_6
 
     context = ExperimentContext({"D2": max(args.doc_index + 1, 4)}, seed=args.seed)
@@ -383,9 +383,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         s = result.stats
         print(
             f"repro check stats: {s['files']} file(s), {s['parsed']} parsed, "
-            f"{s['cached']} from cache",
+            f"{s['cached']} from cache, {s.get('cfgs', 0)} CFG(s) built",
             file=sys.stderr,
         )
+    if args.timings:
+        print(result.metrics.format_table(title="repro check timings"), file=sys.stderr)
     print(format_json(violations) if args.format == "json" else format_human(violations))
     return 1 if violations else 0
 
@@ -536,7 +538,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rewrite baseline fingerprints after a file rename "
                         "(repeatable), then exit")
     p.add_argument("--stats", action="store_true",
-                   help="print file/parse/cache counters to stderr")
+                   help="print file/parse/cache/CFG counters to stderr")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-stage and per-pass wall time to stderr")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("render", help="rasterise a synthetic document to PPM")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,7 +33,9 @@ from repro.analysis.lint.engine import Violation
 
 #: Bump when the summary schema or violation semantics change shape —
 #: old cache files are then ignored wholesale instead of misread.
-CACHE_SCHEMA = "repro.check.cache/1"
+#: /2: flow-sensitive facts (FlowSummary, typed_calls, pragmas) joined
+#: the summary schema.
+CACHE_SCHEMA = "repro.check.cache/2"
 
 
 def content_hash(data: bytes) -> str:
@@ -104,12 +107,17 @@ class ResultCache:
         }
 
     def save(self) -> None:
+        """Persist atomically: serialise to a sibling tmp file, then
+        ``os.replace`` it over the target.  Concurrent ``repro check``
+        processes saving the same cache each land a complete file —
+        last writer wins — instead of interleaving partial writes into
+        a corrupt one."""
         entries = {
             path: entry
             for path, entry in sorted(self._entries.items())
             if path in self._seen
         }
         payload = {"schema": CACHE_SCHEMA, "entries": entries}
-        self.path.write_text(
-            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)

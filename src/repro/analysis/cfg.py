@@ -1,0 +1,439 @@
+"""Per-function control-flow graphs for the flow-sensitive passes.
+
+The PR 4 index reduced every function to *sets* — calls made, sinks
+hit — which is exactly the information order-insensitive passes need
+and exactly not enough for the concurrency / exception-flow / resource
+questions the serve layer raises: "is the pool created *after* a
+thread started?", "does this handler path reach the next statement
+without recording a failure?", "is there a path from ``open()`` to an
+exit that never closes?".  Those are path questions, so this module
+builds a small statement-level CFG per function:
+
+* one :class:`CFGNode` per simple statement (compound statements
+  contribute their header: an ``if`` test, a loop head, a ``with``
+  item list), plus synthetic ``entry`` / ``exit`` / ``raise-exit`` and
+  join nodes;
+* explicit edges for branches, loops, ``break`` / ``continue`` /
+  ``return``, ``raise`` (to matching enclosing handlers, else to the
+  raise exit) and ``try`` / ``except`` / ``else`` / ``finally``
+  (jumps out of a ``try`` are routed *through* the ``finally`` body);
+* a **guard map**: for every node, the stack of enclosing ``except``
+  clauses (innermost first) with their caught types and whether the
+  handler body re-raises — the exception-flow pass consumes this
+  instead of materialising implicit exception edges for every call.
+
+Deliberate approximations, chosen so the analyses built on top
+under-report rather than invent findings:
+
+* implicit exceptions (any call may raise) do **not** get edges; only
+  explicit ``raise`` statements divert control.  Leak/flow checks
+  therefore reason about normal exits and explicit raises.
+* a jump through nested ``finally`` blocks wires each ``finally`` to
+  the next; the reconverging edges can create paths that no concrete
+  execution takes (a *may* analysis stays sound for reporting, a
+  *must* analysis loses a little precision).
+
+The solver that runs over these graphs lives in
+:mod:`repro.analysis.dataflow`; the per-function fact extraction in
+:mod:`repro.analysis.flow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Exception names a handler clause makes "broad": everything below
+#: ``Exception`` is caught, including the injected fault types.
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+@dataclass
+class HandlerGuard:
+    """One ``except`` clause, as seen by statements inside its ``try``.
+
+    ``types`` holds the dotted source names of the caught exceptions
+    (``[]`` for a bare ``except``); ``broad`` is True for bare /
+    ``Exception`` / ``BaseException`` clauses.  ``reraises`` is True
+    when the handler body contains a ``raise`` that can rethrow the
+    caught exception (a bare ``raise`` or ``raise err`` of the bound
+    name) — such a handler does not *absorb* what it catches.
+    """
+
+    line: int
+    types: List[str] = field(default_factory=list)
+    broad: bool = False
+    reraises: bool = False
+    #: node id of the handler body's entry join, for path analyses.
+    entry: int = -1
+
+
+class CFGNode:
+    """One CFG vertex.  ``stmt`` is the owning AST statement for
+    ``stmt`` nodes and ``None`` for synthetic nodes."""
+
+    __slots__ = ("id", "kind", "stmt", "succs")
+
+    def __init__(self, node_id: int, kind: str, stmt: Optional[ast.stmt] = None):
+        self.id = node_id
+        self.kind = kind  # "entry" | "exit" | "raise-exit" | "stmt" | "join"
+        self.stmt = stmt
+        self.succs: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return f"<CFGNode {self.id} {label} -> {self.succs}>"
+
+
+class CFG:
+    """A built graph plus the lookup tables the analyses share."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry: int = 0
+        self.exit: int = 0
+        self.raise_exit: int = 0
+        #: node id -> enclosing handler guards, innermost first.
+        self.guards: Dict[int, Tuple[HandlerGuard, ...]] = {}
+        #: every handler guard created while building, in source order.
+        self.handlers: List[HandlerGuard] = []
+
+    # -- construction helpers -------------------------------------------
+
+    def add_node(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node.id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+
+    # -- queries --------------------------------------------------------
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for succ in node.succs:
+                preds[succ].append(node.id)
+        return preds
+
+    def reachable_from(self, start: int) -> Set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.nodes[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+@dataclass
+class _FinallyCtx:
+    """A ``finally`` block currently in scope, entered via its join."""
+
+    entry: int
+    #: extra continuations the (not yet built) body must flow to.
+    continuations: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class _LoopCtx:
+    head: int
+    after: int
+    #: finally-stack depth at loop entry: break/continue thread only
+    #: through finallys opened *inside* the loop.
+    finally_depth: int
+
+
+_SIMPLE_STMTS = (
+    ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete,
+    ast.Assert, ast.Pass, ast.Import, ast.ImportFrom, ast.Global,
+    ast.Nonlocal, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+)
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body can rethrow what it caught."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:
+            return True
+        if bound and isinstance(node.exc, ast.Name) and node.exc.id == bound:
+            return True
+        # ``raise Wrapped(...) from err`` replaces the exception type;
+        # it does not count as a rethrow of the caught one.
+    return False
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _handler_types(handler: ast.ExceptHandler) -> Tuple[List[str], bool]:
+    """``(dotted type names, broad)`` for one except clause."""
+    if handler.type is None:
+        return [], True
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: List[str] = []
+    broad = False
+    for expr in exprs:
+        name = _dotted(expr)
+        if name is None:
+            broad = True  # dynamic type expression: assume it catches
+            continue
+        names.append(name)
+        if name.rsplit(".", 1)[-1] in BROAD_EXCEPTIONS:
+            broad = True
+    return names, broad
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.finally_stack: List[_FinallyCtx] = []
+        self.loop_stack: List[_LoopCtx] = []
+        self.guard_stack: List[List[HandlerGuard]] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _node(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node_id = self.cfg.add_node(kind, stmt)
+        guards: List[HandlerGuard] = []
+        for level in reversed(self.guard_stack):
+            guards.extend(level)
+        self.cfg.guards[node_id] = tuple(guards)
+        return node_id
+
+    def _jump_through_finallys(self, src: int, target: int, depth: int = 0) -> None:
+        """Route an abrupt jump through enclosing ``finally`` blocks.
+
+        ``depth`` limits how far out the jump unwinds (break/continue
+        stop at the loop's finally depth; return/raise unwind all).
+        """
+        stack = self.finally_stack[depth:]
+        if not stack:
+            self.cfg.add_edge(src, target)
+            return
+        self.cfg.add_edge(src, stack[-1].entry)
+        for inner, outer in zip(reversed(stack), list(reversed(stack))[1:]):
+            inner.continuations.add(outer.entry)
+        stack[0].continuations.add(target)
+
+    # -- statement dispatch ---------------------------------------------
+
+    def build_body(self, body: Sequence[ast.stmt], current: int) -> int:
+        """Wire ``body`` after node ``current``; returns the fall-through
+        node (``-1`` when every path left abruptly)."""
+        for stmt in body:
+            if current == -1:
+                break  # unreachable code after return/raise/break
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = self._node("stmt", stmt)
+            cfg.add_edge(current, node)
+            self._jump_through_finallys(node, cfg.exit)
+            return -1
+        if isinstance(stmt, ast.Raise):
+            node = self._node("stmt", stmt)
+            cfg.add_edge(current, node)
+            self._wire_raise(node)
+            return -1
+        if isinstance(stmt, ast.Break):
+            node = self._node("stmt", stmt)
+            cfg.add_edge(current, node)
+            if self.loop_stack:
+                loop = self.loop_stack[-1]
+                self._jump_through_finallys(node, loop.after, loop.finally_depth)
+            return -1
+        if isinstance(stmt, ast.Continue):
+            node = self._node("stmt", stmt)
+            cfg.add_edge(current, node)
+            if self.loop_stack:
+                loop = self.loop_stack[-1]
+                self._jump_through_finallys(node, loop.head, loop.finally_depth)
+            return -1
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, current)
+        # Simple statement (nested defs/classes count: the definition
+        # itself executes here; their bodies get their own CFGs).
+        node = self._node("stmt", stmt)
+        cfg.add_edge(current, node)
+        return node
+
+    # -- compound statements --------------------------------------------
+
+    def _wire_raise(self, node: int) -> None:
+        """Edges for an explicit ``raise``: to every enclosing handler
+        that may match, stopping at the first broad level; to the raise
+        exit when nothing is guaranteed to catch; and into the nearest
+        ``finally`` (which runs during unwinding either way)."""
+        cfg = self.cfg
+        caught_for_sure = False
+        for level in reversed(self.guard_stack):
+            for guard in level:
+                if guard.entry >= 0:
+                    cfg.add_edge(node, guard.entry)
+            if any(g.broad for g in level):
+                caught_for_sure = True
+                break
+        if not caught_for_sure:
+            self._jump_through_finallys(node, cfg.raise_exit)
+        elif self.finally_stack:
+            cfg.add_edge(node, self.finally_stack[-1].entry)
+
+    def _build_if(self, stmt: ast.If, current: int) -> int:
+        cfg = self.cfg
+        test = self._node("stmt", stmt)
+        cfg.add_edge(current, test)
+        after = self._node("join")
+        then_end = self.build_body(stmt.body, test)
+        if then_end != -1:
+            cfg.add_edge(then_end, after)
+        if stmt.orelse:
+            else_end = self.build_body(stmt.orelse, test)
+            if else_end != -1:
+                cfg.add_edge(else_end, after)
+        else:
+            cfg.add_edge(test, after)
+        return after if cfg.predecessors()[after] else -1
+
+    def _build_loop(self, stmt, current: int) -> int:
+        cfg = self.cfg
+        head = self._node("stmt", stmt)
+        cfg.add_edge(current, head)
+        after = self._node("join")
+        self.loop_stack.append(_LoopCtx(head, after, len(self.finally_stack)))
+        body_end = self.build_body(stmt.body, head)
+        if body_end != -1:
+            cfg.add_edge(body_end, head)
+        self.loop_stack.pop()
+        if stmt.orelse:
+            else_end = self.build_body(stmt.orelse, head)
+            if else_end != -1:
+                cfg.add_edge(else_end, after)
+        else:
+            cfg.add_edge(head, after)
+        return after
+
+    def _build_with(self, stmt, current: int) -> int:
+        cfg = self.cfg
+        node = self._node("stmt", stmt)
+        cfg.add_edge(current, node)
+        return self.build_body(stmt.body, node)
+
+    def _build_match(self, stmt: ast.Match, current: int) -> int:
+        cfg = self.cfg
+        subject = self._node("stmt", stmt)
+        cfg.add_edge(current, subject)
+        after = self._node("join")
+        cfg.add_edge(subject, after)  # no case may match
+        for case in stmt.cases:
+            end = self.build_body(case.body, subject)
+            if end != -1:
+                cfg.add_edge(end, after)
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: int) -> int:
+        cfg = self.cfg
+        after = self._node("join")
+
+        finally_ctx: Optional[_FinallyCtx] = None
+        if stmt.finalbody:
+            finally_ctx = _FinallyCtx(entry=self._node("join"))
+        cont = finally_ctx.entry if finally_ctx else after
+
+        # Handler guards exist before the body is built so raise
+        # statements (and the guard map) can reference them.
+        guards: List[HandlerGuard] = []
+        for handler in stmt.handlers:
+            types, broad = _handler_types(handler)
+            guard = HandlerGuard(
+                line=handler.lineno,
+                types=types,
+                broad=broad,
+                reraises=_handler_reraises(handler),
+                entry=self._node("join"),
+            )
+            guards.append(guard)
+            cfg.handlers.append(guard)
+
+        if finally_ctx is not None:
+            self.finally_stack.append(finally_ctx)
+        self.guard_stack.append(guards)
+        body_end = self.build_body(stmt.body, current)
+        self.guard_stack.pop()
+
+        if body_end != -1:
+            if stmt.orelse:
+                body_end = self.build_body(stmt.orelse, body_end)
+            if body_end != -1:
+                cfg.add_edge(body_end, cont)
+
+        for guard, handler in zip(guards, stmt.handlers):
+            handler_end = self.build_body(handler.body, guard.entry)
+            if handler_end != -1:
+                cfg.add_edge(handler_end, cont)
+
+        if finally_ctx is not None:
+            self.finally_stack.pop()
+            fin_end = self.build_body(stmt.finalbody, finally_ctx.entry)
+            if fin_end != -1:
+                cfg.add_edge(fin_end, after)
+                for target in finally_ctx.continuations:
+                    cfg.add_edge(fin_end, target)
+        return after
+
+
+#: CFGs built in this process since interpreter start.  The runner
+#: samples it around the per-file stage so ``--stats`` can report how
+#: many CFGs a run actually built — a warm cached run must report 0.
+BUILD_COUNT = 0
+
+
+def build_cfg(func) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    global BUILD_COUNT
+    BUILD_COUNT += 1
+    builder = _Builder()
+    cfg = builder.cfg
+    cfg.entry = cfg.add_node("entry")
+    cfg.exit = cfg.add_node("exit")
+    cfg.raise_exit = cfg.add_node("raise-exit")
+    cfg.guards[cfg.entry] = ()
+    cfg.guards[cfg.exit] = ()
+    cfg.guards[cfg.raise_exit] = ()
+    end = builder.build_body(func.body, cfg.entry)
+    if end != -1:
+        cfg.add_edge(end, cfg.exit)
+    return cfg

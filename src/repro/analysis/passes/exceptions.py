@@ -1,0 +1,207 @@
+"""Exception-flow pass: EXC101–102 over the CFG/dataflow facts.
+
+PR 5's fault-injection layer raises typed ``TransientFault`` /
+``PermanentFault`` deep inside the pipeline stages and contains them at
+the two registered ``ISOLATION_SITES`` (``VS2Pipeline.run`` and the
+supervised worker main).  PR 2's syntactic ``EXC001`` can flag an
+``except Exception: pass`` it can *see*; it cannot answer either of the
+two questions that actually guard the contract:
+
+* **EXC101** — can a typed fault *escape* a public entry point that is
+  not a registered isolation site?  Escape is proven along CFG paths:
+  a ``raise`` escapes its function unless an enclosing handler both
+  matches the type and does not re-raise; an escape propagates to a
+  caller unless the call site sits under a matching handler.
+  Propagation stops at registered isolation sites and at functions
+  audited with a trailing ``# exc: boundary`` pragma; blame lands on
+  call-graph roots (functions no indexed code calls — the API surface).
+* **EXC102** — does a broad handler in failure-handling code have a
+  CFG path that swallows the exception *silently* — no re-raise, no
+  ``DocumentFailure`` recorded, no trace event emitted — before
+  rejoining normal control flow?  The module rule only matches the
+  literal ``except Exception: pass``; the pass proves path-existence
+  through arbitrary handler bodies.  Scoped to modules that deal in
+  ``DocumentFailure`` (they import or define it).
+
+When EXC001 and a flow finding land on the same line the runner keeps
+only the pass finding; historical baselines migrate with
+``repro check --rekey EXC001=EXC101``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+from repro.analysis.passes.flowbase import flow_call_edges
+from repro.resilience.faults import ISOLATION_SITES
+
+#: Exception type leaves the escape analysis tracks.  Leaf-name match,
+#: so fixture trees can define their own stand-ins.
+FAULT_LEAVES = ("TransientFault", "PermanentFault")
+
+
+@register_pass
+class ExceptionFlowPass(Pass):
+    pass_id = "exceptions"
+    rules = {
+        "EXC101": PassRuleDoc(
+            summary="typed faults stay inside registered isolation sites",
+            doc=(
+                "Computes, per function, which injected fault types "
+                "(TransientFault/PermanentFault) can escape along some CFG "
+                "path — a raise escapes unless an enclosing handler matches "
+                "the type without re-raising — then propagates escapes to "
+                "callers whose call sites are not guarded by a matching "
+                "handler.  Propagation stops at the ISOLATION_SITES registry "
+                "(repro.resilience.faults) and at '# exc: boundary' pragmas; "
+                "any call-graph root still reached is an API surface that "
+                "can leak an injected fault to the end user."
+            ),
+            example=(
+                "def cuts(region):                 # called from the CLI\n"
+                "    with fault_site('segment.cuts'):  # may raise TransientFault\n"
+                "        ...\n"
+                "# no handler, no isolation site on the path  <- EXC101 at root"
+            ),
+            fix=(
+                "route the call through VS2Pipeline.run (an isolation site), "
+                "catch the fault types at the boundary, or mark an audited "
+                "entry point with a trailing '# exc: boundary' pragma"
+            ),
+        ),
+        "EXC102": PassRuleDoc(
+            summary="no silent swallow path in failure-handling code",
+            doc=(
+                "For every broad handler (bare except / except Exception) in "
+                "a module that deals in DocumentFailure, checks whether some "
+                "CFG path runs from the handler entry back to normal control "
+                "flow without re-raising, constructing a DocumentFailure, or "
+                "emitting a trace event.  Such a path loses a document "
+                "failure with no record — the corpus report under-counts and "
+                "resume semantics drift.  Unlike EXC001 this follows "
+                "arbitrary handler bodies, not just the literal 'pass'."
+            ),
+            example=(
+                "try:\n"
+                "    result = pipeline.run(doc)\n"
+                "except Exception as err:\n"
+                "    if attempt < 3:\n"
+                "        retry(doc)\n"
+                "    # else: fall through silently   <- EXC102"
+            ),
+            fix=(
+                "record a DocumentFailure (or emit a trace event) on every "
+                "handler path, or re-raise what cannot be handled"
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        yield from self._exc101(index)
+        yield from self._exc102(index)
+
+    # -- EXC101 ---------------------------------------------------------
+
+    def _exc101(self, index: ProjectIndex) -> Iterator[Violation]:
+        edges = flow_call_edges(index)
+
+        def is_site(key: str) -> bool:
+            return key.replace("::", ".") in ISOLATION_SITES
+
+        def is_boundary(key: str) -> bool:
+            fn = index.function(key)
+            return fn is None or fn.exc_boundary or is_site(key)
+
+        # Seed: direct raises whose type survives local handlers.
+        escaping: Dict[str, Dict[str, str]] = {}
+        for key, summary, fn in index.functions():
+            if fn.flow is None or is_boundary(key):
+                continue
+            for resolved, line in fn.flow.raises:
+                leaf = resolved.rsplit(".", 1)[-1]
+                if leaf in FAULT_LEAVES:
+                    escaping.setdefault(key, {})[leaf] = (
+                        f"raised at {summary.display_path}:{line}"
+                    )
+
+        # Fixpoint: escapes propagate caller-wards through unguarded
+        # call sites, stopping at isolation sites and boundaries.
+        via: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in edges.items():
+                if is_boundary(caller):
+                    continue
+                fn = index.function(caller)
+                guarded = dict(fn.flow.guarded_calls) if fn and fn.flow else {}
+                for callee, line in callees:
+                    if is_boundary(callee):
+                        continue
+                    absorbed = set(guarded.get(line, ()))
+                    if "*" in absorbed:
+                        continue
+                    for leaf, origin in escaping.get(callee, {}).items():
+                        if leaf in absorbed:
+                            continue
+                        if leaf not in escaping.setdefault(caller, {}):
+                            escaping[caller][leaf] = origin
+                            via[(caller, leaf)] = (callee, line)
+                            changed = True
+
+        # Blame call-graph roots: escaping functions nothing indexed
+        # calls.  The resilience layer itself is machinery, not surface.
+        called: Set[str] = set()
+        for callees in edges.values():
+            called.update(callee for callee, _line in callees)
+        for key in sorted(escaping):
+            module_name = key.split("::", 1)[0]
+            if key in called or module_name.startswith("repro.resilience"):
+                continue
+            summary = index.modules[module_name]
+            fn = index.function(key)
+            assert fn is not None
+            for leaf in sorted(escaping[key]):
+                hops: List[str] = [key.split("::", 1)[1]]
+                cursor = key
+                while (cursor, leaf) in via and len(hops) < 12:
+                    cursor = via[(cursor, leaf)][0]
+                    hops.append(cursor.split("::", 1)[1])
+                yield Violation(
+                    path=summary.display_path,
+                    line=fn.line,
+                    col=1,
+                    rule="EXC101",
+                    message=(
+                        f"{leaf} can escape {fn.qualname}, which is not a "
+                        f"registered isolation site ({escaping[key][leaf]}, "
+                        f"path {' -> '.join(hops)}); contain it at an "
+                        "isolation site, catch it at this boundary, or mark "
+                        "an audited entry with '# exc: boundary'"
+                    ),
+                )
+
+    # -- EXC102 ---------------------------------------------------------
+
+    def _exc102(self, index: ProjectIndex) -> Iterator[Violation]:
+        for key, summary, fn in index.functions():
+            if fn.flow is None or not fn.flow.swallows:
+                continue
+            if "DocumentFailure" not in summary.defined_names:
+                continue
+            for line in fn.flow.swallows:
+                yield Violation(
+                    path=summary.display_path,
+                    line=line,
+                    col=1,
+                    rule="EXC102",
+                    message=(
+                        f"broad handler in {fn.qualname} has a path that "
+                        "swallows the exception with no DocumentFailure, no "
+                        "re-raise and no trace event; record the failure on "
+                        "every path or re-raise"
+                    ),
+                )

@@ -1,0 +1,109 @@
+"""Shared plumbing for the flow-sensitive pass families.
+
+The CONC/EXC/RSRC passes all consume the same two artefacts:
+
+* the **sharpened call graph** — the PR 4 approximate call graph plus
+  the flow layer's ``typed_calls`` edges (``x = Ctor(); x.meth()`` and
+  ``self.attr.meth()`` receiver typing).  The extra edges live in
+  their own summary field so the PR 4 passes are untouched; the flow
+  passes merge them here.
+* **witness chains** — interprocedural findings must say *how* the
+  property propagates ("pool created via run <- _run_parallel"), so
+  the reachability helpers track parent pointers and render the same
+  ``a <- b <- c`` chains DET101 uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.index import ProjectIndex
+
+
+def flow_call_edges(index: ProjectIndex) -> Dict[str, List[Tuple[str, int]]]:
+    """``caller key -> [(callee key, call line), ...]`` over both the
+    plain and the type-sharpened call edges."""
+    edges: Dict[str, List[Tuple[str, int]]] = {}
+    for key, summary, fn in index.functions():
+        module = summary.module or ""
+        out: List[Tuple[str, int]] = []
+        seen: Set[Tuple[str, int]] = set()
+        for raw, line in list(fn.calls) + list(fn.typed_calls):
+            resolved = index.resolve_call(module, raw)
+            if resolved and resolved != key and (resolved, line) not in seen:
+                seen.add((resolved, line))
+                out.append((resolved, line))
+        edges[key] = out
+    return edges
+
+
+def flow_graph(edges: Dict[str, List[Tuple[str, int]]]) -> Dict[str, List[str]]:
+    return {
+        caller: sorted({callee for callee, _line in callees})
+        for caller, callees in edges.items()
+    }
+
+
+def reach_from(
+    graph: Dict[str, List[str]], roots: Iterable[str]
+) -> Dict[str, Optional[str]]:
+    """Forward BFS: every function reachable from ``roots`` along call
+    edges, mapped to its BFS parent (roots map to ``None``)."""
+    parent: Dict[str, Optional[str]] = {}
+    queue = deque()
+    for root in roots:
+        if root not in parent:
+            parent[root] = None
+            queue.append(root)
+    while queue:
+        key = queue.popleft()
+        for callee in graph.get(key, ()):
+            if callee not in parent:
+                parent[callee] = key
+                queue.append(callee)
+    return parent
+
+
+def reaches_any(
+    graph: Dict[str, List[str]], seeds: Set[str]
+) -> Dict[str, Optional[str]]:
+    """Backward closure: every function from which some ``seed`` is
+    reachable, mapped to the *next hop towards the seed* (seeds map to
+    ``None``).  Follow the pointers to render a witness chain."""
+    reverse: Dict[str, List[str]] = {}
+    for caller, callees in graph.items():
+        for callee in callees:
+            reverse.setdefault(callee, []).append(caller)
+    towards: Dict[str, Optional[str]] = {}
+    queue = deque()
+    for seed in seeds:
+        towards[seed] = None
+        queue.append(seed)
+    while queue:
+        key = queue.popleft()
+        for caller in reverse.get(key, ()):
+            if caller not in towards:
+                towards[caller] = key
+                queue.append(caller)
+    return towards
+
+
+def chain(parent: Dict[str, Optional[str]], key: str) -> str:
+    """Render ``key``'s witness chain as ``leaf <- ... <- root``."""
+    names: List[str] = []
+    cursor: Optional[str] = key
+    while cursor is not None and len(names) < 12:
+        names.append(cursor.split("::", 1)[1])
+        cursor = parent.get(cursor)
+    return " <- ".join(names)
+
+
+def forward_chain(towards: Dict[str, Optional[str]], key: str) -> str:
+    """Render the path from ``key`` towards its seed as ``a -> b -> c``."""
+    names: List[str] = []
+    cursor: Optional[str] = key
+    while cursor is not None and len(names) < 12:
+        names.append(cursor.split("::", 1)[1])
+        cursor = towards.get(cursor)
+    return " -> ".join(names)

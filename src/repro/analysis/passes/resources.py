@@ -1,0 +1,111 @@
+"""Resource-lifecycle pass: RSRC101–102 over the CFG/dataflow facts.
+
+Pools, executors, pipe connections, subprocesses, file handles and
+checkpoint logs all hold OS resources that the long-lived serve layer
+cannot afford to leak — a worker pool that survives an early ``return``
+keeps its forked children alive; a checkpoint log left open loses its
+tail on crash.  Both rules are *path* properties over the per-function
+CFG (``with`` statements and ownership transfers are recognised and
+exempt; explicit-raise unwinding paths are deliberately not blamed):
+
+* **RSRC101** — a locally-acquired resource with some path from the
+  acquisition to the normal exit on which no release method runs
+  (``close``/``shutdown``/``terminate``/``join``/…), proven by a
+  *backward must-release* dataflow analysis.  Resources that escape —
+  returned, yielded, stored on ``self``, passed to another function —
+  transfer ownership and are not tracked.
+* **RSRC102** — a use of a resource (any method that is not a release
+  or a status probe) at a point where a *forward must-closed* analysis
+  proves a ``close``/``shutdown``/``terminate`` already ran on every
+  path — an operation on a dead handle that fails at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+
+@register_pass
+class ResourceLifecyclePass(Pass):
+    pass_id = "resources"
+    rules = {
+        "RSRC101": PassRuleDoc(
+            summary="every acquired resource is released on every path",
+            doc=(
+                "A backward must-release dataflow analysis over the CFG: at "
+                "each acquisition (open(), ProcessPoolExecutor(), "
+                "multiprocessing Pool/Pipe, Popen, CheckpointLog.open) the "
+                "resource must be released on every path to the normal exit. "
+                "with-blocks manage their own lifetime and escaping values "
+                "(returned, yielded, stored, passed on) transfer ownership — "
+                "neither is flagged; explicit-raise unwinding paths are not "
+                "blamed (the analysis under-reports by design)."
+            ),
+            example=(
+                "def flush(path, rows):\n"
+                "    fh = open(path, 'w')\n"
+                "    if not rows:\n"
+                "        return          # <- RSRC101, fh never closed here\n"
+                "    fh.write(render(rows))\n"
+                "    fh.close()"
+            ),
+            fix=(
+                "wrap the resource in a with-block, or release it in a "
+                "try/finally so every path reaches the release"
+            ),
+        ),
+        "RSRC102": PassRuleDoc(
+            summary="no operation on a definitely-released resource",
+            doc=(
+                "A forward must-closed dataflow analysis over the CFG: when "
+                "every path to a statement has already run close()/"
+                "shutdown()/terminate() on a resource, any further method "
+                "call on it (other than releases and status probes like "
+                "is_alive/poll/done) operates on a dead handle and fails at "
+                "runtime — typically only on the error path that reordered "
+                "the teardown."
+            ),
+            example=(
+                "fh = open(path, 'w')\n"
+                "fh.close()\n"
+                "fh.write(tail)      # <- RSRC102, definitely closed"
+            ),
+            fix=(
+                "move the use before the release, or re-acquire the resource "
+                "on the path that needs it"
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        for key, summary, fn in index.functions():
+            if fn.flow is None:
+                continue
+            for line, kind, var in fn.flow.leaks:
+                yield Violation(
+                    path=summary.display_path,
+                    line=line,
+                    col=1,
+                    rule="RSRC101",
+                    message=(
+                        f"{kind} '{var}' acquired in {fn.qualname} has a path "
+                        "to the exit that never releases it; use a with-block "
+                        "or release it in a try/finally"
+                    ),
+                )
+            for line, var, release in fn.flow.use_after_release:
+                yield Violation(
+                    path=summary.display_path,
+                    line=line,
+                    col=1,
+                    rule="RSRC102",
+                    message=(
+                        f"'{var}' is used in {fn.qualname} after every path "
+                        f"has already called .{release}() on it; move the use "
+                        "before the release or re-acquire"
+                    ),
+                )

@@ -14,8 +14,14 @@ One :func:`check_project` call does the whole job:
    Pass findings are never cached — they depend on the whole program.
 4. **Merge**: suppress pass findings on noqa'd lines, drop ``DET1xx``
    findings that duplicate a module-scope ``DET0xx`` hit at the same
-   location (whole-program analysis should only surface what only it
-   can see), sort everything by location.
+   location, and drop syntactic ``EXC001`` hits where a flow-sensitive
+   ``EXC1xx`` finding lands on the same line (whole-program analysis
+   supersedes the module rule there), sort everything by location.
+
+Each stage is timed into a :class:`~repro.instrument.PipelineMetrics`
+(``check.files``, ``check.index``, ``check.pass.<id>``) that the CLI
+renders with ``--timings``; ``stats["cfgs"]`` counts the CFGs built
+this run (a warm cache run must report 0 — CI asserts it).
 
 Unparseable files become ``PARSE001`` findings instead of crashing the
 run.  The result carries the index so the CLI can dump the import/call
@@ -29,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import cfg as _cfg
 from repro.analysis.cache import ResultCache, content_hash, engine_fingerprint
 from repro.analysis.index import ModuleSummary, ProjectIndex, summarize_module
 from repro.analysis.lint import rules as _rules  # noqa: F401  (registers the catalogue)
@@ -40,6 +47,7 @@ from repro.analysis.lint.engine import (
     run_module_rules,
 )
 from repro.analysis.passes import TreeProvider, load_catalogue
+from repro.instrument import PipelineMetrics
 
 #: Synthetic rule for files the parser rejects.
 PARSE_RULE = "PARSE001"
@@ -51,8 +59,10 @@ class CheckResult:
 
     violations: List[Violation] = field(default_factory=list)
     index: ProjectIndex = field(default_factory=lambda: ProjectIndex([]))
-    #: files scanned / parsed this run / served from cache.
+    #: files scanned / parsed this run / served from cache / CFGs built.
     stats: Dict[str, int] = field(default_factory=dict)
+    #: per-stage / per-pass wall time (``check.*`` stage names).
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
 
 
 def _display(path: Path, root: Path) -> str:
@@ -89,11 +99,13 @@ def _analyze_source(
         if rule_ids is None or rule_id in rule_ids
     ]
     violations = run_module_rules(info, active)
+    before = _cfg.BUILD_COUNT
     summary = summarize_module(info)
     return {
         "display": display,
         "summary": summary.to_dict(),
         "violations": [v.to_dict() for v in violations],
+        "cfgs": _cfg.BUILD_COUNT - before,
     }
 
 
@@ -176,54 +188,61 @@ def check_project(
         for rule_id, rule in ALL_RULES.items()
         if active_ids is None or rule_id in active_ids
     ]
+    metrics = PipelineMetrics()
+    cfgs_built = 0
     results: List[Dict[str, object]] = []
-    if jobs > 1 and len(misses) > 1:
-        # Summaries and violations are plain data; they come back over
-        # the pipe, and the passes re-parse the few trees they need.
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_analyze_source, misses))
-    else:
-        # Serial runs keep the parsed trees and lend them to the passes.
-        for path_str, display, source, _ in misses:
-            try:
-                info = ModuleInfo(Path(path_str), source, display)
-            except SyntaxError as exc:
-                violations.append(
-                    Violation(
-                        path=display,
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1,
-                        rule=PARSE_RULE,
-                        message=f"file does not parse: {exc.msg}",
+    with metrics.stage("check.files"):
+        if jobs > 1 and len(misses) > 1:
+            # Summaries and violations are plain data; they come back over
+            # the pipe, and the passes re-parse the few trees they need.
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_analyze_source, misses))
+        else:
+            # Serial runs keep the parsed trees and lend them to the passes.
+            cfg_base = _cfg.BUILD_COUNT
+            for path_str, display, source, _ in misses:
+                try:
+                    info = ModuleInfo(Path(path_str), source, display)
+                except SyntaxError as exc:
+                    violations.append(
+                        Violation(
+                            path=display,
+                            line=exc.lineno or 1,
+                            col=(exc.offset or 0) + 1,
+                            rule=PARSE_RULE,
+                            message=f"file does not parse: {exc.msg}",
+                        )
                     )
-                )
+                    continue
+                parsed_infos[display] = info
+                file_violations = run_module_rules(info, active_rules)
+                summary = summarize_module(info)
+                summaries.append(summary)
+                violations.extend(file_violations)
+                if cache is not None:
+                    cache.put(
+                        display, miss_shas[display], fingerprint, summary, file_violations
+                    )
+            cfgs_built += _cfg.BUILD_COUNT - cfg_base
+
+        for item in results:
+            display = str(item["display"])
+            if "error" in item:
+                violations.append(Violation.from_dict(item["error"]))  # type: ignore[arg-type]
                 continue
-            parsed_infos[display] = info
-            file_violations = run_module_rules(info, active_rules)
-            summary = summarize_module(info)
+            summary = ModuleSummary.from_dict(item["summary"])  # type: ignore[arg-type]
+            file_violations = [Violation.from_dict(v) for v in item["violations"]]  # type: ignore[union-attr]
             summaries.append(summary)
             violations.extend(file_violations)
+            cfgs_built += int(item.get("cfgs", 0))  # type: ignore[arg-type]
             if cache is not None:
-                cache.put(
-                    display, miss_shas[display], fingerprint, summary, file_violations
-                )
-
-    for item in results:
-        display = str(item["display"])
-        if "error" in item:
-            violations.append(Violation.from_dict(item["error"]))  # type: ignore[arg-type]
-            continue
-        summary = ModuleSummary.from_dict(item["summary"])  # type: ignore[arg-type]
-        file_violations = [Violation.from_dict(v) for v in item["violations"]]  # type: ignore[union-attr]
-        summaries.append(summary)
-        violations.extend(file_violations)
-        if cache is not None:
-            cache.put(display, miss_shas[display], fingerprint, summary, file_violations)
+                cache.put(display, miss_shas[display], fingerprint, summary, file_violations)
 
     # ------------------------------------------------------------------
     # Whole-program stage.
     # ------------------------------------------------------------------
-    index = ProjectIndex(summaries)
+    with metrics.stage("check.index"):
+        index = ProjectIndex(summaries)
 
     def _load_tree(display: str) -> Optional[ModuleInfo]:
         path = display_to_path.get(display)
@@ -241,6 +260,7 @@ def check_project(
     module_hit_lines = {
         (v.path, v.line) for v in violations if v.rule.startswith("DET0")
     }
+    pass_findings: List[Violation] = []
     for pass_obj in passes.values():
         pass_rules = [
             rule_id
@@ -249,16 +269,30 @@ def check_project(
         ]
         if not pass_rules:
             continue
-        for v in pass_obj.run(index, trees):
-            if v.rule not in pass_rules:
-                continue
-            # DET1xx only surfaces what module-scope analysis cannot see.
-            if v.rule.startswith("DET1") and (v.path, v.line) in module_hit_lines:
-                continue
-            summary = index.files.get(v.path)
-            if summary is not None and summary.suppressed(v.line, v.rule):
-                continue
-            violations.append(v)
+        with metrics.stage(f"check.pass.{pass_obj.pass_id}"):
+            for v in pass_obj.run(index, trees):
+                if v.rule not in pass_rules:
+                    continue
+                # DET1xx only surfaces what module-scope analysis cannot see.
+                if v.rule.startswith("DET1") and (v.path, v.line) in module_hit_lines:
+                    continue
+                summary = index.files.get(v.path)
+                if summary is not None and summary.suppressed(v.line, v.rule):
+                    continue
+                pass_findings.append(v)
+
+    # The flow-sensitive exception pass supersedes the syntactic EXC001
+    # heuristic where both land on the same line — one finding, the one
+    # with the interprocedural story, instead of two.
+    exc_flow_lines = {
+        (v.path, v.line) for v in pass_findings if v.rule.startswith("EXC1")
+    }
+    violations = [
+        v
+        for v in violations
+        if not (v.rule == "EXC001" and (v.path, v.line) in exc_flow_lines)
+    ]
+    violations.extend(pass_findings)
 
     if cache is not None:
         cache.save()
@@ -269,5 +303,8 @@ def check_project(
         "cached": len(files) - len(misses),
         "cache_hits": cache.hits if cache is not None else 0,
         "cache_misses": cache.misses if cache is not None else 0,
+        "cfgs": cfgs_built,
     }
-    return CheckResult(violations=sorted(violations), index=index, stats=stats)
+    return CheckResult(
+        violations=sorted(violations), index=index, stats=stats, metrics=metrics
+    )

@@ -106,7 +106,7 @@ class VS2Segmenter:
     def logical_blocks(self, doc: Document) -> List[LayoutNode]:
         return self.segment(doc).logical_blocks()
 
-    def block_bboxes(self, doc: Document) -> List[BBox]:
+    def block_bboxes(self, doc: Document) -> List[BBox]:  # exc: boundary - public API; faults propagate unless run supervised
         """Tight boxes of text-bearing logical blocks (the proposals
         Table 5 evaluates)."""
         boxes = []

@@ -228,7 +228,7 @@ def build_faces() -> List[FormFace]:
 _FACES_CACHE: Optional[List[FormFace]] = None
 
 
-def form_faces() -> List[FormFace]:
+def form_faces() -> List[FormFace]:  # conc: ambient - idempotent memo cache, safe to refill per process
     global _FACES_CACHE
     if _FACES_CACHE is None:
         _FACES_CACHE = build_faces()

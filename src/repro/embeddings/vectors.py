@@ -205,7 +205,7 @@ class WordEmbedding:
 _DEFAULT: Optional[WordEmbedding] = None
 
 
-def default_embedding() -> WordEmbedding:
+def default_embedding() -> WordEmbedding:  # conc: ambient - idempotent memo cache, safe to refill per process
     """Process-wide shared default model (cache reuse matters: Eq. 1 is
     evaluated for every node pair at every merge iteration)."""
     global _DEFAULT

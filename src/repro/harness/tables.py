@@ -82,7 +82,7 @@ class _VS2Extractor:
             dataset, config.select, embedding=embedding, metrics=self.metrics
         )
 
-    def extract(self, observed: Document) -> List[Extraction]:
+    def extract(self, observed: Document) -> List[Extraction]:  # exc: boundary - harness adapter; faults propagate unless run supervised
         """Segment + select on an already cleaned document view."""
         with self.metrics.stage("segment") as t:
             blocks = self.segmenter.segment(observed).logical_blocks()

@@ -159,7 +159,7 @@ def _default_factory(
     )
 
 
-def _init_worker(
+def _init_worker(  # conc: ambient - per-process setup is the point of an initializer
     dataset: str,
     config: Optional["VS2Config"],
     factory: Optional[PipelineFactory],

@@ -66,14 +66,19 @@ def delta_line(
     ``repro bench`` prints this after its table so a run immediately
     shows its drift against ``benchmarks/results/BENCH_pipeline.json``
     without a separate compare step.  Top-level stages only by default
-    (sub-stages stay in the table); stages absent from the baseline
-    show as ``new``.
+    (sub-stages stay in the table).  This line is advisory output — it
+    must never crash a bench run, so a requested stage the live run
+    did not record shows as ``(not measured)`` and a stage absent from
+    the committed baseline shows as ``new``.
     """
     base = metrics_of(baseline).stages
     if stages is None:
         stages = sorted(n for n in metrics.stages if "." not in n)
     parts: List[str] = []
     for name in stages:
+        if name not in metrics.stages:
+            parts.append(f"{name} (not measured)")
+            continue
         c = metrics.stages[name].seconds
         if name not in base:
             parts.append(f"{name} {c:.3f}s (new)")

@@ -201,7 +201,7 @@ def _supervised_worker_main(
             factory() if factory is not None else _default_factory(dataset, config, tracer=tracer)
         )
         pipeline.metrics.drain()
-    except BaseException as exc:  # registered isolation site: boot failures are reported, not raised
+    except BaseException as exc:  # noqa: EXC102 - boot failures are reported over the pipe, not raised
         try:
             conn.send(("boot_failed", wid, type(exc).__name__, str(exc)))
         finally:

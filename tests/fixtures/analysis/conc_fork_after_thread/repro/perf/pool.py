@@ -1,0 +1,30 @@
+"""CONC103 fixture: a pool forked after a thread is (transitively)
+started.
+
+``serve`` never mentions ``Thread`` — the start is two calls away in
+``repro.perf.watch`` — so only the combination of the intra-function
+may-happen-before relation and the transitive call-graph facts can see
+the ordering hazard.  ``serve_safe`` creates the pool first.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.perf.watch import start_watcher
+
+
+def serve(docs, run):
+    start_watcher()
+    pool = ProcessPoolExecutor(2)
+    try:
+        return list(pool.map(run, docs))
+    finally:
+        pool.shutdown()
+
+
+def serve_safe(docs, run):
+    pool = ProcessPoolExecutor(2)
+    try:
+        start_watcher()
+        return list(pool.map(run, docs))
+    finally:
+        pool.shutdown()

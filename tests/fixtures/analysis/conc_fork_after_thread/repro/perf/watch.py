@@ -1,0 +1,12 @@
+"""CONC103 fixture: the thread start hides inside a helper."""
+
+from threading import Thread
+
+
+def _poll():
+    return None
+
+
+def start_watcher():
+    t = Thread(target=_poll)
+    t.start()

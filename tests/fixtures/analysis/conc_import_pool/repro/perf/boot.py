@@ -1,0 +1,10 @@
+"""CONC103 fixture: a process pool created while the module imports.
+
+Importing this module forks two children before any caller asked for
+anything — module rules see an assignment, the pass sees an
+import-time conc event.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+POOL = ProcessPoolExecutor(2)

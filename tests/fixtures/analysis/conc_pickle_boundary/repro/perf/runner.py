@@ -1,0 +1,23 @@
+"""CONC102 fixture: a lambda shipped across the process boundary.
+
+``handler`` is bound to a lambda and later submitted to the pool — the
+dispatch pickles it and dies.  A module rule would have to connect the
+binding to the submit through control flow; the forward picklability
+analysis does exactly that.  ``dispatch_ok`` ships a module-level
+function and stays clean.
+"""
+
+
+def _work(doc):
+    return doc
+
+
+def dispatch(pool, docs):
+    handler = lambda doc: doc  # noqa: E731 - the point of the fixture
+    for doc in docs:
+        pool.submit(handler, doc)
+
+
+def dispatch_ok(pool, docs):
+    for doc in docs:
+        pool.submit(_work, doc)

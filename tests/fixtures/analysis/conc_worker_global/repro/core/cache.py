@@ -1,0 +1,14 @@
+"""CONC101 fixture: module-level cache written through a local alias.
+
+``warm_cache`` itself looks innocent to a per-file rule — the write
+goes through ``cache``, a local name — and nothing in *this* file says
+it runs inside a forked worker.  Only the whole-program pass sees both
+facts at once.
+"""
+
+_CACHE = {}
+
+
+def warm_cache(config):
+    cache = _CACHE
+    cache.update(config)

@@ -1,0 +1,7 @@
+"""CONC101 fixture: the worker entry that makes the write reachable."""
+
+from repro.core.cache import warm_cache
+
+
+def _init_worker(config):
+    warm_cache(config)

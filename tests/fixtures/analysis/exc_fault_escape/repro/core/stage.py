@@ -1,0 +1,15 @@
+"""EXC101 fixture: a typed fault raised deep inside a stage.
+
+``TransientFault`` is a stand-in for the injected fault types (the
+pass matches by leaf name so the fixture stays self-contained).
+"""
+
+
+class TransientFault(RuntimeError):
+    pass
+
+
+def cut_region(region):
+    if region is None:
+        raise TransientFault("injected")
+    return region

@@ -1,0 +1,21 @@
+"""EXC101 fixture: two API roots, one leaky and one guarded.
+
+``segment_all`` lets the fault out — it is a call-graph root and not a
+registered isolation site, so the pass blames it with the full path.
+``segment_guarded`` catches the type at the boundary and must stay
+clean: the escape analysis has to respect the handler, not just the
+call edge.
+"""
+
+from repro.core.stage import TransientFault, cut_region
+
+
+def segment_all(regions):
+    return [cut_region(r) for r in regions]
+
+
+def segment_guarded(regions):
+    try:
+        return [cut_region(r) for r in regions]
+    except TransientFault:
+        return []

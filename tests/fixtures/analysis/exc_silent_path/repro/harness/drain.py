@@ -1,0 +1,33 @@
+"""EXC102 fixture: a broad handler that records on one path only.
+
+``drain`` *does* construct a ``DocumentFailure`` — the syntactic RES002
+outcome scan is satisfied — but when the failure list is full the
+handler falls through without recording anything.  Only a
+path-existence proof over the CFG sees the silent branch.  ``drain_ok``
+records on every path and must stay clean.
+"""
+
+
+class DocumentFailure(Exception):
+    pass
+
+
+def drain(run, docs, failures):
+    out = []
+    for doc in docs:
+        try:
+            out.append(run(doc))
+        except Exception as exc:
+            if len(failures) < 10:
+                failures.append(DocumentFailure(doc, exc))
+    return out
+
+
+def drain_ok(run, docs, failures):
+    out = []
+    for doc in docs:
+        try:
+            out.append(run(doc))
+        except Exception as exc:
+            failures.append(DocumentFailure(doc, exc))
+    return out

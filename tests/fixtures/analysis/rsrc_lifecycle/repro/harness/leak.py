@@ -1,0 +1,27 @@
+"""RSRC101 fixture: a file handle with one leaking path.
+
+``flush_rows`` closes on the long path but the early ``return`` leaks
+the handle — a path property, invisible to any single-statement rule.
+``flush_rows_safe`` (with-block) and ``open_log`` (ownership transfer
+via return) must stay clean.
+"""
+
+
+def flush_rows(path, rows):
+    fh = open(path, "w")
+    if not rows:
+        return 0
+    fh.write("\n".join(rows))
+    fh.close()
+    return len(rows)
+
+
+def flush_rows_safe(path, rows):
+    with open(path, "w") as fh:
+        if rows:
+            fh.write("\n".join(rows))
+    return len(rows)
+
+
+def open_log(path):
+    return open(path, "a")

@@ -1,0 +1,9 @@
+"""RSRC102 fixture: writing to a handle every path already closed."""
+
+
+def write_tail(path, head, tail):
+    fh = open(path, "w")
+    fh.write(head)
+    fh.close()
+    fh.write(tail)
+    return path

@@ -1,0 +1,368 @@
+"""Unit tests for the flow engine itself: the CFG builder
+(repro.analysis.cfg), the generic worklist solver
+(repro.analysis.dataflow), and the per-function FlowSummary facts
+(repro.analysis.flow) — independent of the passes built on top
+(those are covered in tests/test_analysis_passes.py).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import cfg as cfgmod
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import (
+    TOP,
+    IntersectLattice,
+    MapLattice,
+    UnionLattice,
+    solve_backward,
+    solve_forward,
+)
+from repro.analysis.index import summarize_module
+from repro.analysis.lint.engine import ModuleInfo
+
+
+def fn_cfg(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def stmt_node(cfg: CFG, stmt_type, *, calling: str = None):
+    """The unique stmt node of the given AST type (optionally the one
+    whose statement calls the named function)."""
+    hits = []
+    for node in cfg.stmt_nodes():
+        if not isinstance(node.stmt, stmt_type):
+            continue
+        if calling is not None and f"id='{calling}'" not in ast.dump(node.stmt):
+            continue
+        hits.append(node)
+    assert len(hits) == 1, hits
+    return hits[0]
+
+
+class TestCFGBuilder:
+    def test_linear_body_chains_entry_to_exit(self):
+        cfg = fn_cfg(
+            """
+            def f(x):
+                y = x + 1
+                return y
+            """
+        )
+        assert len(cfg.stmt_nodes()) == 2
+        assert cfg.exit in cfg.reachable_from(cfg.entry)
+        assert cfg.raise_exit not in cfg.reachable_from(cfg.entry)
+
+    def test_if_diamond_reconverges(self):
+        cfg = fn_cfg(
+            """
+            def f(x):
+                if x:
+                    a()
+                else:
+                    b()
+                c()
+            """
+        )
+        for name in ("a", "b"):
+            branch = stmt_node(cfg, ast.Expr, calling=name)
+            assert stmt_node(cfg, ast.Expr, calling="c").id in cfg.reachable_from(
+                branch.id
+            )
+
+    def test_loop_has_back_edge_and_after_join(self):
+        cfg = fn_cfg(
+            """
+            def f(items):
+                for item in items:
+                    work(item)
+                done()
+            """
+        )
+        head = stmt_node(cfg, ast.For)
+        body = stmt_node(cfg, ast.Expr, calling="work")
+        assert head.id in cfg.reachable_from(body.id)  # back edge
+        assert stmt_node(cfg, ast.Expr, calling="done").id in cfg.reachable_from(
+            head.id
+        )
+
+    def test_return_routes_through_finally(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                try:
+                    return 1
+                finally:
+                    cleanup()
+            """
+        )
+        ret = stmt_node(cfg, ast.Return)
+        cleanup = stmt_node(cfg, ast.Expr, calling="cleanup")
+        assert cfg.exit not in ret.succs  # no shortcut around the finally
+        assert cleanup.id in cfg.reachable_from(ret.id)
+        assert cfg.exit in cfg.reachable_from(cleanup.id)
+
+    def test_raise_edges_to_matching_handler(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                try:
+                    raise ValueError("x")
+                except ValueError:
+                    handle()
+            """
+        )
+        raise_node = stmt_node(cfg, ast.Raise)
+        (guard,) = cfg.handlers
+        assert guard.types == ["ValueError"] and not guard.broad
+        assert guard.entry in raise_node.succs
+        handler = stmt_node(cfg, ast.Expr, calling="handle")
+        assert handler.id in cfg.reachable_from(raise_node.id)
+
+    def test_unguarded_raise_reaches_only_raise_exit(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                raise RuntimeError("boom")
+            """
+        )
+        raise_node = stmt_node(cfg, ast.Raise)
+        assert cfg.raise_exit in cfg.reachable_from(raise_node.id)
+        assert cfg.exit not in cfg.reachable_from(cfg.entry)
+
+    def test_guard_map_is_innermost_first(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                try:
+                    try:
+                        work()
+                    except ValueError:
+                        pass
+                except Exception:
+                    pass
+            """
+        )
+        node = stmt_node(cfg, ast.Expr, calling="work")
+        inner, outer = cfg.guards[node.id]
+        assert inner.types == ["ValueError"] and not inner.broad
+        assert outer.broad
+
+    def test_handler_reraise_detection(self):
+        cfg = fn_cfg(
+            """
+            def f():
+                try:
+                    work()
+                except ValueError as err:
+                    raise
+                except KeyError as err:
+                    raise err
+                except TypeError as err:
+                    raise Wrapped("ctx") from err
+            """
+        )
+        bare, bound, wrapped = cfg.handlers
+        assert bare.reraises and bound.reraises
+        assert not wrapped.reraises  # raising a *new* type absorbs the old
+
+    def test_build_count_increments(self):
+        before = cfgmod.BUILD_COUNT
+        fn_cfg("def f():\n    pass\n")
+        assert cfgmod.BUILD_COUNT == before + 1
+
+
+def diamond():
+    """entry -> a | b -> join -> exit, the smallest interesting shape."""
+    cfg = CFG()
+    cfg.entry = cfg.add_node("entry")
+    cfg.exit = cfg.add_node("exit")
+    cfg.raise_exit = cfg.add_node("raise-exit")
+    a = cfg.add_node("join")
+    b = cfg.add_node("join")
+    join = cfg.add_node("join")
+    cfg.add_edge(cfg.entry, a)
+    cfg.add_edge(cfg.entry, b)
+    cfg.add_edge(a, join)
+    cfg.add_edge(b, join)
+    cfg.add_edge(join, cfg.exit)
+    return cfg, a, b, join
+
+
+class TestSolver:
+    def test_forward_union_joins_both_branches(self):
+        cfg, a, b, join = diamond()
+        labels = {a: "from-a", b: "from-b"}
+
+        def transfer(node, fact):
+            extra = labels.get(node)
+            return fact | {extra} if extra else fact
+
+        facts = solve_forward(cfg, UnionLattice(), transfer, frozenset())
+        assert facts[join] == {"from-a", "from-b"}
+
+    def test_transfers_run_even_when_entry_fact_is_bottom(self):
+        """Regression: with entry_fact == bottom (an empty alias map),
+        the join at the first successor produces no *change*, so a
+        change-only worklist would never run any transfer and the
+        whole analysis silently computed nothing."""
+        cfg, a, b, join = diamond()
+
+        def transfer(node, fact):
+            if node == a:
+                return {**fact, "cache": "_CACHE"}
+            return fact
+
+        facts = solve_forward(cfg, MapLattice(), transfer, {})
+        assert facts[join] == {"cache": "_CACHE"}
+
+    def test_map_lattice_drops_conflicting_keys(self):
+        cfg, a, b, join = diamond()
+        binding = {a: "_CACHE", b: "_OTHER"}
+
+        def transfer(node, fact):
+            if node in binding:
+                return {**fact, "x": binding[node]}
+            return fact
+
+        facts = solve_forward(cfg, MapLattice(), transfer, {})
+        assert "x" not in facts[join]  # branches disagree -> unknown
+
+    def test_intersect_lattice_is_a_must_analysis(self):
+        cfg, a, b, join = diamond()
+
+        def transfer(node, fact):
+            acquired = fact if fact != TOP else frozenset()
+            if node == a:
+                return acquired | {"closed"}
+            return acquired
+
+        facts = solve_forward(
+            cfg, IntersectLattice(), transfer, frozenset({"held"})
+        )
+        # "closed" holds on the a-branch only, so not at the join;
+        # "held" holds on every path.
+        assert facts[join] == {"held"}
+        lattice = IntersectLattice()
+        assert lattice.join(TOP, frozenset({"x"})) == {"x"}
+
+    def test_backward_propagates_against_edges(self):
+        cfg = CFG()
+        cfg.entry = cfg.add_node("entry")
+        cfg.exit = cfg.add_node("exit")
+        cfg.raise_exit = cfg.add_node("raise-exit")
+        mid = cfg.add_node("join")
+        cfg.add_edge(cfg.entry, mid)
+        cfg.add_edge(mid, cfg.exit)
+        facts = solve_backward(
+            cfg, UnionLattice(), lambda node, fact: fact, frozenset({"live"})
+        )
+        assert facts[mid] == {"live"}
+        assert facts[cfg.entry] == {"live"}
+        assert facts[cfg.raise_exit] == frozenset()  # raise exit not seeded
+
+
+def flow_of(tmp_path: Path, rel: str, source: str, qualname: str):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    source = textwrap.dedent(source)
+    path.write_text(source)
+    summary = summarize_module(ModuleInfo(path, source, rel))
+    return summary.functions[qualname].flow
+
+
+class TestFlowSummary:
+    def test_alias_write_to_module_state(self, tmp_path):
+        flow = flow_of(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            _CACHE = {}
+
+            def warm(config):
+                cache = _CACHE
+                cache.update(config)
+            """,
+            "warm",
+        )
+        assert any(name == "_CACHE" for name, _line, _how in flow.global_writes)
+
+    def test_guarded_call_absorbs_named_type(self, tmp_path):
+        flow = flow_of(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            def safe(region):
+                try:
+                    return risky(region)
+                except ValueError:
+                    return None
+            """,
+            "safe",
+        )
+        assert any("ValueError" in types for _line, types in flow.guarded_calls)
+        assert not flow.raises
+
+    def test_leak_on_early_return_path_only(self, tmp_path):
+        flow = flow_of(
+            tmp_path,
+            "repro/harness/mod.py",
+            """
+            def leaky(path, rows):
+                fh = open(path, "w")
+                if not rows:
+                    return 0
+                fh.write(str(rows))
+                fh.close()
+                return len(rows)
+            """,
+            "leaky",
+        )
+        assert flow.leaks
+        clean = flow_of(
+            tmp_path,
+            "repro/harness/ok.py",
+            """
+            def fine(path, rows):
+                with open(path, "w") as fh:
+                    fh.write(str(rows))
+                return len(rows)
+            """,
+            "fine",
+        )
+        assert clean is None or not clean.leaks
+
+    def test_use_after_definite_release(self, tmp_path):
+        flow = flow_of(
+            tmp_path,
+            "repro/harness/mod.py",
+            """
+            def tail(path, line):
+                fh = open(path, "a")
+                fh.close()
+                fh.write(line)
+            """,
+            "tail",
+        )
+        assert any(var == "fh" for _line, var, _kind in flow.use_after_release)
+
+    def test_summary_round_trips_through_dict(self, tmp_path):
+        flow = flow_of(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            _STATE = {}
+
+            def churn(path):
+                _STATE["k"] = path
+                fh = open(path)
+                return fh.read()
+            """,
+            "churn",
+        )
+        rebuilt = type(flow).from_dict(flow.to_dict())
+        assert rebuilt.to_dict() == flow.to_dict()

@@ -11,6 +11,7 @@ serial output byte for byte) and the new ``repro check`` CLI surface
 from __future__ import annotations
 
 import json
+import multiprocessing
 import time
 from pathlib import Path
 
@@ -21,6 +22,13 @@ from repro.analysis.cache import CACHE_SCHEMA, ResultCache, engine_fingerprint
 from repro.analysis.index import ModuleSummary, ProjectIndex, summarize_module
 from repro.analysis.lint.engine import ModuleInfo, rekey_baseline, write_baseline
 from repro.analysis.runner import check_project
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_check_with_cache(tree: Path, root: Path, cache: Path) -> None:
+    """Child-process body for the concurrent cache-save race test."""
+    check_project([tree], root=root, cache_path=cache)
 
 
 def make_summary(tmp_path: Path, rel: str, source: str) -> ModuleSummary:
@@ -258,6 +266,50 @@ class TestResultCache:
         assert cache.get("x.py", "sha1", "other-fp") is None
         assert cache.get("x.py", "sha1", "fp") is not None
 
+    def test_warm_run_rebuilds_zero_cfgs(self, tmp_path):
+        """The whole point of caching FlowSummary facts: a warm run
+        serves every function's flow facts from the cache and never
+        touches the CFG builder (CI asserts this via --stats)."""
+        tree = write_tree(tmp_path, n=6)
+        cache = tmp_path / "cache.json"
+        cold = check_project([tree], root=tmp_path, cache_path=cache)
+        assert cold.stats["cfgs"] > 0
+        warm = check_project([tree], root=tmp_path, cache_path=cache)
+        assert warm.stats["cfgs"] == 0
+        assert warm.violations == cold.violations
+
+    def test_parallel_run_counts_cfgs_from_workers(self, tmp_path):
+        tree = write_tree(tmp_path, n=6)
+        serial = check_project([tree], root=tmp_path, jobs=1)
+        parallel = check_project([tree], root=tmp_path, jobs=2)
+        assert parallel.stats["cfgs"] == serial.stats["cfgs"] > 0
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_concurrent_saves_never_corrupt_the_cache(self, tmp_path):
+        """Two ``repro check --cache`` processes racing on the same
+        cache file must each land a complete file (atomic tmp-file
+        rename, last writer wins) — never an interleaved corrupt one."""
+        tree = write_tree(tmp_path, n=12)
+        cache = tmp_path / "cache.json"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(
+                target=_run_check_with_cache, args=(tree, tmp_path, cache)
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs)
+        data = json.loads(cache.read_text())
+        assert data["schema"] == CACHE_SCHEMA and len(data["entries"]) == 12
+        # No orphaned tmp files, and the survivor is fully warm.
+        assert list(tmp_path.glob("cache.json.*.tmp")) == []
+        warm = check_project([tree], root=tmp_path, cache_path=cache)
+        assert warm.stats["cached"] == 12 and warm.stats["cfgs"] == 0
+
 
 class TestParallelParity:
     def test_jobs_two_matches_serial_output(self, tmp_path):
@@ -330,6 +382,26 @@ class TestCli:
             ["check", str(tmp_path), "--cache", str(cache), "--no-cache", "--stats"]
         ) == 0
         assert "0 from cache" in capsys.readouterr().err
+
+    def test_stats_reports_cfg_counter(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def f(x):\n    return x + 1\n")
+        cache = tmp_path / "c.json"
+        assert repro_main(
+            ["check", str(tmp_path), "--cache", str(cache), "--stats"]
+        ) == 0
+        assert "1 CFG(s) built" in capsys.readouterr().err
+        assert repro_main(
+            ["check", str(tmp_path), "--cache", str(cache), "--stats"]
+        ) == 0
+        assert "0 CFG(s) built" in capsys.readouterr().err
+
+    def test_timings_flag_prints_stage_table(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("def f(x):\n    return x\n")
+        assert repro_main(["check", str(tmp_path), "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "repro check timings" in err
+        assert "check.files" in err and "check.index" in err
+        assert "check.pass.concurrency" in err
 
     def test_jobs_flag(self, tmp_path, capsys):
         (tmp_path / "a.py").write_text("x = 1\n")

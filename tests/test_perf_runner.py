@@ -17,6 +17,7 @@ from repro.perf import (
     PipelineMetrics,
     TranscriptionCache,
     compare,
+    delta_line,
     load_snapshot,
     write_snapshot,
 )
@@ -433,3 +434,21 @@ class TestSnapshots:
         assert snap["schema"] == "repro.bench.pipeline/2"
         assert "hist" in snap["stages"]["segment"]
         assert snap["stages"]["segment"]["max_seconds"] == pytest.approx(0.025)
+
+    def test_delta_line_degrades_on_missing_stages(self, tmp_path):
+        """The advisory drift line never raises: a stage the live run
+        didn't record shows '(not measured)', a stage the committed
+        baseline lacks shows '(new)'."""
+        base, curr = PipelineMetrics(), PipelineMetrics()
+        base.record("segment", 1.0)
+        curr.record("segment", 1.1)
+        curr.record("select", 0.2)
+        snap = load_snapshot(write_snapshot(tmp_path / "base.json", base))
+        line = delta_line(snap, curr, stages=["segment", "select", "ocr"])
+        assert "segment 1.100s (+10%)" in line
+        assert "select 0.200s (new)" in line
+        assert "ocr (not measured)" in line
+
+    def test_delta_line_empty_inputs(self, tmp_path):
+        snap = load_snapshot(write_snapshot(tmp_path / "e.json", PipelineMetrics()))
+        assert delta_line(snap, PipelineMetrics()).endswith("(no stages)")
