@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-cold lint-flow contracts bench bench-smoke tables trace-smoke chaos-smoke docs-check
+.PHONY: test lint lint-cold lint-flow contracts bench bench-smoke tables trace-smoke chaos-smoke metrics-smoke docs-check
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
@@ -44,6 +44,16 @@ trace-smoke:     ## traced 3-doc extract + schema validation of both exporters
 
 chaos-smoke:     ## supervised 20-doc corpus under a canned hang+crash+poison+flaky FaultPlan
 	$(PY) -m pytest tests/test_resilience.py -m chaos_smoke -q
+
+metrics-smoke:   ## metric-exporting bench + Prometheus parse + SLO-gated run-health verdict
+	$(PY) -m repro bench --dataset D2 --n 4 --seed 0 \
+	    --out /tmp/repro_metrics_smoke.json \
+	    --metrics /tmp/repro_metrics_smoke.prom \
+	    --metrics-jsonl /tmp/repro_metrics_smoke.jsonl > /dev/null
+	$(PY) -c "from repro.obs import validate_prometheus; \
+	    n = validate_prometheus('/tmp/repro_metrics_smoke.prom'); \
+	    print(f'metrics-smoke: prometheus exposition ok ({n} samples)')"
+	$(PY) -m repro report --dataset D2
 
 bench:           ## same snapshot via the CLI, tunable (N=…, WORKERS=…, DATASET=…)
 	$(PY) -m repro bench --dataset $(or $(DATASET),D2) --n $(or $(N),8) \

@@ -128,3 +128,35 @@ def test_bench_smoke_pipeline(results_dir):
         "bench_smoke",
         timing_table(outcome.metrics, title="Pipeline per-stage timing (smoke)").format(),
     )
+
+    # Run-health gate: append this run to the bench history and judge
+    # it against the recorded trajectory (docs/OBSERVABILITY.md).  With
+    # too little history the verdict passes vacuously, so a fresh
+    # checkout is never blocked.
+    from repro.obs import (
+        append_history,
+        evaluate,
+        format_verdict,
+        history_record,
+        load_history,
+    )
+
+    history_path = results_dir / "BENCH_history.jsonl"
+    append_history(
+        history_path,
+        history_record(
+            outcome.metrics,
+            dataset="D2",
+            n_docs=SMOKE_DOCS,
+            workers=SMOKE_WORKERS,
+            seed=0,
+            failures=len(outcome.failures),
+        ),
+    )
+    records = [
+        r for r in load_history(history_path)
+        if r.get("meta", {}).get("dataset") == "D2"
+    ]
+    verdict = evaluate(records[-1], records[:-1][-20:])
+    save_result(results_dir, "bench_smoke_health", format_verdict(verdict))
+    assert verdict.ok, "run-health SLO verdict failed:\n" + format_verdict(verdict)

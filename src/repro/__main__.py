@@ -16,11 +16,20 @@ Commands
 ``table``     regenerate one of the paper's tables (2, 5, 6, 7, 8, 9)
 ``figure``    regenerate Fig. 3 or Figs. 4/6
 ``render``    rasterise a synthetic document to a PPM image
-``bench``     run a corpus through the instrumented parallel runner and
-              write a ``BENCH_pipeline.json`` timing snapshot
+``bench``     run a corpus through the instrumented parallel runner,
+              write a ``BENCH_pipeline.json`` timing snapshot and
+              append a run record to ``BENCH_history.jsonl``
+``report``    judge the latest bench record against the committed
+              history with the declarative SLO rules and print the
+              pass/fail verdict table (non-zero exit on failure;
+              docs/OBSERVABILITY.md)
 ``check``     run the repo's static-analysis rules (determinism,
               layering, coordinate-frame hygiene) over source trees;
               see docs/STATIC_ANALYSIS.md
+
+``extract`` and ``bench`` also take ``--metrics OUT.prom`` /
+``--metrics-jsonl OUT.jsonl`` (labeled metric-registry exports) and
+``--flame OUT.txt`` (collapsed-stack flamegraph of the run's trace).
 """
 
 from __future__ import annotations
@@ -31,13 +40,16 @@ import sys
 
 
 def _build_tracer(args: argparse.Namespace):
-    """The tracer for a CLI run: real when any --trace flag was given,
-    the shared no-op otherwise."""
+    """The tracer for a CLI run: real when any --trace/--flame flag was
+    given, the shared no-op otherwise."""
     from repro.trace import NULL_TRACER, Tracer
 
-    if getattr(args, "trace", None) or getattr(args, "trace_jsonl", None):
-        return Tracer()
-    return NULL_TRACER
+    wants = (
+        getattr(args, "trace", None)
+        or getattr(args, "trace_jsonl", None)
+        or getattr(args, "flame", None)
+    )
+    return Tracer() if wants else NULL_TRACER
 
 
 def _export_trace(tracer, args: argparse.Namespace) -> None:
@@ -52,6 +64,28 @@ def _export_trace(tracer, args: argparse.Namespace) -> None:
     if getattr(args, "trace_jsonl", None):
         path = write_jsonl(args.trace_jsonl, roots)
         print(f"wrote {path} (JSONL event log)")
+    if getattr(args, "flame", None):
+        from repro.obs import critical_path_lines, write_flamegraph
+
+        path = write_flamegraph(args.flame, roots)
+        print(f"wrote {path} (collapsed stacks; feed to flamegraph.pl/speedscope)")
+        lines = critical_path_lines(roots)
+        if lines:
+            print("critical path:")
+            for line in lines:
+                print(f"  {line}")
+
+
+def _export_metrics(registry, args: argparse.Namespace) -> None:
+    """Write the run registry wherever --metrics/--metrics-jsonl point."""
+    from repro.obs import write_metrics_jsonl, write_prometheus
+
+    if getattr(args, "metrics", None):
+        path = write_prometheus(args.metrics, registry)
+        print(f"wrote {path} (Prometheus text exposition)")
+    if getattr(args, "metrics_jsonl", None):
+        path = write_metrics_jsonl(args.metrics_jsonl, registry)
+        print(f"wrote {path} (metric-registry JSONL dump)")
 
 
 def _build_fault_plan(args: argparse.Namespace):
@@ -144,6 +178,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(outcome.metrics.format_table())
+    _export_metrics(outcome.registry, args)
     _export_trace(tracer, args)
     return 1 if len(outcome.failures) == len(corpus) and len(corpus) else 0
 
@@ -225,8 +260,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         failures=len(outcome.failures),
     )
     print(f"wrote {path}")
+    if args.history:
+        from repro.obs import append_history, history_record
+
+        record = history_record(
+            outcome.metrics,
+            dataset=args.dataset,
+            n_docs=args.n,
+            workers=args.workers,
+            seed=args.seed,
+            failures=len(outcome.failures),
+        )
+        history_path = append_history(args.history, record)
+        print(f"appended run record to {history_path}")
+    _export_metrics(outcome.registry, args)
     _export_trace(tracer, args)
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Judge the newest bench history record against the rest."""
+    from repro.obs import evaluate, format_verdict, load_history
+
+    try:
+        records = load_history(args.history)
+    except ValueError as exc:
+        print(f"!! {exc}", file=sys.stderr)
+        return 2
+    if args.dataset:
+        records = [
+            r for r in records
+            if r.get("meta", {}).get("dataset") == args.dataset
+        ]
+    if not records:
+        print(f"no bench history records in {args.history}; run `repro bench` first",
+              file=sys.stderr)
+        return 2
+    current, history = records[-1], records[:-1]
+    if args.window and args.window > 0:
+        history = history[-args.window:]
+    meta = current.get("meta", {})
+    print(
+        f"run health report — {meta.get('dataset', '?')} "
+        f"n={meta.get('n_docs', '?')} workers={meta.get('workers', '?')} "
+        f"(latest of {len(records)} record(s) in {args.history})"
+    )
+    verdict = evaluate(current, history)
+    print(format_verdict(verdict))
+    return 0 if verdict.ok else 1
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -403,6 +484,22 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics", metavar="OUT.prom", default=None,
+        help="write the run's metric registry as Prometheus text exposition",
+    )
+    p.add_argument(
+        "--metrics-jsonl", metavar="OUT.jsonl", default=None,
+        help="write the run's metric registry as a JSONL dump",
+    )
+    p.add_argument(
+        "--flame", metavar="OUT.txt", default=None,
+        help="write a collapsed-stack flamegraph of the run's trace and "
+             "print its critical path (implies tracing)",
+    )
+
+
 def _dataset_arg(p: argparse.ArgumentParser, default: str = "D2") -> None:
     p.add_argument(
         "--dataset", choices=["D1", "D2", "D3"], default=default,
@@ -468,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _naive_cuts_arg(p)
     _add_trace_flags(p)
+    _add_metrics_flags(p)
     p.set_defaults(fn=_cmd_extract)
 
     p = sub.add_parser(
@@ -502,9 +600,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--out", default="benchmarks/results/BENCH_pipeline.json")
+    p.add_argument(
+        "--history", default="benchmarks/results/BENCH_history.jsonl",
+        help="JSONL run-history log this bench appends to "
+             "(empty string disables the append)",
+    )
     _naive_cuts_arg(p)
     _add_trace_flags(p)
+    _add_metrics_flags(p)
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "report",
+        help="SLO verdict of the latest bench record vs the committed history",
+    )
+    p.add_argument(
+        "--history", default="benchmarks/results/BENCH_history.jsonl",
+        help="JSONL run-history log to judge (written by `repro bench`)",
+    )
+    p.add_argument(
+        "--dataset", default=None, type=lambda s: s.upper(),
+        help="restrict the report to one dataset's records",
+    )
+    p.add_argument(
+        "--window", type=int, default=0,
+        help="use only the newest N baseline records (0 = all)",
+    )
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=["3", "4"])

@@ -35,7 +35,9 @@ from repro.analysis.lint.engine import Violation
 #: old cache files are then ignored wholesale instead of misread.
 #: /2: flow-sensitive facts (FlowSummary, typed_calls, pragmas) joined
 #: the summary schema.
-CACHE_SCHEMA = "repro.check.cache/2"
+#: /3: metric emissions and the METRIC_NAMES registry (repro.obs)
+#: joined the summary schema.
+CACHE_SCHEMA = "repro.check.cache/3"
 
 
 def content_hash(data: bytes) -> str:

@@ -229,6 +229,11 @@ class ModuleSummary:
     events: List[Tuple[str, int]] = field(default_factory=list)
     #: contents of a module-scope ``EVENT_NAMES = frozenset({…})``.
     event_registry: Optional[Tuple[List[str], int]] = None
+    #: ``.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")`` literal
+    #: metric names emitted by this module.
+    metrics: List[Tuple[str, int]] = field(default_factory=list)
+    #: keys of a module-scope ``METRIC_NAMES = {…}`` dict literal.
+    metric_registry: Optional[Tuple[List[str], int]] = None
     noqa: Dict[int, NoqaMark] = field(default_factory=dict)
     module_frame: Optional[str] = None
     #: True when the frame pass needs this file's AST (it carries
@@ -256,6 +261,12 @@ class ModuleSummary:
                 if self.event_registry
                 else None
             ),
+            "metrics": [list(e) for e in self.metrics],
+            "metric_registry": (
+                [self.metric_registry[0], self.metric_registry[1]]
+                if self.metric_registry
+                else None
+            ),
             "noqa": {str(line): mark.to_dict() for line, mark in self.noqa.items()},
             "module_frame": self.module_frame,
             "has_frame_pragmas": self.has_frame_pragmas,
@@ -266,6 +277,7 @@ class ModuleSummary:
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "ModuleSummary":
         registry = data["event_registry"]
+        metric_registry = data.get("metric_registry")
         return ModuleSummary(
             display_path=str(data["display_path"]),
             module=data["module"],  # type: ignore[arg-type]
@@ -283,6 +295,14 @@ class ModuleSummary:
             event_registry=(
                 ([str(n) for n in registry[0]], int(registry[1]))  # type: ignore[index]
                 if registry
+                else None
+            ),
+            metrics=[
+                (str(n), int(ln)) for n, ln in data.get("metrics", [])  # type: ignore[union-attr]
+            ],
+            metric_registry=(
+                ([str(n) for n in metric_registry[0]], int(metric_registry[1]))  # type: ignore[index]
+                if metric_registry
                 else None
             ),
             noqa={
@@ -431,6 +451,19 @@ def _literal_strings(node: ast.AST) -> Optional[List[str]]:
                 return None
         return out
     return None
+
+
+def _literal_dict_keys(node: ast.AST) -> Optional[List[str]]:
+    """String keys of a ``{"a": …, "b": …}`` dict literal."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            out.append(key.value)
+        else:
+            return None
+    return out
 
 
 def _class_attr_types(node: ast.ClassDef, resolver: Resolver) -> Dict[str, str]:
@@ -583,6 +616,10 @@ def summarize_module(info: ModuleInfo) -> ModuleSummary:
                     literals = _literal_strings(value)
                     if literals is not None:
                         summary.event_registry = (literals, node.lineno)
+                if "METRIC_NAMES" in names and value is not None:
+                    keys = _literal_dict_keys(value)
+                    if keys is not None:
+                        summary.metric_registry = (keys, node.lineno)
             elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
                 if isinstance(node.value.value, str) and not saw_docstring:
                     saw_docstring = True
@@ -609,17 +646,20 @@ def summarize_module(info: ModuleInfo) -> ModuleSummary:
         info.tree, Resolver(module_aliases())
     )
 
-    # tracer.event("name", …) literal emissions anywhere in the file.
+    # tracer.event("name", …) and registry.counter/gauge/histogram("name", …)
+    # literal emissions anywhere in the file.
     for node in ast.walk(info.tree):
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "event"
             and node.args
             and isinstance(node.args[0], ast.Constant)
             and isinstance(node.args[0].value, str)
         ):
-            summary.events.append((node.args[0].value, node.lineno))
+            if node.func.attr == "event":
+                summary.events.append((node.args[0].value, node.lineno))
+            elif node.func.attr in ("counter", "gauge", "histogram"):
+                summary.metrics.append((node.args[0].value, node.lineno))
     return summary
 
 

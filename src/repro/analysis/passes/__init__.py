@@ -2,7 +2,7 @@
 
 Where a module-scope rule (:mod:`repro.analysis.lint.rules`) sees one
 file, a *pass* sees the whole program: the import graph, the call
-graph, and every module's summary at once.  Seven pass families ship:
+graph, and every module's summary at once.  Eight pass families ship:
 
 * :mod:`~repro.analysis.passes.determinism` — ``DET1xx``: impurity
   propagated over the call graph from the pipeline's deterministic
@@ -15,6 +15,9 @@ graph, and every module's summary at once.  Seven pass families ship:
 * :mod:`~repro.analysis.passes.schema` — ``SCHEMA0xx``: statically
   discovered ``tracer.event(...)`` names checked for exhaustiveness
   against the trace schema registry;
+* :mod:`~repro.analysis.passes.obs` — ``OBS0xx``: statically
+  discovered metric emissions checked for exhaustiveness against the
+  ``METRIC_NAMES`` observability registry;
 * :mod:`~repro.analysis.passes.concurrency` — ``CONC1xx``: worker-
   reachable module-state writes, unpicklable values into process
   boundaries, fork-after-thread / pool-at-import ordering hazards;
@@ -106,6 +109,7 @@ def load_catalogue() -> Dict[str, Pass]:
         exceptions,
         exports,
         frames,
+        obs,
         resources,
         schema,
     )

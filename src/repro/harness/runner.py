@@ -127,6 +127,7 @@ class ExperimentContext:
         chunk_size: Optional[int] = None,
         tracer=None,
         config=None,
+        registry=None,
     ) -> CorpusRunResult:
         """Run the full VS2 pipeline over one dataset's corpus through
         the instrumented :class:`CorpusRunner`.
@@ -138,7 +139,9 @@ class ExperimentContext:
         span tree and decision events; an optional ``config``
         (:class:`repro.core.config.VS2Config`) overrides the pipeline
         configuration — ``repro bench --naive-cuts`` uses it to run
-        the A/B reference cut search.
+        the A/B reference cut search.  An optional ``registry``
+        (:class:`repro.obs.registry.MetricRegistry`) receives the run's
+        labeled metrics; the outcome always carries one either way.
         """
         runner = CorpusRunner(
             dataset,
@@ -147,6 +150,7 @@ class ExperimentContext:
             cache=self.cache,
             tracer=tracer,
             config=config,
+            registry=registry,
         )
         outcome = runner.run(list(self.corpus(dataset)))
         self.metrics.merge(outcome.metrics)

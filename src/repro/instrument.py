@@ -20,8 +20,9 @@ the context manager that feeds it::
 Stage names are free-form, but the pipeline uses a fixed vocabulary
 (``ocr``, ``deskew``, ``segment``, ``select`` and dotted sub-stages
 such as ``segment.cuts``) so tables from different runs line up; see
-``docs/PROFILING.md``.  Recording costs two ``perf_counter`` calls and
-a dict lookup, so instrumentation stays on in production paths.
+``docs/PROFILING.md``.  Recording costs two ``perf_counter`` calls,
+two ``getrusage`` reads (for :attr:`StageStats.cpu_seconds`) and a
+dict lookup, so instrumentation stays on in production paths.
 
 Each stage additionally keeps a **bounded log-scale latency
 histogram** (:data:`HIST_BUCKETS` doubling buckets from 1 µs up) of
@@ -42,6 +43,11 @@ import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - windows
+    _resource = None  # type: ignore[assignment]
 
 #: Canonical ordering of the pipeline's stage vocabulary; stages not
 #: listed here render after these, in first-recorded order.
@@ -96,39 +102,57 @@ class StageStats:
     ``calls``/``seconds``/``items`` aggregate everything recorded;
     ``hist``/``max_seconds`` cover only *individually observed*
     samples (:meth:`observe`), because an aggregate record of N calls
-    carries no per-call distribution to bucket.
+    carries no per-call distribution to bucket.  ``cpu_seconds``
+    accumulates the CPU (user+sys) time the stage consumed — zero when
+    the recorder did not measure it (platforms without ``resource``,
+    or aggregates folded in from older snapshots).
     """
 
     calls: int = 0
     seconds: float = 0.0
     items: int = 0
     max_seconds: float = 0.0
+    cpu_seconds: float = 0.0
     hist: List[int] = field(default_factory=lambda: [0] * HIST_BUCKETS)
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def observe(self, seconds: float, items: int = 0) -> None:
+    def observe(self, seconds: float, items: int = 0, cpu_seconds: float = 0.0) -> None:
         """Record one timed sample (updates the latency histogram)."""
         self.calls += 1
         self.seconds += seconds
         self.items += items
-        self.hist[hist_bucket(seconds)] += 1
+        self.cpu_seconds += cpu_seconds
+        bucket = hist_bucket(seconds)
+        if bucket >= len(self.hist):
+            self.hist.extend([0] * (bucket + 1 - len(self.hist)))
+        self.hist[bucket] += 1
         if seconds > self.max_seconds:
             self.max_seconds = seconds
 
-    def add(self, seconds: float, items: int = 0, calls: int = 1) -> None:
+    def add(
+        self, seconds: float, items: int = 0, calls: int = 1, cpu_seconds: float = 0.0
+    ) -> None:
         """Fold in an aggregate (no per-sample distribution known)."""
         self.calls += calls
         self.seconds += seconds
         self.items += items
+        self.cpu_seconds += cpu_seconds
 
     def merge_from(self, other: "StageStats") -> None:
+        """Fold ``other`` into this accumulator.  Histograms of
+        different widths merge by widening to the longer one (dumps
+        from other builds may carry more or fewer buckets) — never by
+        raising."""
         self.calls += other.calls
         self.seconds += other.seconds
         self.items += other.items
+        self.cpu_seconds += other.cpu_seconds
         if other.max_seconds > self.max_seconds:
             self.max_seconds = other.max_seconds
+        if len(other.hist) > len(self.hist):
+            self.hist.extend([0] * (len(other.hist) - len(self.hist)))
         for i, count in enumerate(other.hist):
             self.hist[i] += count
 
@@ -179,6 +203,8 @@ class StageStats:
         }
         if self.max_seconds:
             out["max_seconds"] = self.max_seconds
+        if self.cpu_seconds:
+            out["cpu_seconds"] = self.cpu_seconds
         sparse = {str(i): n for i, n in enumerate(self.hist) if n}
         if sparse:
             out["hist"] = sparse
@@ -191,12 +217,25 @@ class StageStats:
             seconds=float(data.get("seconds", 0.0)),
             items=int(data.get("items", 0)),
             max_seconds=float(data.get("max_seconds", 0.0)),
+            cpu_seconds=float(data.get("cpu_seconds", 0.0)),
         )
         for key, count in dict(data.get("hist", {})).items():
             bucket = int(key)
-            if 0 <= bucket < HIST_BUCKETS:
-                stats.hist[bucket] = int(count)
+            if bucket < 0:
+                continue
+            if bucket >= len(stats.hist):  # widen, never drop samples
+                stats.hist.extend([0] * (bucket + 1 - len(stats.hist)))
+            stats.hist[bucket] = int(count)
         return stats
+
+
+def _cpu_now() -> float:
+    """This process's cumulative CPU (user+sys) seconds, or ``0.0``
+    on platforms without ``resource``."""
+    if _resource is None:  # pragma: no cover - windows
+        return 0.0
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime
 
 
 class StageTimer:
@@ -205,24 +244,34 @@ class StageTimer:
     Set :attr:`items` inside the block to attach a work count (blocks
     produced, words transcribed, extractions emitted …) to the sample.
     The sample is recorded even when the block raises, so failed
-    documents still show up in the per-stage table.
+    documents still show up in the per-stage table.  Alongside the
+    wall clock, the block's CPU (user+sys) consumption is charged to
+    :attr:`StageStats.cpu_seconds` via ``getrusage`` deltas — like the
+    wall time, nested stage timers each charge their own span, so
+    dotted sub-stages overlap their parents.
     """
 
-    __slots__ = ("_metrics", "name", "items", "_start")
+    __slots__ = ("_metrics", "name", "items", "_start", "_cpu_start")
 
     def __init__(self, metrics: "PipelineMetrics", name: str):
         self._metrics = metrics
         self.name = name
         self.items = 0
         self._start = 0.0
+        self._cpu_start = 0.0
 
     def __enter__(self) -> "StageTimer":
         self._start = time.perf_counter()
+        self._cpu_start = _cpu_now()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        cpu = max(_cpu_now() - self._cpu_start, 0.0)
         self._metrics.record(
-            self.name, time.perf_counter() - self._start, items=self.items
+            self.name,
+            time.perf_counter() - self._start,
+            items=self.items,
+            cpu_seconds=cpu,
         )
 
 
@@ -239,14 +288,21 @@ class PipelineMetrics:
         """A context manager timing one occurrence of ``name``."""
         return StageTimer(self, name)
 
-    def record(self, name: str, seconds: float, items: int = 0, calls: int = 1) -> None:
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        items: int = 0,
+        calls: int = 1,
+        cpu_seconds: float = 0.0,
+    ) -> None:
         """Record into ``name``: a single call (``calls == 1``) is a
         histogram sample; anything else is an aggregate fold-in."""
         stats = self._stats(name)
         if calls == 1:
-            stats.observe(seconds, items=items)
+            stats.observe(seconds, items=items, cpu_seconds=cpu_seconds)
         else:
-            stats.add(seconds, items=items, calls=calls)
+            stats.add(seconds, items=items, calls=calls, cpu_seconds=cpu_seconds)
 
     def count(self, name: str, items: int = 0) -> None:
         """Record an instantaneous event (a call with no duration —

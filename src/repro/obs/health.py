@@ -1,0 +1,334 @@
+"""Run-health engine: bench history + declarative SLO rules.
+
+``repro bench`` appends one JSON line per run to
+``benchmarks/results/BENCH_history.jsonl`` — dataset, worker count, a
+per-stage latency digest (p50/p95/total) and run totals (throughput,
+failure and quarantine rates).  ``repro report`` then judges the most
+recent run against that history with a small set of **declarative SLO
+rules**:
+
+* ``p95_ceiling`` — each top-level stage's p95 latency must stay
+  within ``threshold ×`` the median of its historical p95s;
+* ``throughput_floor`` — docs/second must stay above ``threshold ×``
+  the historical median;
+* ``failure_rate_cap`` / ``quarantine_rate_cap`` — absolute caps, no
+  baseline needed.
+
+The verdict is a table plus a boolean; ``repro report`` exits non-zero
+when any rule fails, which is what lets ``make bench-smoke`` /
+``metrics-smoke`` gate a PR on an injected p95 regression.  Rules are
+evaluated against history entries for the *same dataset* only; a rule
+with fewer than :data:`MIN_BASELINE_RUNS` baseline points reports
+``no baseline`` and passes (a fresh repo must not fail its first run).
+
+Unlike ``BENCH_pipeline.json`` snapshots, history lines keep real
+wall-clock numbers — the file is an append-only log, not a byte-stable
+artefact, so committed entries simply record the machines they ran on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.instrument import PipelineMetrics
+
+#: Schema tag carried by every history line.
+HISTORY_SCHEMA = "repro.bench.history/1"
+
+#: Default committed location of the history log.
+HISTORY_PATH = "benchmarks/results/BENCH_history.jsonl"
+
+#: Baseline points a ratio rule needs before it can fail a run.
+MIN_BASELINE_RUNS = 2
+
+#: Below this many seconds a stage p95 is timer noise, not signal —
+#: ratio rules pass outright rather than flag a 3x blip on 0.2ms.
+NOISE_FLOOR_SECONDS = 0.002
+
+
+# ----------------------------------------------------------------------
+# History records
+# ----------------------------------------------------------------------
+def history_record(
+    metrics: PipelineMetrics,
+    *,
+    dataset: str,
+    n_docs: int,
+    workers: int,
+    seed: int,
+    failures: int = 0,
+    quarantines: int = 0,
+    wall_seconds: Optional[float] = None,
+) -> Dict[str, object]:
+    """One history line for a finished run.
+
+    ``wall_seconds`` defaults to the ``corpus`` stage's wall time (the
+    runner wraps every run in it), falling back to summed top-level
+    stage time; pass the measured wall clock to override.
+    """
+    stages: Dict[str, Dict[str, float]] = {}
+    top_seconds = 0.0
+    for name in sorted(metrics.stages):
+        stats = metrics.stages[name]
+        p50 = stats.quantile_seconds(0.50)
+        p95 = stats.quantile_seconds(0.95)
+        stages[name] = {
+            "calls": stats.calls,
+            "seconds": round(stats.seconds, 6),
+            "p50_seconds": round(p50, 6) if p50 is not None else None,
+            "p95_seconds": round(p95, 6) if p95 is not None else None,
+        }
+        if "." not in name:
+            top_seconds += stats.seconds
+    if wall_seconds is None:
+        corpus_stats = metrics.stages.get("corpus")
+        wall_seconds = corpus_stats.seconds if corpus_stats is not None else top_seconds
+    docs = max(n_docs, 0)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "meta": {
+            "dataset": dataset,
+            "n_docs": n_docs,
+            "workers": workers,
+            "seed": seed,
+        },
+        "stages": stages,
+        "totals": {
+            "wall_seconds": round(wall_seconds, 6),
+            "docs": docs,
+            "docs_per_second": round(docs / wall_seconds, 6) if wall_seconds > 0 else 0.0,
+            "failures": failures,
+            "failure_rate": round(failures / docs, 6) if docs else 0.0,
+            "quarantines": quarantines,
+            "quarantine_rate": round(quarantines / docs, 6) if docs else 0.0,
+        },
+    }
+
+
+def append_history(
+    path: Union[str, pathlib.Path], record: Dict[str, object]
+) -> pathlib.Path:
+    """Append one record as a JSON line (creates the file and parents)."""
+    if record.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(f"refusing to append foreign record schema {record.get('schema')!r}")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: Union[str, pathlib.Path]) -> List[Dict[str, object]]:
+    """All history records, in file order; raises ``ValueError`` on a
+    foreign schema line (the log is all ours or corrupt)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, object]] = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not raw.strip():
+            continue
+        record = json.loads(raw)
+        if record.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: unknown history schema {record.get('schema')!r}"
+            )
+        records.append(record)
+    return records
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+# ----------------------------------------------------------------------
+# SLO rules
+# ----------------------------------------------------------------------
+#: Rule kinds :func:`evaluate` understands.
+RULE_KINDS = ("p95_ceiling", "throughput_floor", "failure_rate_cap", "quarantine_rate_cap")
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative service-level objective.
+
+    ``threshold`` is a *ratio vs the history median* for the two
+    baseline-relative kinds and an *absolute rate* for the caps.
+    """
+
+    rule_id: str
+    kind: str
+    threshold: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r} (expected one of {RULE_KINDS})")
+
+
+#: The shipped rule set ``repro report`` applies by default.
+DEFAULT_SLOS: Tuple[SLORule, ...] = (
+    SLORule("SLO-P95", "p95_ceiling", 3.0,
+            "per-stage p95 latency <= 3x the history median"),
+    SLORule("SLO-THROUGHPUT", "throughput_floor", 0.33,
+            "docs/second >= 1/3 of the history median"),
+    SLORule("SLO-FAILRATE", "failure_rate_cap", 0.25,
+            "per-run document failure rate <= 25%"),
+    SLORule("SLO-QUARANTINE", "quarantine_rate_cap", 0.25,
+            "per-run quarantine rate <= 25%"),
+)
+
+
+@dataclass(frozen=True)
+class VerdictRow:
+    """One evaluated (rule, subject) pair in the verdict table."""
+
+    rule_id: str
+    subject: str
+    ok: bool
+    current: Optional[float]
+    baseline: Optional[float]
+    limit: Optional[float]
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class HealthVerdict:
+    """The full verdict: every row plus the aggregate pass/fail."""
+
+    rows: Tuple[VerdictRow, ...]
+    ok: bool
+    baseline_runs: int
+
+
+def _stage_p95(record: Dict[str, object], stage: str) -> Optional[float]:
+    stages = record.get("stages", {})
+    entry = stages.get(stage) if isinstance(stages, dict) else None
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("p95_seconds")
+    return float(value) if value is not None else None
+
+
+def _total(record: Dict[str, object], key: str) -> float:
+    totals = record.get("totals", {})
+    value = totals.get(key, 0.0) if isinstance(totals, dict) else 0.0
+    return float(value or 0.0)
+
+
+def evaluate(
+    current: Dict[str, object],
+    history: Sequence[Dict[str, object]],
+    rules: Sequence[SLORule] = DEFAULT_SLOS,
+) -> HealthVerdict:
+    """Judge ``current`` against ``history`` (prior runs only — the
+    caller must not include ``current`` in ``history``).
+
+    Baselines come from history entries for the same dataset; ratio
+    rules with fewer than :data:`MIN_BASELINE_RUNS` baseline points
+    pass with a ``no baseline`` note.
+    """
+    dataset = current.get("meta", {}).get("dataset")  # type: ignore[union-attr]
+    baseline = [
+        r for r in history
+        if isinstance(r.get("meta"), dict) and r["meta"].get("dataset") == dataset  # type: ignore[index]
+    ]
+    rows: List[VerdictRow] = []
+    for rule in rules:
+        if rule.kind == "p95_ceiling":
+            rows.extend(_eval_p95(rule, current, baseline))
+        elif rule.kind == "throughput_floor":
+            rows.append(_eval_throughput(rule, current, baseline))
+        elif rule.kind == "failure_rate_cap":
+            rows.append(_eval_cap(rule, current, "failure_rate"))
+        elif rule.kind == "quarantine_rate_cap":
+            rows.append(_eval_cap(rule, current, "quarantine_rate"))
+    return HealthVerdict(
+        rows=tuple(rows),
+        ok=all(row.ok for row in rows),
+        baseline_runs=len(baseline),
+    )
+
+
+def _eval_p95(
+    rule: SLORule, current: Dict[str, object], baseline: List[Dict[str, object]]
+) -> List[VerdictRow]:
+    rows: List[VerdictRow] = []
+    stages = current.get("stages", {})
+    top_level = sorted(n for n in stages if "." not in n) if isinstance(stages, dict) else []
+    for stage in top_level:
+        now = _stage_p95(current, stage)
+        if now is None:
+            continue
+        points = [p for p in (_stage_p95(r, stage) for r in baseline) if p is not None]
+        if len(points) < MIN_BASELINE_RUNS:
+            rows.append(VerdictRow(rule.rule_id, stage, True, now, None, None,
+                                   note="no baseline"))
+            continue
+        med = _median(points)
+        limit = max(med * rule.threshold, NOISE_FLOOR_SECONDS)
+        ok = now <= limit
+        note = "" if ok else f"p95 {now * 1000:.2f}ms > {limit * 1000:.2f}ms"
+        rows.append(VerdictRow(rule.rule_id, stage, ok, now, med, limit, note))
+    if not rows:
+        rows.append(VerdictRow(rule.rule_id, "(no stages)", True, None, None, None,
+                               note="no p95 data"))
+    return rows
+
+
+def _eval_throughput(
+    rule: SLORule, current: Dict[str, object], baseline: List[Dict[str, object]]
+) -> VerdictRow:
+    now = _total(current, "docs_per_second")
+    points = [
+        _total(r, "docs_per_second") for r in baseline
+        if _total(r, "docs_per_second") > 0
+    ]
+    if len(points) < MIN_BASELINE_RUNS:
+        return VerdictRow(rule.rule_id, "run", True, now, None, None, note="no baseline")
+    med = _median(points)
+    floor = med * rule.threshold
+    ok = now >= floor
+    note = "" if ok else f"{now:.2f} docs/s < floor {floor:.2f}"
+    return VerdictRow(rule.rule_id, "run", ok, now, med, floor, note)
+
+
+def _eval_cap(rule: SLORule, current: Dict[str, object], key: str) -> VerdictRow:
+    now = _total(current, key)
+    ok = now <= rule.threshold
+    note = "" if ok else f"{key} {now:.1%} > cap {rule.threshold:.1%}"
+    return VerdictRow(rule.rule_id, "run", ok, now, None, rule.threshold, note)
+
+
+def format_verdict(verdict: HealthVerdict) -> str:
+    """The verdict as a fixed-width table ending in PASS/FAIL."""
+    lines = [
+        f"{'rule':16s} {'subject':14s} {'current':>12s} {'baseline':>12s} "
+        f"{'limit':>12s}  verdict",
+        "-" * 78,
+    ]
+
+    def cell(value: Optional[float]) -> str:
+        return f"{value:12.4f}" if value is not None else f"{'-':>12s}"
+
+    for row in verdict.rows:
+        status = "ok" if row.ok else "FAIL"
+        tail = f"  {status}" + (f" ({row.note})" if row.note else "")
+        lines.append(
+            f"{row.rule_id:16s} {row.subject:14s} {cell(row.current)} "
+            f"{cell(row.baseline)} {cell(row.limit)}{tail}"
+        )
+    lines.append("-" * 78)
+    lines.append(
+        f"run health: {'PASS' if verdict.ok else 'FAIL'} "
+        f"({len([r for r in verdict.rows if r.ok])}/{len(verdict.rows)} rules ok, "
+        f"{verdict.baseline_runs} baseline run(s))"
+    )
+    return "\n".join(lines)

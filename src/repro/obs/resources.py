@@ -1,0 +1,71 @@
+"""Resource accounting: RSS high-water, CPU time, tracemalloc peaks.
+
+One :func:`sample_resources` call reads the process's cumulative
+resource usage (``resource.getrusage``) and, when ``tracemalloc`` is
+tracing, its peak traced allocation, and records them as **high-water
+gauges** labeled by ``worker``.  Gauges merge by maximum, so sampling
+is idempotent: the parallel runner samples once per completed chunk
+and the repeated cumulative readings collapse to the latest/largest —
+no double counting, no ordering sensitivity.
+
+``ru_maxrss`` units differ by platform (kilobytes on Linux, bytes on
+macOS); :func:`rss_bytes` normalises to bytes.  All resource metrics
+are declared non-deterministic in :mod:`repro.obs.names`, so they
+never participate in the serial-vs-parallel parity dump.
+
+Per-**stage** CPU accounting lives one layer down: when enabled,
+:class:`repro.instrument.StageTimer` charges getrusage deltas to
+``StageStats.cpu_seconds``, which
+:func:`repro.obs.registry.ingest_pipeline_metrics` folds into the
+``repro.stage.cpu_seconds`` counter.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - windows
+    _resource = None  # type: ignore[assignment]
+
+from repro.obs.registry import MetricRegistry
+
+
+def rss_bytes(ru_maxrss: int) -> int:
+    """``ru_maxrss`` normalised to bytes (Linux reports KiB, macOS bytes)."""
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
+def sample_resources(
+    registry: MetricRegistry, worker: str = "main"
+) -> Optional[dict]:
+    """Record this process's resource usage into ``registry``.
+
+    Returns the raw readings as a dict (for tests and reports), or
+    ``None`` on platforms without ``resource``.  Safe to call any
+    number of times — every metric is a max-merged gauge.
+    """
+    if _resource is None:  # pragma: no cover - windows
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    rss = rss_bytes(usage.ru_maxrss)
+    registry.gauge("repro.process.rss_max_bytes", worker=worker).set_max(rss)
+    registry.gauge("repro.process.cpu_user_seconds", worker=worker).set_max(usage.ru_utime)
+    registry.gauge("repro.process.cpu_sys_seconds", worker=worker).set_max(usage.ru_stime)
+    readings = {
+        "rss_max_bytes": rss,
+        "cpu_user_seconds": usage.ru_utime,
+        "cpu_sys_seconds": usage.ru_stime,
+    }
+    if tracemalloc.is_tracing():
+        peak = tracemalloc.get_traced_memory()[1]
+        registry.gauge(
+            "repro.process.tracemalloc_peak_bytes", worker=worker
+        ).set_max(peak)
+        readings["tracemalloc_peak_bytes"] = peak
+    return readings

@@ -28,11 +28,18 @@ from __future__ import annotations
 import builtins
 import logging
 import math
+import os
 import traceback as _traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.registry import (
+    MetricRegistry,
+    get_registry,
+    ingest_pipeline_metrics,
+)
+from repro.obs.resources import sample_resources
 from repro.perf.cache import TranscriptionCache
 from repro.perf.metrics import PipelineMetrics
 from repro.resilience import faults as _faults
@@ -121,6 +128,7 @@ class CorpusRunResult:
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
     degrade_reason: Optional[str] = None
     supervision: Optional["SupervisionReport"] = None
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
 
     @property
     def ok(self) -> List["PipelineResult"]:
@@ -176,6 +184,7 @@ def _init_worker(  # conc: ambient - per-process setup is the point of an initia
     (the supervised runner's hand-managed workers run them for real).
     """
     global _WORKER_PIPELINE, _WORKER_TRACER
+    get_registry().drain()  # fork-inherited ambient samples belong to the parent
     _WORKER_TRACER = Tracer() if trace_enabled else NULL_TRACER
     if fault_plan is not None:
         _faults.install(fault_plan, tracer=_WORKER_TRACER)
@@ -196,11 +205,19 @@ def _run_one(
     attrs: Dict[str, Any] = {"index": index, "doc_id": doc.doc_id}
     if attempt > 1:
         attrs["attempt"] = attempt
+    corpus = getattr(pipeline, "dataset", "?")
+    registry = get_registry()
     try:
         with _faults.doc_scope(doc.doc_id, index, attempt):
             with tracer.span("doc", **attrs):
                 _faults.fault_site("worker.chunk")
-                return index, pipeline.run(doc), None
+                result = pipeline.run(doc)
+        registry.counter("repro.docs.processed", corpus=corpus, status="ok").inc()
+        for degradation in getattr(result, "degradations", ()):
+            registry.counter(
+                "repro.doc.degradations", corpus=corpus, stage=degradation.stage
+            ).inc()
+        return index, result, None
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         failure = DocumentFailure(
             doc_id=doc.doc_id,
@@ -212,17 +229,47 @@ def _run_one(
             ocr_seed=getattr(getattr(pipeline, "config", None), "ocr_seed", None),
             transient=isinstance(exc, _faults.TransientFault),
         )
+        registry.counter("repro.docs.processed", corpus=corpus, status="failed").inc()
+        registry.counter(
+            "repro.doc.failures", corpus=corpus, error_type=failure.error_type
+        ).inc()
         return index, None, failure
+
+
+def _emit_cache_counters(pipeline: "VS2Pipeline", before: Tuple[int, int]) -> None:
+    """Record transcription-cache hits/misses accrued since ``before``
+    into the ambient registry (cumulative cache counters need delta
+    accounting so repeated chunks never double-count)."""
+    cache = getattr(pipeline, "cache", None)
+    if cache is None:
+        return
+    registry = get_registry()
+    hits = getattr(cache, "hits", 0) - before[0]
+    misses = getattr(cache, "misses", 0) - before[1]
+    if hits:
+        registry.counter("repro.ocr.cache", outcome="hit").inc(hits)
+    if misses:
+        registry.counter("repro.ocr.cache", outcome="miss").inc(misses)
+
+
+def _cache_counts(pipeline: "VS2Pipeline") -> Tuple[int, int]:
+    cache = getattr(pipeline, "cache", None)
+    return (getattr(cache, "hits", 0), getattr(cache, "misses", 0))
 
 
 def _run_chunk(chunk: List[Tuple[int, "Document"]]):
     """Run one chunk in a worker; returns per-doc outcomes plus the
-    metrics and trace spans accumulated *by this chunk* (both drained,
-    so successive chunks in the same worker never double-count)."""
+    metrics, trace spans and metric-registry dump accumulated *by this
+    chunk* (all drained, so successive chunks in the same worker never
+    double-count)."""
     assert _WORKER_PIPELINE is not None, "worker initialiser did not run"
+    cache_before = _cache_counts(_WORKER_PIPELINE)
     out = [_run_one(_WORKER_PIPELINE, index, doc, _WORKER_TRACER) for index, doc in chunk]
+    _emit_cache_counters(_WORKER_PIPELINE, cache_before)
+    sample_resources(get_registry(), worker=f"pid{os.getpid()}")
     spans = [span.to_dict() for span in _WORKER_TRACER.drain()]
-    return out, _WORKER_PIPELINE.metrics.drain().to_dict(), spans
+    registry_dump = get_registry().drain().to_dict()
+    return out, _WORKER_PIPELINE.metrics.drain().to_dict(), spans, registry_dump
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +313,14 @@ class CorpusRunner:
         When set, :meth:`run` executes under the supervised layer:
         per-document timeouts with worker replacement, retry of
         transient failures, quarantine and checkpoint/resume.
+    registry:
+        A :class:`repro.obs.registry.MetricRegistry` receiving the
+        run's labeled metrics (doc outcomes, stage accounting,
+        resilience decisions, resource high-water marks).  Workers emit
+        into their process-local registry; drained dumps ride each
+        chunk result and fold in here, so a serial and a parallel run
+        produce the same normalized dump (docs/OBSERVABILITY.md).
+        A fresh registry is created when not given.
     """
 
     def __init__(
@@ -279,6 +334,7 @@ class CorpusRunner:
         tracer: Optional[Tracer] = None,
         fault_plan: Optional["FaultPlan"] = None,
         supervision: Optional["SupervisionPolicy"] = None,
+        registry: Optional[MetricRegistry] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config
@@ -289,6 +345,7 @@ class CorpusRunner:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_plan = fault_plan
         self.supervision = supervision
+        self.registry = registry if registry is not None else MetricRegistry()
         self._serial_pipeline: Optional["VS2Pipeline"] = None
 
     # ------------------------------------------------------------------
@@ -296,6 +353,7 @@ class CorpusRunner:
         """Process every document; never raises for a per-document
         pipeline error (see :class:`CorpusRunResult`)."""
         docs = list(docs)
+        get_registry().drain()  # discard ambient samples stranded by earlier runs
         if self.supervision is not None:
             from repro.resilience.supervisor import run_supervised
 
@@ -311,11 +369,18 @@ class CorpusRunner:
             else:
                 slots, failures, degrade_reason = self._run_parallel(docs, metrics)
         failures.sort(key=lambda f: (f.doc_index, f.doc_id))
+        # Parent-side emissions (serial docs, in-process faults) sit in
+        # the ambient registry; fold them plus the stage accounting and
+        # this process's resource high-water marks into the run registry.
+        self.registry.merge(get_registry().drain())
+        ingest_pipeline_metrics(metrics, self.registry)
+        sample_resources(self.registry, worker="main")
         return CorpusRunResult(
             results=slots,
             failures=failures,
             metrics=metrics,
             degrade_reason=degrade_reason,
+            registry=self.registry,
         )
 
     # ------------------------------------------------------------------
@@ -343,6 +408,7 @@ class CorpusRunner:
         if self.fault_plan is not None and not _faults.is_installed():
             _faults.install(self.fault_plan, tracer=self.tracer)
             installed = True
+        cache_before = _cache_counts(pipeline)
         try:
             for index, doc in enumerate(docs):
                 _, result, failure = _run_one(pipeline, index, doc, self.tracer)
@@ -352,6 +418,7 @@ class CorpusRunner:
         finally:
             if installed:
                 _faults.uninstall()
+        _emit_cache_counters(pipeline, cache_before)
         metrics.merge(pipeline.metrics.drain())
         return slots, failures
 
@@ -393,8 +460,9 @@ class CorpusRunner:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    outcomes, chunk_metrics, chunk_spans = future.result()
+                    outcomes, chunk_metrics, chunk_spans, chunk_registry = future.result()
                     metrics.merge(PipelineMetrics.from_dict(chunk_metrics))
+                    self.registry.merge(MetricRegistry.from_dict(chunk_registry))
                     adopted.extend(Span.from_dict(s) for s in chunk_spans)
                     for index, result, failure in outcomes:
                         slots[index] = result

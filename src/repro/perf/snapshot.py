@@ -65,27 +65,43 @@ def delta_line(
 
     ``repro bench`` prints this after its table so a run immediately
     shows its drift against ``benchmarks/results/BENCH_pipeline.json``
-    without a separate compare step.  Top-level stages only by default
-    (sub-stages stay in the table).  This line is advisory output — it
-    must never crash a bench run, so a requested stage the live run
-    did not record shows as ``(not measured)`` and a stage absent from
-    the committed baseline shows as ``new``.
+    without a separate compare step.  Defaults to the union of both
+    snapshots' top-level stages (sub-stages stay in the table), so a
+    stage that *disappeared* from the live run is reported as
+    ``removed`` rather than silently skipped.  Each cell carries the
+    total-seconds delta and, when both sides have latency histograms,
+    the p95 delta.  This line is advisory output — it must never crash
+    a bench run, so an explicitly requested stage neither side recorded
+    shows as ``(not measured)`` and a stage absent from the committed
+    baseline shows as ``new``.
     """
     base = metrics_of(baseline).stages
     if stages is None:
-        stages = sorted(n for n in metrics.stages if "." not in n)
+        stages = sorted(
+            n for n in set(metrics.stages) | set(base) if "." not in n
+        )
     parts: List[str] = []
     for name in stages:
+        in_base = name in base
         if name not in metrics.stages:
-            parts.append(f"{name} (not measured)")
+            if in_base:
+                parts.append(f"{name} (removed; was {base[name].seconds:.3f}s)")
+            else:
+                parts.append(f"{name} (not measured)")
             continue
-        c = metrics.stages[name].seconds
-        if name not in base:
-            parts.append(f"{name} {c:.3f}s (new)")
+        curr = metrics.stages[name]
+        if not in_base:
+            parts.append(f"{name} {curr.seconds:.3f}s (new)")
             continue
         b = base[name].seconds
-        pct = (c - b) / b * 100.0 if b > 0 else 0.0
-        parts.append(f"{name} {c:.3f}s ({pct:+.0f}%)")
+        pct = (curr.seconds - b) / b * 100.0 if b > 0 else 0.0
+        cell = f"{name} {curr.seconds:.3f}s ({pct:+.0f}%"
+        base_p95 = base[name].quantile_seconds(0.95)
+        curr_p95 = curr.quantile_seconds(0.95)
+        if base_p95 is not None and curr_p95 is not None and base_p95 > 0:
+            p95_pct = (curr_p95 - base_p95) / base_p95 * 100.0
+            cell += f", p95 {p95_pct:+.0f}%"
+        parts.append(cell + ")")
     return "vs committed baseline: " + ("  ".join(parts) if parts else "(no stages)")
 
 

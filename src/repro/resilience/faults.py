@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.resilience.budget import block_forever
 from repro.trace import NULL_TRACER
 
@@ -400,6 +401,13 @@ def fault_site(
                 attempt=effective_attempt,
                 latency_s=action.rule.latency_s if action.kind == "slow" else 0.0,
             )
+            # Out-of-document override sites (worker.boot) exist only on
+            # the parallel path; keeping them out preserves the counter's
+            # serial-vs-parallel parity (repro.obs.names: deterministic).
+            if not override:
+                get_registry().counter(
+                    "repro.faults.injected", site=name, kind=action.kind
+                ).inc()
     if action is None:
         return None
     return _apply(name, action, state)

@@ -27,7 +27,9 @@ error isolation into full supervision:
 Every supervision decision emits a registered trace event
 (``runner.retry`` / ``runner.timeout`` / ``runner.quarantine`` /
 ``runner.worker_replace`` / ``runner.resume`` / ``runner.degrade``),
-counts into ``PipelineMetrics`` under the ``resilience.*`` stages, and
+counts into ``PipelineMetrics`` under the ``resilience.*`` stages and
+into the run's :class:`repro.obs.registry.MetricRegistry` as
+``repro.resilience.*`` counters (the metric mirror of the ledger), and
 is recorded as a :class:`SupervisionEvent` whose canonical
 :meth:`~SupervisionReport.ledger` is byte-identical between serial and
 parallel runs of the same plan seed.
@@ -36,6 +38,7 @@ parallel runs of the same plan seed.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -44,10 +47,18 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.instrument import PipelineMetrics
+from repro.obs.registry import (
+    MetricRegistry,
+    get_registry,
+    ingest_pipeline_metrics,
+)
+from repro.obs.resources import sample_resources
 from repro.perf.runner import (
     CorpusRunResult,
     DocumentFailure,
+    _cache_counts,
     _default_factory,
+    _emit_cache_counters,
     _run_one,
 )
 from repro.resilience import faults as _faults
@@ -189,10 +200,12 @@ def _supervised_worker_main(
     Protocol (over the duplex pipe): sends ``("ready", wid)`` after a
     successful boot or ``("boot_failed", wid, type, msg)``; then for
     every ``(index, doc, attempt)`` task received, replies ``("done",
-    wid, index, attempt, result, failure, metrics, spans)``.  ``None``
-    means shut down.
+    wid, index, attempt, result, failure, metrics, spans, registry)``
+    where ``registry`` is the drained metric-registry dump for that
+    task.  ``None`` means shut down.
     """
     tracer = Tracer() if trace_enabled else NULL_TRACER
+    get_registry().drain()  # fork-inherited ambient samples belong to the parent
     if plan is not None:
         _faults.install(plan, tracer=tracer, preemptible=True)
     try:
@@ -216,11 +229,17 @@ def _supervised_worker_main(
         if task is None:
             break
         index, doc, attempt = task
+        cache_before = _cache_counts(pipeline)
         index, result, failure = _run_one(pipeline, index, doc, tracer, attempt=attempt)
+        _emit_cache_counters(pipeline, cache_before)
+        sample_resources(get_registry(), worker=f"pid{os.getpid()}")
         spans = [span.to_dict() for span in tracer.drain()]
         metrics = pipeline.metrics.drain().to_dict()
+        registry_dump = get_registry().drain().to_dict()
         try:
-            conn.send(("done", wid, index, attempt, result, failure, metrics, spans))
+            conn.send(
+                ("done", wid, index, attempt, result, failure, metrics, spans, registry_dump)
+            )
         except (OSError, ValueError):  # pragma: no cover - parent died mid-send
             break
     conn.close()
@@ -263,6 +282,7 @@ class _Supervisor:
         self.tracer = runner.tracer
         self.clock = clock if clock is not None else BackoffClock()
         self.metrics = PipelineMetrics()
+        self.registry: MetricRegistry = runner.registry
         self.report = SupervisionReport()
         self.docs: List["Document"] = []
         self.slots: List[Optional[Any]] = []
@@ -292,17 +312,28 @@ class _Supervisor:
                     self._run_parallel(tasks)
             self._adopt_spans()
         self.report.backoff_s = self.clock.total_s
+        if self.report.backoff_s:
+            self.registry.counter("repro.resilience.backoff_seconds").inc(
+                self.report.backoff_s
+            )
         if self.checkpoint is not None:
             self.checkpoint.close()
         if self.policy.quarantine_report_path:
             self.report.quarantine.write(self.policy.quarantine_report_path)
         self.failures.sort(key=lambda f: (f.doc_index, f.doc_id))
+        # Serial supervised attempts emit into the parent's ambient
+        # registry; parallel attempts arrived as per-task dumps.  Fold
+        # both plus stage accounting and parent resource marks here.
+        self.registry.merge(get_registry().drain())
+        ingest_pipeline_metrics(self.metrics, self.registry)
+        sample_resources(self.registry, worker="main")
         return CorpusRunResult(
             results=self.slots,
             failures=self.failures,
             metrics=self.metrics,
             degrade_reason=self.report.degrade_reason,
             supervision=self.report,
+            registry=self.registry,
         )
 
     # ------------------------------------------------------------------
@@ -342,6 +373,7 @@ class _Supervisor:
         self.report.resumed_docs += 1
         self.report.events.append(SupervisionEvent("resume", index, doc_id, 0))
         self.metrics.count("resilience.resume")
+        self.registry.counter("repro.resilience.resumes").inc()
         self.tracer.event("runner.resume", doc_id=doc_id, doc_index=index)
 
     # ------------------------------------------------------------------
@@ -380,6 +412,9 @@ class _Supervisor:
             )
             self.metrics.count("resilience.retry")
             self.metrics.record("resilience.backoff", backoff, calls=0)
+            self.registry.counter(
+                "repro.resilience.retries", error_type=failure.error_type
+            ).inc()
             self.tracer.event(
                 "runner.retry",
                 doc_id=doc.doc_id,
@@ -413,6 +448,9 @@ class _Supervisor:
         )
         self.open_docs.discard(index)
         self.metrics.count("resilience.quarantine")
+        self.registry.counter(
+            "repro.resilience.quarantines", error_type=failure.error_type
+        ).inc()
         self.tracer.event(
             "runner.quarantine",
             doc_id=doc.doc_id,
@@ -565,6 +603,7 @@ class _Supervisor:
             index, attempt = task
             doc = self.docs[index]
             self.metrics.count("resilience.timeout")
+            self.registry.counter("repro.resilience.timeouts").inc()
             self.tracer.event(
                 "runner.timeout",
                 doc_id=doc.doc_id,
@@ -591,10 +630,12 @@ class _Supervisor:
             self._remove(workers, handle)
             self._replace(workers, ctx, f"worker boot failed: {error_type}: {text}")
         elif tag == "done":
-            _, _wid, index, attempt, result, failure, metrics_dict, span_dicts = message
+            (_, _wid, index, attempt, result, failure,
+             metrics_dict, span_dicts, registry_dump) = message
             handle.task = None
             handle.deadline = None
             self.metrics.merge(PipelineMetrics.from_dict(metrics_dict))
+            self.registry.merge(MetricRegistry.from_dict(registry_dump))
             self.adopted.extend(Span.from_dict(s) for s in span_dicts)
             if failure is None:
                 self._resolve_success(index, attempt, result)
@@ -630,6 +671,7 @@ class _Supervisor:
         self.report.worker_replacements += 1
         self.report.events.append(SupervisionEvent("worker_replace", -1, "", 0, message=reason))
         self.metrics.count("resilience.worker_replace")
+        self.registry.counter("repro.resilience.worker_replacements").inc()
         self.tracer.event("runner.worker_replace", reason=reason)
         self._spawn(workers, ctx)
 

@@ -1,0 +1,6 @@
+"""Obs-pass fixture registry: one live name, one stale name."""
+
+METRIC_NAMES = {
+    "repro.docs.processed": "counter",
+    "repro.docs.skipped": "counter",
+}

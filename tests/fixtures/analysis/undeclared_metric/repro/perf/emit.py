@@ -1,0 +1,6 @@
+"""Emits one declared metric and one typo'd, undeclared one."""
+
+
+def run(registry, corpus):
+    registry.counter("repro.docs.processed", corpus=corpus).inc()
+    registry.counter("repro.docs.procesed", corpus=corpus).inc()

@@ -253,6 +253,56 @@ class TestSchemaPass:
         assert run_tree(tree) == []
 
 
+class TestObsPass:
+    def test_undeclared_and_stale_names(self, tmp_path):
+        tree = copy_fixture(tmp_path, "undeclared_metric")
+        violations = run_tree(tree)
+        assert sorted(v.rule for v in violations) == ["OBS002", "OBS003"]
+        by_rule = {v.rule: v for v in violations}
+        obs2 = by_rule["OBS002"]
+        assert obs2.path == "repro/perf/emit.py"
+        assert "repro.docs.procesed" in obs2.message
+        obs3 = by_rule["OBS003"]
+        assert obs3.path == "repro/obs/names.py"
+        assert "repro.docs.skipped" in obs3.message
+
+    def test_module_rules_alone_cannot_see_it(self, tmp_path):
+        tree = copy_fixture(tmp_path, "undeclared_metric")
+        assert run_tree(tree, rule_ids=MODULE_RULES) == []
+
+    def test_declaring_the_name_fixes_obs002(self, tmp_path):
+        tree = copy_fixture(tmp_path, "undeclared_metric")
+        names = tree / "repro" / "obs" / "names.py"
+        names.write_text(
+            'METRIC_NAMES = {\n'
+            '    "repro.docs.processed": "counter",\n'
+            '    "repro.docs.procesed": "counter",\n'
+            '}\n'
+        )
+        assert run_tree(tree) == []
+
+    def test_no_registry_means_pass_is_inert(self, tmp_path):
+        tree = copy_fixture(tmp_path, "undeclared_metric")
+        (tree / "repro" / "obs" / "names.py").write_text("X = 1\n")
+        assert run_tree(tree) == []
+
+    def test_emission_in_nonpackage_code_out_of_scope(self, tmp_path):
+        tree = copy_fixture(tmp_path, "undeclared_metric")
+        emit = tree / "repro" / "perf" / "emit.py"
+        emit.write_text(
+            emit.read_text().replace('"repro.docs.procesed"', '"repro.docs.processed"')
+        )
+        (tree / "repro" / "obs" / "names.py").write_text(
+            'METRIC_NAMES = {"repro.docs.processed": "counter"}\n'
+        )
+        # A synthetic metric driven from a test or script is not the
+        # registry's business.
+        (tree / "script.py").write_text(
+            "def poke(reg):\n    reg.counter('stray').inc()\n"
+        )
+        assert run_tree(tree) == []
+
+
 class TestConcurrencyPass:
     def test_worker_reachable_alias_write_flagged(self, tmp_path):
         tree = copy_fixture(tmp_path, "conc_worker_global")

@@ -1,0 +1,316 @@
+"""Tests for :mod:`repro.obs` — registry algebra, exporters, run health.
+
+The contract under test is the tentpole claim of the observability
+layer: a :class:`MetricRegistry` is a *mergeable* value (associative,
+serialisation round-trips losslessly), the serial and parallel
+execution paths produce byte-identical normalised dumps, the
+``repro.resilience.*`` counters mirror the supervision ledger exactly,
+the Prometheus exposition survives a parse round-trip, and an injected
+p95 regression flips ``repro report`` to a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import PipelineMetrics
+from repro.obs.export import (
+    exposition_samples,
+    parse_prometheus,
+    read_metrics_jsonl,
+    to_prometheus,
+    validate_prometheus,
+    write_metrics_jsonl,
+)
+from repro.obs.health import (
+    DEFAULT_SLOS,
+    append_history,
+    evaluate,
+    format_verdict,
+    history_record,
+    load_history,
+)
+from repro.obs.names import METRIC_NAMES
+from repro.obs.registry import MetricRegistry, get_registry, ingest_pipeline_metrics
+from repro.perf import CorpusRunner
+from repro.resilience import FaultPlan, SupervisionPolicy, uninstall
+from repro.synth import generate_corpus
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient():
+    """Tests must not inherit (or leak) ambient samples or fault plans."""
+    get_registry().drain()
+    uninstall()
+    yield
+    get_registry().drain()
+    uninstall()
+
+
+def corpus(n: int = 4, seed: int = 3):
+    return list(generate_corpus("D2", n=n, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Registry algebra (property-based)
+# ----------------------------------------------------------------------
+_NAMES = st.sampled_from(["alpha", "beta", "gamma"])
+_LABELS = st.dictionaries(
+    st.sampled_from(["stage", "corpus"]), st.sampled_from(["a", "b"]), max_size=2
+)
+
+_COUNTER_OPS = st.tuples(st.just("counter"), _NAMES, _LABELS, st.integers(0, 50))
+_GAUGE_OPS = st.tuples(st.just("gauge"), _NAMES, _LABELS, st.integers(-5, 50))
+# Histogram observations as integers too: bucket counts and integer
+# sums merge associatively, so equality is exact.
+_HIST_OPS = st.tuples(st.just("hist"), _NAMES, _LABELS, st.integers(0, 1 << 12))
+_OPS = st.lists(st.one_of(_COUNTER_OPS, _GAUGE_OPS, _HIST_OPS), max_size=24)
+
+
+def _apply(ops) -> MetricRegistry:
+    reg = MetricRegistry(strict=False)
+    for kind, name, labels, value in ops:
+        # One registry must use each name with a single kind.
+        name = f"{kind}.{name}"
+        if kind == "counter":
+            reg.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            reg.gauge(name, **labels).set_max(value)
+        else:
+            reg.histogram(name, **labels).observe(value)
+    return reg
+
+
+class TestRegistryProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_OPS)
+    def test_dict_round_trip(self, ops):
+        reg = _apply(ops)
+        clone = MetricRegistry.from_dict(reg.to_dict(), strict=False)
+        assert clone.to_dict() == reg.to_dict()
+        assert clone.normalized_dump() == reg.normalized_dump()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OPS, _OPS, _OPS)
+    def test_merge_is_associative(self, a, b, c):
+        left = _apply(a).merge(_apply(b)).merge(_apply(c))
+        right = _apply(a).merge(_apply(b).merge(_apply(c)))
+        assert left.to_dict() == right.to_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OPS, _OPS)
+    def test_split_equals_whole(self, a, b):
+        """Emitting in one registry == emitting in two and merging —
+        the property the chunked parallel return path relies on."""
+        whole = _apply(a + b)
+        split = _apply(a).merge(_apply(b))
+        assert split.to_dict() == whole.to_dict()
+
+    def test_strict_rejects_undeclared_and_wrong_kind(self):
+        reg = MetricRegistry()
+        with pytest.raises(KeyError):
+            reg.counter("repro.docs.procesed")
+        with pytest.raises(TypeError):
+            reg.gauge("repro.docs.processed")  # declared as a counter
+
+    def test_drain_moves_everything(self):
+        reg = MetricRegistry(strict=False)
+        reg.counter("n").inc(3)
+        drained = reg.drain()
+        assert drained.counter("n").value == 3
+        assert reg.to_dict()["metrics"] == {}
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel byte-identity
+# ----------------------------------------------------------------------
+class TestSerialParallelParity:
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_normalized_dump_is_byte_identical(self):
+        docs = corpus()
+        serial = CorpusRunner("D2").run(docs)
+        parallel = CorpusRunner("D2", workers=2).run(docs)
+        assert (
+            serial.registry.normalized_dump()
+            == parallel.registry.normalized_dump()
+        )
+
+    def test_deterministic_dump_excludes_environment_metrics(self):
+        outcome = CorpusRunner("D2").run(corpus())
+        dump = json.loads(outcome.registry.normalized_dump())
+        names = set(dump["metrics"])
+        assert "repro.docs.processed" in names
+        assert not any(n.startswith("repro.process.") for n in names)
+        assert "repro.stage.seconds" not in names
+        assert "repro.stage.latency" not in names
+
+    def test_docs_processed_counts_the_corpus(self):
+        docs = corpus()
+        outcome = CorpusRunner("D2").run(docs)
+        [(labels, value)] = outcome.registry.samples("repro.docs.processed")
+        assert labels == {"corpus": "D2", "status": "ok"}
+        assert value == len(docs)
+
+
+# ----------------------------------------------------------------------
+# Resilience counters mirror the supervision ledger
+# ----------------------------------------------------------------------
+class TestChaosCounters:
+    def test_counters_match_the_ledger(self):
+        docs = corpus(n=6)
+        plan = FaultPlan.from_spec("ocr:flaky@0.4@attempts=1,worker:fail@doc=2", seed=3)
+        runner = CorpusRunner(
+            "D2",
+            fault_plan=plan,
+            supervision=SupervisionPolicy(backoff_base_s=0.01, backoff_cap_s=0.04),
+        )
+        outcome = runner.run(docs)
+        report = outcome.supervision
+        assert report is not None
+        ledger = report.ledger()
+
+        def total(name):
+            return sum(v for _, v in outcome.registry.samples(name))
+
+        assert total("repro.resilience.retries") == sum(
+            1 for row in ledger if row["kind"] == "retry"
+        )
+        assert total("repro.resilience.quarantines") == len(
+            report.quarantine.entries
+        )
+        assert total("repro.resilience.backoff_seconds") == pytest.approx(
+            report.backoff_s
+        )
+        injected = {
+            (labels["site"], labels["kind"]): v
+            for labels, v in outcome.registry.samples("repro.faults.injected")
+        }
+        assert injected.get(("ocr.transcribe", "flaky"), 0) >= 1
+        assert injected.get(("worker.chunk", "fail")) == 1
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _populated_registry() -> MetricRegistry:
+    metrics = PipelineMetrics()
+    metrics.record("clean", 0.012, items=3)
+    metrics.record("segment", 0.034, items=7)
+    metrics.record("segment.cuts", 0.020, items=7)
+    reg = MetricRegistry()
+    ingest_pipeline_metrics(metrics, reg)
+    reg.counter("repro.docs.processed", corpus="D2", status="ok").inc(3)
+    reg.gauge("repro.process.rss_max_bytes", worker="main").set_max(1 << 20)
+    return reg
+
+
+class TestPrometheusExport:
+    def test_parse_round_trip(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.prom"
+        path.write_text(to_prometheus(reg), encoding="utf-8")
+        assert validate_prometheus(path) > 0
+        assert parse_prometheus(path.read_text()) == sorted(exposition_samples(reg))
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        reg = _populated_registry()
+        buckets = sorted(
+            (labels, v)
+            for name, labels, v in exposition_samples(reg)
+            if name == "repro_stage_latency_bucket"
+            and dict(labels).get("stage") == "segment"
+        )
+        values = [v for _, v in buckets]
+        assert values == sorted(values)  # cumulative
+        assert any(dict(l).get("le") == "+Inf" for l, _ in buckets)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not an exposition\n")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(path, reg)
+        loaded = read_metrics_jsonl(path)
+        assert loaded.to_dict() == reg.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Run health: history + SLO verdicts
+# ----------------------------------------------------------------------
+def _metrics(p95_scale: float = 1.0) -> PipelineMetrics:
+    metrics = PipelineMetrics()
+    for _ in range(20):
+        metrics.record("segment", 0.010 * p95_scale, items=1)
+        metrics.record("clean", 0.005, items=1)
+    metrics.record("corpus", 0.4 * p95_scale)
+    return metrics
+
+
+def _record(p95_scale: float = 1.0, **totals):
+    return history_record(
+        _metrics(p95_scale), dataset="D2", n_docs=20, workers=1, seed=3, **totals
+    )
+
+
+class TestRunHealth:
+    def test_healthy_run_passes(self):
+        history = [_record(), _record()]
+        verdict = evaluate(_record(), history)
+        assert verdict.ok and verdict.baseline_runs == 2
+        assert "PASS" in format_verdict(verdict)
+
+    def test_injected_p95_regression_fails(self):
+        history = [_record(), _record()]
+        verdict = evaluate(_record(p95_scale=10.0), history)
+        assert not verdict.ok
+        bad = [r for r in verdict.rows if not r.ok]
+        assert any(r.rule_id == "SLO-P95" for r in bad)
+
+    def test_failure_rate_cap(self):
+        verdict = evaluate(_record(failures=15), [_record(), _record()])
+        assert any(r.rule_id == "SLO-FAILRATE" and not r.ok for r in verdict.rows)
+
+    def test_too_little_history_is_not_a_failure(self):
+        verdict = evaluate(_record(p95_scale=10.0), [_record()])
+        assert verdict.baseline_runs == 1
+        assert all(r.ok for r in verdict.rows if r.rule_id == "SLO-P95")
+
+    def test_history_file_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(path, _record())
+        append_history(path, _record())
+        assert len(load_history(path)) == 2
+        with pytest.raises(ValueError):
+            append_history(path, {"schema": "something/else"})
+
+    def test_report_cli_exits_nonzero_on_regression(self, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "hist.jsonl"
+        append_history(path, _record())
+        append_history(path, _record())
+        append_history(path, _record())
+        assert main(["report", "--history", str(path)]) == 0
+        append_history(path, _record(p95_scale=10.0))
+        assert main(["report", "--history", str(path)]) == 1
+
+    def test_report_cli_without_history_exits_two(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["report", "--history", str(tmp_path / "none.jsonl")]) == 2
+
+    def test_default_slos_cover_all_kinds(self):
+        assert {r.kind for r in DEFAULT_SLOS} == {
+            "p95_ceiling",
+            "throughput_floor",
+            "failure_rate_cap",
+            "quarantine_rate_cap",
+        }

@@ -445,10 +445,91 @@ class TestSnapshots:
         curr.record("select", 0.2)
         snap = load_snapshot(write_snapshot(tmp_path / "base.json", base))
         line = delta_line(snap, curr, stages=["segment", "select", "ocr"])
-        assert "segment 1.100s (+10%)" in line
+        assert "segment 1.100s (+10%, p95 +10%)" in line
         assert "select 0.200s (new)" in line
         assert "ocr (not measured)" in line
 
     def test_delta_line_empty_inputs(self, tmp_path):
         snap = load_snapshot(write_snapshot(tmp_path / "e.json", PipelineMetrics()))
         assert delta_line(snap, PipelineMetrics()).endswith("(no stages)")
+
+    def test_delta_line_defaults_to_stage_union_and_reports_removed(self, tmp_path):
+        """With no explicit stage list the line covers the union of
+        both snapshots' top-level stages, so a stage that vanished from
+        the live run is called out instead of silently skipped."""
+        base, curr = PipelineMetrics(), PipelineMetrics()
+        base.record("segment", 0.5)
+        base.record("gone", 0.5)
+        base.record("gone.sub", 0.2)  # sub-stages stay in the table
+        curr.record("segment", 0.6)
+        curr.record("fresh", 0.1)
+        snap = load_snapshot(write_snapshot(tmp_path / "base.json", base))
+        line = delta_line(snap, curr)
+        assert "gone (removed; was 0.500s)" in line
+        assert "gone.sub" not in line
+        assert "fresh 0.100s (new)" in line
+
+    def test_delta_line_carries_p95_delta(self, tmp_path):
+        base, curr = PipelineMetrics(), PipelineMetrics()
+        for _ in range(10):
+            base.record("ocr", 0.010)
+            curr.record("ocr", 0.020)
+        snap = load_snapshot(write_snapshot(tmp_path / "base.json", base))
+        line = delta_line(snap, curr)
+        assert "p95 +" in line
+
+
+class TestStageStatsEdges:
+    """Satellite fixes: quantiles on empty stats, width-mismatched
+    histogram merges, and the CPU-time column."""
+
+    def test_quantile_of_zero_observations_is_none(self):
+        from repro.instrument import StageStats
+
+        stats = StageStats()
+        stats.add(1.5, calls=3)  # aggregate only: no histogram samples
+        assert stats.quantile_seconds(0.95) is None
+        assert stats.p50_ms is None and stats.p95_ms is None
+
+    def test_merge_widens_shorter_histogram(self):
+        from repro.instrument import StageStats, hist_bucket
+
+        short, long = StageStats(hist=[0] * 5), StageStats()
+        short.hist[2] = 4
+        long.observe(0.5)  # lands far beyond bucket 5
+        short.merge_from(long)
+        assert len(short.hist) == len(long.hist)
+        assert short.hist[2] == 4
+        assert short.hist[hist_bucket(0.5)] == 1
+
+    def test_from_dict_widens_for_out_of_range_buckets(self):
+        from repro.instrument import HIST_BUCKETS, StageStats
+
+        stats = StageStats.from_dict(
+            {"calls": 1, "seconds": 1.0, "hist": {str(HIST_BUCKETS + 3): 1}}
+        )
+        assert sum(stats.hist) == 1  # widened, never dropped
+        assert len(stats.hist) == HIST_BUCKETS + 4
+
+    def test_cpu_seconds_round_trips_and_merges(self):
+        from repro.instrument import StageStats
+
+        a, b = StageStats(), StageStats()
+        a.observe(0.01, cpu_seconds=0.004)
+        b.observe(0.02, cpu_seconds=0.006)
+        a.merge_from(b)
+        assert a.cpu_seconds == pytest.approx(0.010)
+        clone = StageStats.from_dict(a.to_dict())
+        assert clone.cpu_seconds == pytest.approx(a.cpu_seconds)
+
+    def test_stage_timer_measures_cpu(self):
+        from repro.instrument import PipelineMetrics
+
+        m = PipelineMetrics()
+        with m.stage("busy"):
+            sum(i * i for i in range(200_000))
+        stats = m["busy"]
+        assert stats.calls == 1
+        # getrusage is available on this platform; a busy loop must
+        # charge a nonzero user-CPU delta.
+        assert stats.cpu_seconds > 0.0
