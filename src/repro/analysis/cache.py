@@ -37,7 +37,9 @@ from repro.analysis.lint.engine import Violation
 #: the summary schema.
 #: /3: metric emissions and the METRIC_NAMES registry (repro.obs)
 #: joined the summary schema.
-CACHE_SCHEMA = "repro.check.cache/3"
+#: /4: abstract-interpretation value summaries, contract sites and the
+#: ``proof: assumed`` pragma joined the summary schema.
+CACHE_SCHEMA = "repro.check.cache/4"
 
 
 def content_hash(data: bytes) -> str:

@@ -1,0 +1,94 @@
+"""``BND1xx``: definite bound hazards from the value analysis.
+
+The abstract interpreter (:mod:`repro.analysis.values`) records, per
+function, subscripts and array constructions whose bounds it can prove
+wrong on **every** execution the abstraction admits — not "maybe out
+of range" but "out of range whenever this line runs".  This pass just
+surfaces those cached hazards as findings; all the reasoning happened
+at summary-build time, so a warm cache run re-emits them without
+rebuilding anything.
+
+The definite-only bar is what keeps the self-lint of ``src`` and
+``tests`` clean: the prefix-sum fast path indexes with values the
+domain cannot always bound, and a may-analysis would bury the one real
+off-by-one under a hundred maybes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+
+
+@register_pass
+class BoundsPass(Pass):
+    pass_id = "bounds"
+    rules = {
+        "BND101": PassRuleDoc(
+            summary="subscript is provably out of bounds on every execution",
+            doc=(
+                "The interval analysis bounded both the index and the "
+                "sequence length, and every admitted pair is out of range "
+                "(index >= every possible length, or below -length).  "
+                "Symbolic len(param) bounds make this catch the classic "
+                "prefix-array off-by-one: row_prefix[n_rows + 1] against "
+                "an array of length n_rows + 1."
+            ),
+            example="n = len(xs)\nreturn xs[n]",
+            fix=(
+                "Re-derive the index arithmetic; the last valid prefix "
+                "index is len(xs) - 1 (use xs[n - 1], or extend the "
+                "array).  If the analysis missed a narrowing invariant, "
+                "hoist it into an explicit min()/max() clamp."
+            ),
+        ),
+        "BND102": PassRuleDoc(
+            summary="np.add.reduceat offsets are provably invalid",
+            doc=(
+                "reduceat requires its offsets to be in-range indices of "
+                "the value array, and window semantics silently change "
+                "when they are not sorted ascending.  This fires when the "
+                "offset array's element interval is provably outside "
+                "[0, len(values)) or the offsets are provably strictly "
+                "decreasing (e.g. a reversed monotone index array)."
+            ),
+            example="starts = np.arange(4)[::-1]\nnp.add.reduceat(vals, starts)",
+            fix=(
+                "Build offsets ascending (drop the [::-1]; reverse the "
+                "*result* if needed) and clamp them into range before the "
+                "reduction: starts = np.clip(starts, 0, len(vals) - 1)."
+            ),
+        ),
+        "BND103": PassRuleDoc(
+            summary="array extent or BBox side is provably negative",
+            doc=(
+                "np.zeros/ones/empty/full/arange raise on negative sizes "
+                "and BBox.__post_init__ raises on negative width/height; "
+                "this fires when the interval analysis proves the extent "
+                "negative on every execution — a guaranteed runtime crash "
+                "hiding behind whichever path reaches the line."
+            ),
+            example="pad = -2\ncounts = np.zeros(pad)",
+            fix=(
+                "Fix the sign in the extent arithmetic, or clamp with "
+                "max(0, n) when an empty result is the intended "
+                "degenerate case."
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        for key, summary, fn in index.functions():
+            if fn.values is None:
+                continue
+            for line, rule, message in fn.values.hazards:
+                yield Violation(
+                    path=summary.display_path,
+                    line=line,
+                    col=1,
+                    rule=rule,
+                    message=f"{fn.qualname}: {message}",
+                )

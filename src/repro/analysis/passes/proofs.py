@@ -1,0 +1,68 @@
+"""``PROOF1xx``: contract obligations the value analysis refutes.
+
+:mod:`repro.analysis.proofs` classifies every ``@checked`` contract
+site's post-conditions as PROVED / UNPROVEN / ASSUMED / VIOLATED.
+The first three are ledger states (``repro check --proofs``); a
+VIOLATED obligation is a lint failure — the analysis holds an abstract
+counterexample showing the invariant broken on every execution it
+admits — and this pass surfaces it with the interprocedural witness
+chain embedded in the classification detail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.lint.engine import Violation
+from repro.analysis.passes import Pass, PassRuleDoc, TreeProvider, register_pass
+from repro.analysis.proofs import classify_sites
+
+
+@register_pass
+class ProofPass(Pass):
+    pass_id = "proofs"
+    rules = {
+        "PROOF101": PassRuleDoc(
+            summary="a contract post-condition is provably violated",
+            doc=(
+                "Every @checked site decomposes into named proof "
+                "obligations (see docs/STATIC_ANALYSIS.md).  This fires "
+                "when the abstract interpretation proves one broken: a "
+                "counter-fact on the checked function's return value "
+                "(e.g. indices provably outside [0, len(points))) or a "
+                "definite BND1xx hazard in a function the site reaches "
+                "over the call graph.  The message carries the witness "
+                "chain from the hazard back to the contract site."
+            ),
+            example=(
+                "@checked(post=lambda front, points: "
+                "check_pareto_front(points, front))\n"
+                "def pareto_front(points):\n"
+                "    return [len(points)]  # provably out of range"
+            ),
+            fix=(
+                "Fix the violated invariant at the function named in the "
+                "witness chain — the contract is right, the code is not.  "
+                "A deliberately weakened fixture belongs under tests/"
+                "fixtures/ where the self-lint does not walk."
+            ),
+        ),
+    }
+
+    def run(self, index: ProjectIndex, trees: TreeProvider) -> Iterator[Violation]:
+        path_of = {
+            key: summary.display_path for key, summary, _fn in index.functions()
+        }
+        for site in classify_sites(index):
+            for name, detail in site.violated():
+                yield Violation(
+                    path=path_of.get(site.key, ""),
+                    line=site.line,
+                    col=1,
+                    rule="PROOF101",
+                    message=(
+                        f"{site.key.split('::', 1)[1]}: contract obligation "
+                        f"'{name}' is VIOLATED — {detail}"
+                    ),
+                )

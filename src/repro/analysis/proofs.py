@@ -1,0 +1,341 @@
+"""Static proof obligations for the runtime contracts.
+
+PR 2 armed the geometric invariants of Algorithm 1 as ``@checked``
+post-conditions — paid on every call under ``REPRO_CONTRACTS=1`` and
+absent otherwise.  This module closes the gap from the other side: it
+decomposes each contract into named **obligations** and classifies
+every one against the abstract-interpretation facts of
+:mod:`repro.analysis.values`:
+
+* **PROVED** — a value-analysis lemma discharges it on the current
+  source (e.g. ``pareto_front`` provably returns indices in
+  ``[0, len(points))``, so ``front-indices-in-range`` holds on every
+  execution);
+* **VIOLATED** — the analysis proves the property *broken*: a
+  counter-fact (``!index-return:points``) or a definite ``BND1xx``
+  hazard in a function the contract site reaches.  The finding carries
+  the interprocedural witness chain and fails the lint;
+* **UNPROVEN** — outside the domain's reach (quantified pairwise
+  properties, pixel-data-dependent occupancy).  The runtime check
+  stays on;
+* **ASSUMED** — UNPROVEN at a site whose ``def`` carries a reviewed
+  trailing ``# proof: assumed`` pragma.  VIOLATED is never masked.
+
+Every site additionally carries an implicit ``no-bound-hazards``
+obligation: PROVED when no definite out-of-bounds / negative-extent
+hazard exists in any function reachable from the site over the call
+graph.
+
+The classification is serialised as a committed **proof ledger**
+(schema ``repro.analysis.proofs/1``, see ``repro check --proofs``)
+keyed by ``module::qualname`` with the source file's SHA-256, which
+the runtime side (:mod:`repro.analysis.contracts`) consults to skip
+fully discharged contracts for the active code fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.index import ProjectIndex
+from repro.analysis.passes.flowbase import (
+    chain,
+    flow_call_edges,
+    flow_graph,
+    reach_from,
+)
+
+#: Ledger schema identifier; bump on shape changes.
+PROOF_SCHEMA = "repro.analysis.proofs/1"
+
+#: The implicit per-site obligation over call-graph-reachable code.
+HAZARD_OBLIGATION = "no-bound-hazards"
+
+PROVED = "PROVED"
+UNPROVEN = "UNPROVEN"
+VIOLATED = "VIOLATED"
+ASSUMED = "ASSUMED"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One named post-condition of a contract check function.
+
+    ``fact`` is the value-analysis lemma that discharges it (``None``
+    for obligations outside the domain — always UNPROVEN/ASSUMED);
+    ``producer`` is a qualname suffix naming the function whose return
+    value carries the fact (``None`` means the contract site itself).
+    """
+
+    name: str
+    detail: str
+    fact: Optional[str] = None
+    producer: Optional[str] = None
+
+
+#: Contract check function -> its post-condition decomposition.  Keep
+#: the honesty rule: an obligation is only backed by ``fact`` when the
+#: lemma genuinely implies it; everything else stays runtime-checked.
+CHECK_OBLIGATIONS: Dict[str, Tuple[Obligation, ...]] = {
+    "check_cut_sets_in_whitespace": (
+        Obligation(
+            "cut-runs-strictly-interior",
+            "every candidate cut band comes from RegionProfile."
+            "interior_runs, whose comprehension filter proves "
+            "start > 0 and start + size < extent on every element",
+            fact="interior-pairs-return",
+            producer="interior_runs",
+        ),
+        Obligation(
+            "cut-bands-in-whitespace",
+            "the occupancy profile is zero across every chosen cut band"
+            " — depends on runtime pixel data; runtime-checked only",
+        ),
+    ),
+    "check_separators_clear_of_boxes": (
+        Obligation(
+            "separators-clear-of-boxes",
+            "no emitted separator overlaps an input box interior — "
+            "depends on runtime geometry; runtime-checked only",
+        ),
+    ),
+    "check_layout_tree": (
+        Obligation(
+            "children-within-parent",
+            "every child region lies inside its parent's bbox — "
+            "depends on runtime geometry; runtime-checked only",
+        ),
+        Obligation(
+            "siblings-disjoint",
+            "sibling regions do not overlap — depends on runtime "
+            "geometry; runtime-checked only",
+        ),
+    ),
+    "check_cut_siblings_disjoint": (
+        Obligation(
+            "siblings-disjoint",
+            "sibling regions split by one cut set do not overlap — "
+            "depends on runtime geometry; runtime-checked only",
+        ),
+    ),
+    "check_pareto_front": (
+        Obligation(
+            "front-indices-in-range",
+            "every returned front index lies in [0, len(points))",
+            fact="index-return:points",
+        ),
+        Obligation(
+            "front-non-dominated",
+            "no returned point is dominated by another — a quantified "
+            "pairwise property beyond the interval domain; "
+            "runtime-checked only",
+        ),
+    ),
+    "check_extraction_spans": (
+        Obligation(
+            "spans-within-text",
+            "every extraction span lies within its source text — "
+            "depends on runtime strings; runtime-checked only",
+        ),
+    ),
+}
+
+
+@dataclass
+class SiteProof:
+    """One contract site's classification."""
+
+    key: str  # module::qualname
+    line: int
+    checks: List[str] = field(default_factory=list)
+    #: obligation name -> {"status": ..., "detail": ...}
+    obligations: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @property
+    def discharged(self) -> bool:
+        """All obligations PROVED or ASSUMED — the runtime check is
+        redundant on this source."""
+        return all(
+            o["status"] in (PROVED, ASSUMED) for o in self.obligations.values()
+        )
+
+    def violated(self) -> List[Tuple[str, str]]:
+        return [
+            (name, o["detail"])
+            for name, o in sorted(self.obligations.items())
+            if o["status"] == VIOLATED
+        ]
+
+
+def _producer_keys(index: ProjectIndex, suffix: str) -> List[str]:
+    out = []
+    for key, _summary, _fn in index.functions():
+        qual = key.split("::", 1)[1]
+        if qual == suffix or qual.endswith("." + suffix):
+            out.append(key)
+    return sorted(out)
+
+
+def classify_sites(index: ProjectIndex) -> List[SiteProof]:
+    """Classify every contract site's obligations against the value
+    summaries and the call graph."""
+    edges = flow_call_edges(index)
+    graph = flow_graph(edges)
+    facts_of: Dict[str, List[str]] = {}
+    hazards_of: Dict[str, List[Tuple[int, str, str]]] = {}
+    for key, _summary, fn in index.functions():
+        if fn.values is not None:
+            facts_of[key] = fn.values.facts
+            hazards_of[key] = fn.values.hazards
+
+    sites: List[SiteProof] = []
+    for key, summary, fn in index.functions():
+        if not fn.contracts:
+            continue
+        site = SiteProof(
+            key=key, line=fn.line, checks=sorted({c for c, _ln in fn.contracts})
+        )
+        parent = reach_from(graph, [key])
+        for check_name in site.checks:
+            for ob in CHECK_OBLIGATIONS.get(check_name, ()):
+                site.obligations[ob.name] = _classify_obligation(
+                    index, facts_of, parent, key, fn.proof_assumed, ob
+                )
+        site.obligations[HAZARD_OBLIGATION] = _classify_hazards(
+            index, hazards_of, parent, key
+        )
+        sites.append(site)
+    return sorted(sites, key=lambda s: s.key)
+
+
+def _classify_obligation(
+    index: ProjectIndex,
+    facts_of: Dict[str, List[str]],
+    parent: Dict[str, Optional[str]],
+    site_key: str,
+    assumed: bool,
+    ob: Obligation,
+) -> Dict[str, str]:
+    if ob.fact is None:
+        if assumed:
+            return {
+                "status": ASSUMED,
+                "detail": ob.detail + " (reviewed: # proof: assumed)",
+            }
+        return {"status": UNPROVEN, "detail": ob.detail}
+    producers = (
+        [site_key] if ob.producer is None else _producer_keys(index, ob.producer)
+    )
+    for p in producers:
+        if "!" + ob.fact in facts_of.get(p, []):
+            witness = chain(parent, p) if p in parent else p.split("::", 1)[1]
+            return {
+                "status": VIOLATED,
+                "detail": (
+                    f"{ob.detail} — value analysis proves the opposite "
+                    f"(counter-fact !{ob.fact} on {p}); witness: {witness}"
+                ),
+            }
+    for p in producers:
+        if ob.fact in facts_of.get(p, []):
+            return {
+                "status": PROVED,
+                "detail": f"{ob.detail} (lemma {ob.fact} on {p})",
+            }
+    if assumed:
+        return {
+            "status": ASSUMED,
+            "detail": ob.detail + " (reviewed: # proof: assumed)",
+        }
+    return {"status": UNPROVEN, "detail": ob.detail}
+
+
+def _classify_hazards(
+    index: ProjectIndex,
+    hazards_of: Dict[str, List[Tuple[int, str, str]]],
+    parent: Dict[str, Optional[str]],
+    site_key: str,
+) -> Dict[str, str]:
+    for key in sorted(parent):
+        for line, rule, message in hazards_of.get(key, []):
+            witness = chain(parent, key)
+            return {
+                "status": VIOLATED,
+                "detail": (
+                    f"definite bound hazard {rule} at line {line} of {key}: "
+                    f"{message}; reached via {witness}"
+                ),
+            }
+    reachable = len(parent)
+    return {
+        "status": PROVED,
+        "detail": (
+            f"no definite out-of-bounds / negative-extent hazard in any of "
+            f"the {reachable} function(s) reachable from the site"
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# The ledger
+# ----------------------------------------------------------------------
+
+
+def build_ledger(index: ProjectIndex, root: Path) -> Dict[str, object]:
+    """The committed artefact: classification plus per-site source
+    fingerprints, deterministic under :func:`ledger_to_json`."""
+    sites: Dict[str, object] = {}
+    path_of: Dict[str, str] = {}
+    for key, summary, _fn in index.functions():
+        path_of[key] = summary.display_path
+    for site in classify_sites(index):
+        display = path_of.get(site.key, "")
+        sha = ""
+        file_path = root / display
+        try:
+            sha = hashlib.sha256(file_path.read_bytes()).hexdigest()
+        except OSError:
+            pass
+        sites[site.key] = {
+            "path": display,
+            "line": site.line,
+            "source_sha256": sha,
+            "checks": site.checks,
+            "obligations": site.obligations,
+        }
+    return {"schema": PROOF_SCHEMA, "sites": sites}
+
+
+def ledger_to_json(ledger: Dict[str, object]) -> str:
+    return json.dumps(ledger, indent=2, sort_keys=True) + "\n"
+
+
+def load_ledger(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != PROOF_SCHEMA:
+        return None
+    return data
+
+
+__all__ = [
+    "ASSUMED",
+    "CHECK_OBLIGATIONS",
+    "HAZARD_OBLIGATION",
+    "PROOF_SCHEMA",
+    "PROVED",
+    "Obligation",
+    "SiteProof",
+    "UNPROVEN",
+    "VIOLATED",
+    "build_ledger",
+    "classify_sites",
+    "ledger_to_json",
+    "load_ledger",
+]

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import cfg as _cfg
+from repro.analysis import values as _values
 from repro.analysis.cache import ResultCache, content_hash, engine_fingerprint
 from repro.analysis.index import ModuleSummary, ProjectIndex, summarize_module
 from repro.analysis.lint import rules as _rules  # noqa: F401  (registers the catalogue)
@@ -100,12 +101,14 @@ def _analyze_source(
     ]
     violations = run_module_rules(info, active)
     before = _cfg.BUILD_COUNT
+    values_before = _values.BUILD_COUNT
     summary = summarize_module(info)
     return {
         "display": display,
         "summary": summary.to_dict(),
         "violations": [v.to_dict() for v in violations],
         "cfgs": _cfg.BUILD_COUNT - before,
+        "values": _values.BUILD_COUNT - values_before,
     }
 
 
@@ -190,6 +193,7 @@ def check_project(
     ]
     metrics = PipelineMetrics()
     cfgs_built = 0
+    values_built = 0
     results: List[Dict[str, object]] = []
     with metrics.stage("check.files"):
         if jobs > 1 and len(misses) > 1:
@@ -200,6 +204,7 @@ def check_project(
         else:
             # Serial runs keep the parsed trees and lend them to the passes.
             cfg_base = _cfg.BUILD_COUNT
+            values_base = _values.BUILD_COUNT
             for path_str, display, source, _ in misses:
                 try:
                     info = ModuleInfo(Path(path_str), source, display)
@@ -224,6 +229,7 @@ def check_project(
                         display, miss_shas[display], fingerprint, summary, file_violations
                     )
             cfgs_built += _cfg.BUILD_COUNT - cfg_base
+            values_built += _values.BUILD_COUNT - values_base
 
         for item in results:
             display = str(item["display"])
@@ -235,6 +241,7 @@ def check_project(
             summaries.append(summary)
             violations.extend(file_violations)
             cfgs_built += int(item.get("cfgs", 0))  # type: ignore[arg-type]
+            values_built += int(item.get("values", 0))  # type: ignore[arg-type]
             if cache is not None:
                 cache.put(display, miss_shas[display], fingerprint, summary, file_violations)
 
@@ -304,6 +311,10 @@ def check_project(
         "cache_hits": cache.hits if cache is not None else 0,
         "cache_misses": cache.misses if cache is not None else 0,
         "cfgs": cfgs_built,
+        # A warm cache serves every ValueSummary from disk: CI asserts
+        # this is 0 alongside the zero-CFG invariant.
+        "value_summaries": values_built,
+        "values_cached": len(files) - len(misses),
     }
     return CheckResult(
         violations=sorted(violations), index=index, stats=stats, metrics=metrics

@@ -1,0 +1,1140 @@
+"""Abstract-interpretation value analysis over the per-function CFGs.
+
+The flow engine (:mod:`repro.analysis.flow`) answers *reachability*
+questions — which calls, raises and releases can happen.  This module
+answers *value* questions: what ranges can an integer take, how long
+can an array be, can this index ever leave its array.  It runs the
+same worklist solver (:mod:`repro.analysis.dataflow`) over the same
+CFGs, with an interval + shape domain instead of fact sets:
+
+* **numbers** carry an interval whose bounds are either constants or
+  symbolic ``len(param) + k`` expressions (so ``i in range(len(xs))``
+  proves ``0 <= i <= len(xs) - 1`` without knowing ``len(xs)``);
+* **sequences** carry a length interval, an element interval, and
+  qualitative facts (``monotone-inc`` for ``np.arange`` /
+  ``np.flatnonzero`` output, ``interior-pairs`` for run lists whose
+  comprehension filter proves strict interiority);
+* **BBox** construction records the relational ordering fact
+  ``x0 <= x1, y0 <= y1`` (``bbox-ordered``) whenever both extents are
+  provably non-negative — the constructor raises otherwise, so a
+  provably *negative* extent is a definite hazard, not a maybe.
+
+Loops are tamed by widening (:class:`ValueLattice.widen` jumps moving
+bounds to ±∞ after a few updates), so the fixpoint always terminates
+within the solver's iteration budget.
+
+Two things come out of a run, condensed into a cached
+:class:`ValueSummary`:
+
+* **facts** about the function's return value (``nonneg-return``,
+  ``index-return:<param>``, ``interior-pairs-return``, …) that the
+  proof layer (:mod:`repro.analysis.proofs`) uses as lemmas when
+  discharging contract post-conditions — including *counter-facts*
+  (``!fact``) when the analysis can prove the property definitely
+  broken, which is what turns a contract VIOLATED;
+* **hazards** — definite (not "maybe") out-of-bounds subscripts
+  (``BND101``), provably wrong ``np.add.reduceat`` offsets
+  (``BND102``) and provably negative array extents (``BND103``).
+  Only *definite* violations are reported: every bound must be known
+  well enough to show the bad case happens on **all** executions the
+  abstraction admits, so the analysis stays silent on correct code
+  instead of drowning it in maybes.
+
+The analysis is intraprocedural; interprocedural propagation happens
+in the proof layer over the PR 4 call graph, using these summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import Lattice, solve
+
+#: Value summaries built by this process (mirrors ``cfg.BUILD_COUNT``;
+#: ``repro check --stats`` reports the delta and a warm cache run must
+#: report 0).
+BUILD_COUNT = 0
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Bounds: constants and ``len(param) + k``
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One interval endpoint: ``off`` when ``sym`` is ``None``, else
+    ``len(<sym param>) + off``.  Every symbol denotes a length, hence a
+    non-negative integer — the comparison rules below lean on that."""
+
+    sym: Optional[str]
+    off: float
+
+    def add(self, c: float) -> "Bound":
+        if self.off in (_INF, -_INF):
+            return self
+        return Bound(self.sym, self.off + c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.sym is None:
+            return f"{self.off:g}"
+        return f"len({self.sym}){self.off:+g}" if self.off else f"len({self.sym})"
+
+
+NEG_INF = Bound(None, -_INF)
+POS_INF = Bound(None, _INF)
+
+
+def bound_le(a: Bound, b: Bound) -> bool:
+    """``a <= b`` on **every** concrete instantiation of the symbols."""
+    if a.off == -_INF or b.off == _INF:
+        return True
+    if a.off == _INF or b.off == -_INF:
+        return False
+    if a.sym == b.sym:
+        return a.off <= b.off
+    if a.sym is None:
+        # a.off <= len(x) + b.off holds for every len(x) >= 0.
+        return a.off <= b.off
+    return False
+
+
+def bound_lt(a: Bound, b: Bound) -> bool:
+    """``a < b`` on every concrete instantiation."""
+    if a.off == -_INF and b.off != -_INF:
+        return True
+    if b.off == _INF and a.off != _INF:
+        return True
+    if a.off in (_INF, -_INF) or b.off in (_INF, -_INF):
+        return False
+    if a.sym == b.sym:
+        return a.off < b.off
+    if a.sym is None:
+        return a.off < b.off
+    return False
+
+
+def _bound_add(a: Bound, b: Bound, toward: float) -> Bound:
+    """Sum of two bounds; unrepresentable (two symbols) falls to ±∞."""
+    if a.off in (_INF, -_INF):
+        return a
+    if b.off in (_INF, -_INF):
+        return b
+    if a.sym is None:
+        return Bound(b.sym, a.off + b.off)
+    if b.sym is None:
+        return Bound(a.sym, a.off + b.off)
+    return POS_INF if toward > 0 else NEG_INF
+
+
+def _bound_neg(a: Bound, toward: float) -> Bound:
+    if a.off == _INF:
+        return NEG_INF
+    if a.off == -_INF:
+        return POS_INF
+    if a.sym is None:
+        return Bound(None, -a.off)
+    return POS_INF if toward > 0 else NEG_INF
+
+
+# ----------------------------------------------------------------------
+# Intervals
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed interval; ``lo > hi`` (under :func:`bound_lt`) is empty —
+    the bottom used for "no elements seen yet"."""
+
+    lo: Bound = NEG_INF
+    hi: Bound = POS_INF
+
+    @staticmethod
+    def const(v: float) -> "Interval":
+        return Interval(Bound(None, v), Bound(None, v))
+
+    @staticmethod
+    def of(lo: float, hi: float) -> "Interval":
+        return Interval(Bound(None, lo), Bound(None, hi))
+
+    @property
+    def is_empty(self) -> bool:
+        return bound_lt(self.hi, self.lo)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo.off == -_INF and self.hi.off == _INF
+
+    def contains_value(self, v: float) -> bool:
+        """Whether ``v`` may lie in the interval (symbolic bounds can
+        always admit it unless the constant part rules it out)."""
+        return not (bound_lt(Bound(None, v), self.lo) or bound_lt(self.hi, Bound(None, v)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo!r}, {self.hi!r}]"
+
+
+TOP_IVAL = Interval()
+EMPTY_IVAL = Interval(POS_INF, NEG_INF)
+
+
+def _join_lo(a: Bound, b: Bound) -> Bound:
+    if bound_le(a, b):
+        return a
+    if bound_le(b, a):
+        return b
+    return NEG_INF
+
+
+def _join_hi(a: Bound, b: Bound) -> Bound:
+    if bound_le(a, b):
+        return b
+    if bound_le(b, a):
+        return a
+    return POS_INF
+
+
+def join_interval(a: Interval, b: Interval) -> Interval:
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    return Interval(_join_lo(a.lo, b.lo), _join_hi(a.hi, b.hi))
+
+
+def widen_interval(old: Interval, new: Interval) -> Interval:
+    """Standard interval widening: a bound still moving after the join
+    threshold jumps straight to ±∞ so loops converge."""
+    if old.is_empty:
+        return new
+    if new.is_empty:
+        return old
+    lo = old.lo if bound_le(old.lo, new.lo) else NEG_INF
+    hi = old.hi if bound_le(new.hi, old.hi) else POS_INF
+    return Interval(lo, hi)
+
+
+def _arith(a: Interval, b: Interval, op) -> Interval:
+    """Corner arithmetic for *, // — constants only, else TOP."""
+    corners: List[float] = []
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            if x.sym is not None or y.sym is not None:
+                return TOP_IVAL
+            if x.off in (_INF, -_INF) or y.off in (_INF, -_INF):
+                return TOP_IVAL
+            try:
+                corners.append(op(x.off, y.off))
+            except (ZeroDivisionError, OverflowError):
+                return TOP_IVAL
+    return Interval.of(min(corners), max(corners))
+
+
+def interval_add(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY_IVAL
+    return Interval(_bound_add(a.lo, b.lo, -1), _bound_add(a.hi, b.hi, +1))
+
+
+def interval_sub(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY_IVAL
+    return Interval(
+        _bound_add(a.lo, _bound_neg(b.hi, -1), -1),
+        _bound_add(a.hi, _bound_neg(b.lo, +1), +1),
+    )
+
+
+def interval_mul(a: Interval, b: Interval) -> Interval:
+    return _arith(a, b, lambda x, y: x * y)
+
+
+def interval_floordiv(a: Interval, b: Interval) -> Interval:
+    # Divisor interval touching zero -> unknown (and possibly raising).
+    if b.contains_value(0.0):
+        return TOP_IVAL
+    return _arith(a, b, lambda x, y: float(x // y))
+
+
+def interval_min(a: Interval, b: Interval) -> Interval:
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    lo = _join_lo(a.lo, b.lo)  # min(a, b) >= min of the lows, when comparable
+    if bound_le(a.hi, b.hi):
+        hi = a.hi
+    elif bound_le(b.hi, a.hi):
+        hi = b.hi
+    else:
+        # Incomparable: either side's hi still upper-bounds the min.
+        hi = a.hi if a.hi.off != _INF else b.hi
+    return Interval(lo, hi)
+
+
+def interval_max(a: Interval, b: Interval) -> Interval:
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    hi = _join_hi(a.hi, b.hi)
+    if bound_le(b.lo, a.lo):
+        lo = a.lo
+    elif bound_le(a.lo, b.lo):
+        lo = b.lo
+    else:
+        lo = a.lo if a.lo.off != -_INF else b.lo
+    return Interval(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Abstract values
+# ----------------------------------------------------------------------
+
+#: Qualitative sequence/box facts tracked through the dataflow.
+#: ``monotone-inc`` is *strictly* increasing (``np.arange``,
+#: ``np.flatnonzero``); ``monotone-dec`` strictly decreasing (its
+#: reversal); ``monotone-nondec`` merely sorted; ``interior-pairs``
+#: marks run lists whose comprehension filter proved
+#: ``start > 0 and start + size < extent``; ``bbox-ordered`` marks a
+#: BBox whose extents were provably non-negative at construction
+#: (hence ``x0 <= x1 and y0 <= y1``).
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One variable's abstraction: a kind tag plus the lattice data the
+    kind uses (the rest stays at its TOP)."""
+
+    kind: str = "any"  # "num" | "seq" | "bbox" | "any"
+    ival: Interval = TOP_IVAL
+    length: Interval = TOP_IVAL
+    elem: Interval = TOP_IVAL
+    facts: frozenset = frozenset()
+
+
+TOP_VAL = AbsVal()
+
+
+def num(ival: Interval) -> AbsVal:
+    return AbsVal(kind="num", ival=ival)
+
+
+def seq(length: Interval, elem: Interval = TOP_IVAL, facts: frozenset = frozenset()) -> AbsVal:
+    return AbsVal(kind="seq", length=length, elem=elem, facts=facts)
+
+
+def join_val(a: AbsVal, b: AbsVal) -> AbsVal:
+    if a.kind != b.kind:
+        return TOP_VAL
+    return AbsVal(
+        kind=a.kind,
+        ival=join_interval(a.ival, b.ival),
+        length=join_interval(a.length, b.length),
+        elem=join_interval(a.elem, b.elem),
+        facts=a.facts & b.facts,
+    )
+
+
+def widen_val(old: AbsVal, new: AbsVal) -> AbsVal:
+    if old.kind != new.kind:
+        return TOP_VAL
+    return AbsVal(
+        kind=old.kind,
+        ival=widen_interval(old.ival, new.ival),
+        length=widen_interval(old.length, new.length),
+        elem=widen_interval(old.elem, new.elem),
+        facts=old.facts & new.facts,
+    )
+
+
+class ValueLattice(Lattice):
+    """Pointwise map lattice over :class:`AbsVal`.
+
+    A key present on one side only is kept: any *use* of the variable
+    is dominated by some binding, so the one-sided value is its value
+    whenever the read can happen at all.  Missing keys evaluate to
+    :data:`TOP_VAL`, which keeps premature transfers (the solver seeds
+    every reachable node) conservative.
+    """
+
+    def bottom(self) -> Dict[str, AbsVal]:
+        return {}
+
+    def join(self, a: Dict[str, AbsVal], b: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+        out = dict(a)
+        for key, value in b.items():
+            out[key] = join_val(out[key], value) if key in out else value
+        return out
+
+    def widen(self, old: Dict[str, AbsVal], new: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+        out = dict(old)
+        for key, value in new.items():
+            out[key] = widen_val(out[key], value) if key in out else value
+        return out
+
+
+# ----------------------------------------------------------------------
+# The cached per-function summary
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ValueSummary:
+    """What the proof layer needs from one function's value analysis.
+
+    ``facts`` describe the return value (``nonneg-return``,
+    ``index-return:<param>``, ``interior-pairs-return``,
+    ``monotone-return``, ``bbox-ordered-return``); a leading ``!``
+    marks a *counter-fact* — the property is provably broken on every
+    path, which the proof layer escalates to VIOLATED.  ``hazards``
+    are definite BND1xx findings as ``(line, rule, message)``.
+    """
+
+    facts: List[str] = field(default_factory=list)
+    hazards: List[Tuple[int, str, str]] = field(default_factory=list)
+
+    def empty(self) -> bool:
+        return not self.facts and not self.hazards
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "facts": list(self.facts),
+            "hazards": [list(h) for h in self.hazards],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ValueSummary":
+        return ValueSummary(
+            facts=[str(f) for f in data.get("facts", [])],  # type: ignore[union-attr]
+            hazards=[
+                (int(ln), str(r), str(m))
+                for ln, r, m in data.get("hazards", [])  # type: ignore[union-attr]
+            ],
+        )
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+
+
+class _Evaluator:
+    """Abstract evaluation of expressions against an environment."""
+
+    def __init__(self, resolver, stable_params):
+        self.resolver = resolver
+        self.stable_params = stable_params
+        #: definite hazards found by the post-fixpoint scan; the scan
+        #: sets ``collect`` so fixpoint iteration stays pure.
+        self.collect: Optional[List[Tuple[int, str, str]]] = None
+
+    # -- helpers -------------------------------------------------------
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        if self.resolver is None:
+            if isinstance(node, ast.Name):
+                return node.id
+            parts: List[str] = []
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name):
+                parts.append(node.id)
+                return ".".join(reversed(parts))
+            return None
+        return self.resolver.resolve(node)
+
+    def _hazard(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.collect is not None:
+            self.collect.append((node.lineno, rule, message))
+
+    def _len_of(self, node: ast.AST, env: Dict[str, AbsVal]) -> Interval:
+        """Interval of ``len(node)`` — symbolic for stable params."""
+        if isinstance(node, ast.Name):
+            if node.id in self.stable_params:
+                b = Bound(node.id, 0)
+                return Interval(b, b)
+            val = env.get(node.id, TOP_VAL)
+            if val.kind == "seq":
+                return join_interval(val.length, Interval.of(0, _INF))
+        val = self.eval(node, env)
+        if val.kind == "seq":
+            return val.length
+        return Interval.of(0, _INF)
+
+    # -- entry point ---------------------------------------------------
+
+    def eval(self, node: ast.AST, env: Dict[str, AbsVal]) -> AbsVal:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            return TOP_VAL
+        return method(node, env)
+
+    # -- leaves --------------------------------------------------------
+
+    def _eval_Constant(self, node: ast.Constant, env) -> AbsVal:
+        v = node.value
+        if isinstance(v, bool):
+            return num(Interval.const(float(v)))
+        if isinstance(v, (int, float)):
+            return num(Interval.const(float(v)))
+        if isinstance(v, (str, bytes)):
+            return seq(Interval.const(float(len(v))))
+        return TOP_VAL
+
+    def _eval_Name(self, node: ast.Name, env) -> AbsVal:
+        return env.get(node.id, TOP_VAL)
+
+    def _eval_Tuple(self, node: ast.Tuple, env) -> AbsVal:
+        return self._literal_seq(node, env)
+
+    def _eval_List(self, node: ast.List, env) -> AbsVal:
+        return self._literal_seq(node, env)
+
+    def _literal_seq(self, node, env) -> AbsVal:
+        if any(isinstance(e, ast.Starred) for e in node.elts):
+            return seq(Interval.of(0, _INF))
+        elem = EMPTY_IVAL
+        for e in node.elts:
+            v = self.eval(e, env)
+            elem = join_interval(elem, v.ival if v.kind == "num" else TOP_IVAL)
+        return seq(Interval.const(float(len(node.elts))), elem)
+
+    # -- operators -----------------------------------------------------
+
+    def _eval_BinOp(self, node: ast.BinOp, env) -> AbsVal:
+        a = self.eval(node.left, env)
+        b = self.eval(node.right, env)
+        if a.kind == "seq" and b.kind == "seq" and isinstance(node.op, ast.Add):
+            return seq(interval_add(a.length, b.length), join_interval(a.elem, b.elem))
+        if a.kind != "num" or b.kind != "num":
+            return TOP_VAL
+        if isinstance(node.op, ast.Add):
+            return num(interval_add(a.ival, b.ival))
+        if isinstance(node.op, ast.Sub):
+            return num(interval_sub(a.ival, b.ival))
+        if isinstance(node.op, ast.Mult):
+            return num(interval_mul(a.ival, b.ival))
+        if isinstance(node.op, ast.FloorDiv):
+            return num(interval_floordiv(a.ival, b.ival))
+        return TOP_VAL
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env) -> AbsVal:
+        v = self.eval(node.operand, env)
+        if isinstance(node.op, ast.USub) and v.kind == "num":
+            return num(
+                Interval(_bound_neg(v.ival.hi, -1), _bound_neg(v.ival.lo, +1))
+            )
+        if isinstance(node.op, ast.Not):
+            return num(Interval.of(0, 1))
+        return TOP_VAL
+
+    def _eval_Compare(self, node: ast.Compare, env) -> AbsVal:
+        for sub in ast.walk(node):
+            if sub is not node:
+                self.eval(sub, env) if isinstance(sub, ast.Subscript) else None
+        return num(Interval.of(0, 1))
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env) -> AbsVal:
+        # ``a and b`` / ``a or b`` return one of the operands.
+        out: Optional[AbsVal] = None
+        for v in node.values:
+            val = self.eval(v, env)
+            out = val if out is None else join_val(out, val)
+        return out or TOP_VAL
+
+    def _eval_IfExp(self, node: ast.IfExp, env) -> AbsVal:
+        return join_val(self.eval(node.body, env), self.eval(node.orelse, env))
+
+    # -- subscripts ----------------------------------------------------
+
+    def _eval_Subscript(self, node: ast.Subscript, env) -> AbsVal:
+        base = self.eval(node.value, env)
+        if (
+            base.kind != "seq"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.stable_params
+        ):
+            # A bare parameter: shape unknown, but its length (if it is
+            # a sequence at all) is exactly the symbol len(param).
+            b = Bound(node.value.id, 0)
+            base = seq(Interval(b, b))
+        if isinstance(node.slice, ast.Slice):
+            return self._eval_slice(node, base, env)
+        if base.kind != "seq":
+            return TOP_VAL
+        idx = self.eval(node.slice, env)
+        if idx.kind == "num" and not idx.ival.is_empty:
+            length_hi = base.length.hi
+            # Definite out-of-bounds: every admitted (index, length)
+            # pair fails -- index >= any possible length, or index
+            # below -length on every execution.
+            if bound_le(length_hi, idx.ival.lo) and length_hi.off != _INF:
+                self._hazard(
+                    node,
+                    "BND101",
+                    f"index {idx.ival!r} is provably >= the sequence length "
+                    f"{base.length!r} — out of bounds on every execution",
+                )
+            elif (
+                length_hi.sym is None
+                and length_hi.off != _INF
+                and idx.ival.hi.sym is None
+                and idx.ival.hi.off < -length_hi.off
+            ):
+                self._hazard(
+                    node,
+                    "BND101",
+                    f"index {idx.ival!r} is provably below -len "
+                    f"({base.length!r}) — out of bounds on every execution",
+                )
+        return AbsVal(kind="num", ival=base.elem) if not base.elem.is_top else TOP_VAL
+
+    def _eval_slice(self, node: ast.Subscript, base: AbsVal, env) -> AbsVal:
+        sl = node.slice
+        if base.kind != "seq":
+            return TOP_VAL
+        facts = frozenset()
+        step = sl.step
+        if step is None or (isinstance(step, ast.Constant) and step.value == 1):
+            facts = base.facts & {"monotone-inc", "monotone-nondec", "monotone-dec"}
+        elif (
+            isinstance(step, ast.UnaryOp)
+            and isinstance(step.op, ast.USub)
+            and isinstance(step.operand, ast.Constant)
+            and step.operand.value == 1
+        ):
+            flip = {"monotone-inc": "monotone-dec", "monotone-dec": "monotone-inc"}
+            facts = frozenset(flip[f] for f in base.facts if f in flip)
+        if sl.lower is None and sl.upper is None:
+            # A bare [::] / [::-1] keeps every element.
+            length = base.length
+        else:
+            length = Interval(Bound(None, 0), base.length.hi)
+        return seq(length, base.elem, facts)
+
+    # -- calls ---------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call, env) -> AbsVal:
+        name = self._resolve(node.func)
+        if name is None:
+            return TOP_VAL
+        leaf = name.rsplit(".", 1)[-1]
+        args = node.args
+
+        if name == "len" and len(args) == 1:
+            return num(self._len_of(args[0], env))
+        if name == "range" and 1 <= len(args) <= 2 and not any(
+            isinstance(a, ast.Starred) for a in args
+        ):
+            if len(args) == 1:
+                lo = Interval.const(0.0)
+                hi_src = self.eval(args[0], env)
+            else:
+                lo = self.eval(args[0], env).ival
+                hi_src = self.eval(args[1], env)
+            hi = hi_src.ival if hi_src.kind == "num" else TOP_IVAL
+            elem = Interval(
+                lo.lo if not lo.is_empty else NEG_INF, hi.hi.add(-1)
+            )
+            return seq(
+                Interval(Bound(None, 0), hi.hi),
+                elem,
+                frozenset({"monotone-inc"}),
+            )
+        if name in ("min", "max") and len(args) >= 2:
+            vals = [self.eval(a, env) for a in args]
+            if all(v.kind == "num" for v in vals):
+                fold = interval_min if name == "min" else interval_max
+                out = vals[0].ival
+                for v in vals[1:]:
+                    out = fold(out, v.ival)
+                return num(out)
+            return TOP_VAL
+        if name == "abs" and len(args) == 1:
+            v = self.eval(args[0], env)
+            if v.kind == "num" and v.ival.lo.sym is None and v.ival.hi.sym is None:
+                lo, hi = v.ival.lo.off, v.ival.hi.off
+                if -_INF < lo and hi < _INF:
+                    bounds = [abs(lo), abs(hi)]
+                    low = 0.0 if lo <= 0.0 <= hi else min(bounds)
+                    return num(Interval.of(low, max(bounds)))
+            return num(Interval.of(0, _INF))
+        if name in ("sorted", "list", "tuple") and len(args) == 1:
+            v = self.eval(args[0], env)
+            if v.kind == "seq":
+                if name == "sorted":
+                    # ``key=`` sorts by something else entirely and
+                    # ``reverse=`` flips the order — only a bare
+                    # sorted() yields a value-nondecreasing sequence.
+                    facts = (
+                        frozenset({"monotone-nondec"})
+                        if not node.keywords
+                        else frozenset()
+                    )
+                    return seq(v.length, v.elem, facts)
+                return v
+            return seq(Interval.of(0, _INF))
+        if leaf == "BBox" and len(args) >= 4:
+            return self._eval_bbox(node, env)
+        for prefix in ("numpy.", "np."):
+            if name.startswith(prefix):
+                return self._eval_numpy(name[len(prefix):], node, env)
+        return TOP_VAL
+
+    def _eval_bbox(self, node: ast.Call, env) -> AbsVal:
+        w = self.eval(node.args[2], env)
+        h = self.eval(node.args[3], env)
+        for label, v in (("width", w), ("height", h)):
+            if v.kind == "num" and not v.ival.is_empty and bound_lt(
+                v.ival.hi, Bound(None, 0)
+            ):
+                self._hazard(
+                    node,
+                    "BND103",
+                    f"BBox constructed with provably negative {label} "
+                    f"{v.ival!r} — raises ValueError on every execution",
+                )
+        ordered = all(
+            v.kind == "num" and bound_le(Bound(None, 0), v.ival.lo)
+            for v in (w, h)
+        )
+        facts = frozenset({"bbox-ordered"}) if ordered else frozenset()
+        return AbsVal(kind="bbox", facts=facts)
+
+    def _eval_numpy(self, leaf: str, node: ast.Call, env) -> AbsVal:
+        args = node.args
+        if leaf in ("zeros", "ones", "empty", "full", "arange") and args:
+            n = self.eval(args[0], env)
+            if n.kind == "num" and not n.ival.is_empty and bound_lt(
+                n.ival.hi, Bound(None, 0)
+            ):
+                self._hazard(
+                    node,
+                    "BND103",
+                    f"numpy.{leaf} called with provably negative size "
+                    f"{n.ival!r} — raises on every execution",
+                )
+            if n.kind == "num" and not n.ival.is_empty:
+                lo = n.ival.lo if bound_le(Bound(None, 0), n.ival.lo) else Bound(None, 0)
+                length = Interval(lo, n.ival.hi)
+            else:
+                length = Interval.of(0, _INF)
+            if leaf == "arange" and len(args) == 1:
+                elem = Interval(Bound(None, 0), n.ival.hi.add(-1))
+                return seq(length, elem, frozenset({"monotone-inc"}))
+            elem = {"zeros": Interval.const(0.0), "ones": Interval.const(1.0)}.get(
+                leaf, TOP_IVAL
+            )
+            return seq(length, elem)
+        if leaf in ("asarray", "array", "ascontiguousarray") and args:
+            v = self.eval(args[0], env)
+            return v if v.kind == "seq" else seq(Interval.of(0, _INF))
+        if leaf == "cumsum" and args:
+            v = self.eval(args[0], env)
+            if v.kind == "seq" and bound_le(Bound(None, 0), v.elem.lo):
+                return seq(
+                    v.length,
+                    Interval(v.elem.lo, POS_INF),
+                    frozenset({"monotone-nondec"}),
+                )
+            return seq(v.length if v.kind == "seq" else Interval.of(0, _INF))
+        if leaf == "flatnonzero" and args:
+            return seq(
+                Interval.of(0, _INF),
+                Interval.of(0, _INF),
+                frozenset({"monotone-inc"}),
+            )
+        if leaf == "add.reduceat" and len(args) >= 2:
+            vals = self.eval(args[0], env)
+            starts = self.eval(args[1], env)
+            self._check_reduceat(node, vals, starts)
+            length = starts.length if starts.kind == "seq" else Interval.of(0, _INF)
+            return seq(length)
+        if leaf in ("concatenate", "hstack") and len(args) == 1:
+            return seq(Interval.of(0, _INF))
+        return TOP_VAL
+
+    def _check_reduceat(self, node: ast.Call, vals: AbsVal, starts: AbsVal) -> None:
+        if starts.kind != "seq":
+            return
+        if vals.kind == "seq" and not starts.elem.is_empty:
+            length_hi = vals.length.hi
+            if bound_le(length_hi, starts.elem.lo) and length_hi.off != _INF:
+                self._hazard(
+                    node,
+                    "BND102",
+                    f"reduceat offsets {starts.elem!r} are provably >= the "
+                    f"value array length {vals.length!r} — out of range on "
+                    f"every execution",
+                )
+            elif bound_lt(starts.elem.hi, Bound(None, 0)):
+                self._hazard(
+                    node,
+                    "BND102",
+                    f"reduceat offsets {starts.elem!r} are provably negative "
+                    f"— out of range on every execution",
+                )
+        if "monotone-dec" in starts.facts and bound_le(
+            Bound(None, 2), starts.length.lo
+        ):
+            self._hazard(
+                node,
+                "BND102",
+                "reduceat offsets are strictly decreasing (a reversed "
+                "monotone index array of length >= 2) — the reduction "
+                "windows are provably wrong on every execution",
+            )
+
+    # -- comprehensions ------------------------------------------------
+
+    def _eval_ListComp(self, node: ast.ListComp, env) -> AbsVal:
+        return self._eval_comp(node, env)
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp, env) -> AbsVal:
+        return self._eval_comp(node, env)
+
+    def _eval_comp(self, node, env) -> AbsVal:
+        if len(node.generators) != 1:
+            return seq(Interval.of(0, _INF))
+        gen = node.generators[0]
+        inner = dict(env)
+        src = self.eval(gen.iter, env)
+        bind_target(inner, gen.target, iterated(src))
+        elt = self.eval(node.elt, inner)
+        length = Interval(
+            Bound(None, 0),
+            src.length.hi if src.kind == "seq" else POS_INF,
+        )
+        facts = frozenset()
+        if _comp_is_interior_pairs(node):
+            facts = frozenset({"interior-pairs"})
+        elem = elt.ival if elt.kind == "num" else TOP_IVAL
+        return seq(length, elem, facts)
+
+
+def iterated(src: AbsVal) -> AbsVal:
+    """The abstraction of one element drawn from ``src``."""
+    if src.kind == "seq" and not src.elem.is_top:
+        return num(src.elem) if not src.elem.is_empty else TOP_VAL
+    return TOP_VAL
+
+
+def bind_target(env: Dict[str, AbsVal], target: ast.AST, value: AbsVal) -> None:
+    """Bind an assignment/loop target; unknown shapes bind to TOP."""
+    if isinstance(target, ast.Name):
+        env[target.id] = value
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            bind_target(env, elt, TOP_VAL)
+    # Attribute / Subscript stores leave the environment alone.
+
+
+def _comp_is_interior_pairs(node) -> bool:
+    """Whether a comprehension provably yields strictly interior
+    ``(start, size)`` pairs: target and element are the same 2-tuple of
+    names and the filter contains ``start > 0`` and
+    ``start + size < <extent>``."""
+    if len(node.generators) != 1:
+        return False
+    gen = node.generators[0]
+    if not (
+        isinstance(gen.target, ast.Tuple)
+        and len(gen.target.elts) == 2
+        and all(isinstance(e, ast.Name) for e in gen.target.elts)
+    ):
+        return False
+    start_name, size_name = (e.id for e in gen.target.elts)
+    if not (
+        isinstance(node.elt, ast.Tuple)
+        and len(node.elt.elts) == 2
+        and all(isinstance(e, ast.Name) for e in node.elt.elts)
+        and node.elt.elts[0].id == start_name
+        and node.elt.elts[1].id == size_name
+    ):
+        return False
+    conds: List[ast.expr] = []
+    for test in gen.ifs:
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            conds.extend(test.values)
+        else:
+            conds.append(test)
+    has_positive_start = False
+    has_interior_end = False
+    for cond in conds:
+        if not (isinstance(cond, ast.Compare) and len(cond.ops) == 1):
+            continue
+        left, op, right = cond.left, cond.ops[0], cond.comparators[0]
+        if (
+            isinstance(op, ast.Gt)
+            and isinstance(left, ast.Name)
+            and left.id == start_name
+            and isinstance(right, ast.Constant)
+            and right.value == 0
+        ):
+            has_positive_start = True
+        if (
+            isinstance(op, ast.Lt)
+            and isinstance(left, ast.BinOp)
+            and isinstance(left.op, ast.Add)
+            and isinstance(left.left, ast.Name)
+            and left.left.id == start_name
+            and isinstance(left.right, ast.Name)
+            and left.right.id == size_name
+        ):
+            has_interior_end = True
+    return has_positive_start and has_interior_end
+
+
+# ----------------------------------------------------------------------
+# The per-function analysis
+# ----------------------------------------------------------------------
+
+
+def _assigned_names(func) -> set:
+    """Names the function body can rebind (excludes nested defs)."""
+    out = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            out.add(node.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+    return out
+
+
+def _transfer_stmt(ev: _Evaluator, stmt, env: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+    """One statement's effect (header-only for compound statements)."""
+    out = dict(env)
+    if isinstance(stmt, ast.Assign):
+        value = ev.eval(stmt.value, env)
+        for target in stmt.targets:
+            if (
+                isinstance(target, (ast.Tuple, ast.List))
+                and isinstance(stmt.value, (ast.Tuple, ast.List))
+                and len(target.elts) == len(stmt.value.elts)
+                and all(isinstance(e, ast.Name) for e in target.elts)
+            ):
+                for t, v in zip(target.elts, stmt.value.elts):
+                    out[t.id] = ev.eval(v, env)  # type: ignore[union-attr]
+            else:
+                bind_target(out, target, value)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        bind_target(out, stmt.target, ev.eval(stmt.value, env))
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            synthetic = ast.BinOp(
+                left=ast.Name(id=stmt.target.id, ctx=ast.Load()),
+                op=stmt.op,
+                right=stmt.value,
+            )
+            ast.copy_location(synthetic, stmt)
+            ast.fix_missing_locations(synthetic)
+            out[stmt.target.id] = ev.eval(synthetic, env)
+        else:
+            ev.eval(stmt.value, env)
+    elif isinstance(stmt, ast.For):
+        ev.eval(stmt.iter, env)
+        bind_target(out, stmt.target, iterated(ev.eval(stmt.iter, env)))
+    elif isinstance(stmt, (ast.While, ast.If)):
+        ev.eval(stmt.test, env)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            ev.eval(stmt.value, env)
+    elif isinstance(stmt, ast.Expr):
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("append", "extend")
+            and isinstance(value.func.value, ast.Name)
+        ):
+            name = value.func.value.id
+            base = env.get(name)
+            if base is not None and base.kind == "seq" and len(value.args) == 1:
+                arg = ev.eval(value.args[0], env)
+                if value.func.attr == "append":
+                    elem = join_interval(
+                        base.elem, arg.ival if arg.kind == "num" else TOP_IVAL
+                    )
+                    out[name] = AbsVal(
+                        kind="seq",
+                        length=interval_add(base.length, Interval.const(1.0)),
+                        elem=elem,
+                        facts=frozenset(),
+                    )
+                else:
+                    elem = join_interval(
+                        base.elem, arg.elem if arg.kind == "seq" else TOP_IVAL
+                    )
+                    out[name] = AbsVal(
+                        kind="seq",
+                        length=interval_add(
+                            base.length,
+                            arg.length if arg.kind == "seq" else Interval.of(0, _INF),
+                        ),
+                        elem=elem,
+                        facts=frozenset(),
+                    )
+        else:
+            ev.eval(value, env)
+    elif isinstance(stmt, ast.With):
+        for item in stmt.items:
+            ev.eval(item.context_expr, env)
+    return out
+
+
+def _entry_env(func, stable_params) -> Dict[str, AbsVal]:
+    env: Dict[str, AbsVal] = {}
+    all_args = list(func.args.posonlyargs) + list(func.args.args) + list(
+        func.args.kwonlyargs
+    )
+    for a in all_args:
+        env[a.arg] = TOP_VAL
+    return env
+
+
+def solve_values(func, resolver=None, cfg: Optional[CFG] = None):
+    """Fixpoint of the value analysis; returns ``(cfg, evaluator,
+    in-facts)`` so callers can inspect any node's environment."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    assigned = _assigned_names(func)
+    params = {
+        a.arg
+        for a in list(func.args.posonlyargs)
+        + list(func.args.args)
+        + list(func.args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    }
+    stable_params = params - assigned
+    ev = _Evaluator(resolver, stable_params)
+    lattice = ValueLattice()
+    stmt_of = {node.id: node.stmt for node in cfg.nodes if node.kind == "stmt"}
+
+    def transfer(node_id: int, fact: Dict[str, AbsVal]) -> Dict[str, AbsVal]:
+        stmt = stmt_of.get(node_id)
+        if stmt is None:
+            return fact
+        return _transfer_stmt(ev, stmt, fact)
+
+    facts = solve(
+        cfg, lattice, transfer, _entry_env(func, stable_params), widen_after=3
+    )
+    return cfg, ev, facts
+
+
+def exit_env(func, resolver=None) -> Dict[str, AbsVal]:
+    """Abstract environment at the function's normal exit — the test
+    hook for the soundness property suite."""
+    cfg, ev, facts = solve_values(func, resolver)
+    env = facts.get(cfg.exit, {})
+    # The exit node's in-fact is the state after the last statement on
+    # every normal path; apply no further transfer.
+    return env
+
+
+# ----------------------------------------------------------------------
+# Facts and hazards -> ValueSummary
+# ----------------------------------------------------------------------
+
+
+def _return_facts(func, ev: _Evaluator, cfg: CFG, facts) -> List[str]:
+    returns: List[AbsVal] = []
+    stmt_envs: List[Tuple[ast.Return, Dict[str, AbsVal]]] = []
+    for node in cfg.nodes:
+        if node.kind == "stmt" and isinstance(node.stmt, ast.Return):
+            env = facts.get(node.id, {})
+            if node.stmt.value is not None:
+                stmt_envs.append((node.stmt, env))
+    if not stmt_envs:
+        return []
+    for stmt, env in stmt_envs:
+        returns.append(ev.eval(stmt.value, env))
+    out: List[str] = []
+
+    def value_range(v: AbsVal) -> Optional[Interval]:
+        if v.kind == "num":
+            return v.ival
+        if v.kind == "seq" and not v.elem.is_top and not v.elem.is_empty:
+            return v.elem
+        return None
+
+    ranges = [value_range(v) for v in returns]
+    if all(r is not None for r in ranges):
+        zero = Bound(None, 0)
+        if all(bound_le(zero, r.lo) for r in ranges):  # type: ignore[union-attr]
+            out.append("nonneg-return")
+        elif all(bound_lt(r.hi, zero) for r in ranges):  # type: ignore[union-attr]
+            out.append("!nonneg-return")
+        for p in sorted(ev.stable_params):
+            limit = Bound(p, -1)
+            if all(
+                bound_le(zero, r.lo) and bound_le(r.hi, limit)  # type: ignore[union-attr]
+                for r in ranges
+            ):
+                out.append(f"index-return:{p}")
+            elif all(
+                bound_le(Bound(p, 0), r.lo) or bound_lt(r.hi, zero)  # type: ignore[union-attr]
+                for r in ranges
+            ):
+                out.append(f"!index-return:{p}")
+    if all("interior-pairs" in v.facts for v in returns):
+        out.append("interior-pairs-return")
+    if all(
+        v.facts & {"monotone-inc", "monotone-nondec"} for v in returns
+    ):
+        out.append("monotone-return")
+    if all("bbox-ordered" in v.facts for v in returns):
+        out.append("bbox-ordered-return")
+    return out
+
+
+def analyze_function(func, resolver=None, cfg: Optional[CFG] = None) -> ValueSummary:
+    """Run the value analysis on one function and condense the result.
+
+    ``resolver`` is the sharpened :class:`~repro.analysis.flow.Resolver`
+    the index already builds; ``cfg`` lets the caller share the CFG
+    :func:`~repro.analysis.flow.compute_flow` built, keeping the warm
+    cache invariant at "0 CFG(s) built".
+    """
+    global BUILD_COUNT
+    BUILD_COUNT += 1
+    cfg, ev, facts = solve_values(func, resolver, cfg)
+    # Post-fixpoint hazard scan: one pure pass per statement with its
+    # final environment (transfers during iteration never collect).
+    hazards: List[Tuple[int, str, str]] = []
+    ev.collect = hazards
+    for node in cfg.nodes:
+        if node.kind == "stmt":
+            _transfer_stmt(ev, node.stmt, facts.get(node.id, {}))
+    ev.collect = None
+    ret_facts = _return_facts(func, ev, cfg, facts)
+    dedup: List[Tuple[int, str, str]] = sorted(set(hazards))
+    return ValueSummary(facts=sorted(set(ret_facts)), hazards=dedup)
+
+
+__all__ = [
+    "AbsVal",
+    "Bound",
+    "Interval",
+    "ValueLattice",
+    "ValueSummary",
+    "analyze_function",
+    "bound_le",
+    "bound_lt",
+    "exit_env",
+    "join_interval",
+    "join_val",
+    "solve_values",
+    "widen_interval",
+]

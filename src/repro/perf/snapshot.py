@@ -60,6 +60,7 @@ def delta_line(
     baseline: Dict[str, object],
     metrics: PipelineMetrics,
     stages: Optional[List[str]] = None,
+    mode: Optional[str] = None,
 ) -> str:
     """One-line per-stage delta of a live run vs a committed snapshot.
 
@@ -74,7 +75,23 @@ def delta_line(
     a bench run, so an explicitly requested stage neither side recorded
     shows as ``(not measured)`` and a stage absent from the committed
     baseline shows as ``new``.
+
+    ``mode`` is the live run's contract mode (``off`` / ``checked`` /
+    ``ledger-skip``, see :func:`repro.analysis.contracts.
+    contracts_mode`).  When it differs from the baseline's recorded
+    ``contracts`` meta the line is prefixed with a not-comparable
+    label: a ledger-skip run beating a contract-checked baseline is
+    the proof layer working, not the pipeline speeding up.
     """
+    prefix = "vs committed baseline: "
+    if mode is not None:
+        meta = baseline.get("meta")
+        base_mode = meta.get("contracts", "off") if isinstance(meta, dict) else "off"
+        if base_mode != mode:
+            prefix = (
+                f"vs committed baseline [NOT COMPARABLE: baseline contracts="
+                f"{base_mode}, this run contracts={mode}]: "
+            )
     base = metrics_of(baseline).stages
     if stages is None:
         stages = sorted(
@@ -102,7 +119,7 @@ def delta_line(
             p95_pct = (curr_p95 - base_p95) / base_p95 * 100.0
             cell += f", p95 {p95_pct:+.0f}%"
         parts.append(cell + ")")
-    return "vs committed baseline: " + ("  ".join(parts) if parts else "(no stages)")
+    return prefix + ("  ".join(parts) if parts else "(no stages)")
 
 
 def compare(

@@ -1,0 +1,24 @@
+"""BND1xx fixture: definite bound hazards on prefix-array plumbing.
+
+Each function is wrong on *every* execution — exactly the bar the
+definite-only detectors require before reporting.
+"""
+
+import numpy as np
+
+
+def last_prefix(row_prefix):
+    """BND101: the last valid prefix index is len - 1, not len."""
+    n = len(row_prefix)
+    return row_prefix[n]
+
+
+def reversed_offsets(values):
+    """BND102: reduceat offsets must ascend; this reverses them."""
+    starts = np.arange(4)[::-1]
+    return np.add.reduceat(np.asarray(values), starts)
+
+
+def negative_pad():
+    """BND103: a provably negative array extent raises on every call."""
+    return np.zeros(3 - 5)

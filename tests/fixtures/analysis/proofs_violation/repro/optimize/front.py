@@ -1,0 +1,27 @@
+"""PROOF101 fixture: a contract site whose obligations are refuted.
+
+``bad_front`` breaks its contract two ways the value analysis can
+prove: it returns ``[len(points)]`` (a counter-example to
+``front-indices-in-range``, every returned index is out of range) and
+it reaches ``offsets`` — which holds a definite BND101 hazard — via
+``stamp``, refuting ``no-bound-hazards`` with an interprocedural
+witness chain.
+"""
+
+from repro.analysis.contracts import check_pareto_front, checked
+
+
+def offsets(xs):
+    n = len(xs)
+    return xs[n]
+
+
+def stamp(xs):
+    return offsets(xs)
+
+
+@checked(post=lambda front, points: check_pareto_front(points, front))
+def bad_front(points):
+    stamp(points)
+    n = len(points)
+    return [n]

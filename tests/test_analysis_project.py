@@ -274,8 +274,11 @@ class TestResultCache:
         cache = tmp_path / "cache.json"
         cold = check_project([tree], root=tmp_path, cache_path=cache)
         assert cold.stats["cfgs"] > 0
+        assert cold.stats["value_summaries"] > 0
         warm = check_project([tree], root=tmp_path, cache_path=cache)
         assert warm.stats["cfgs"] == 0
+        assert warm.stats["value_summaries"] == 0
+        assert warm.stats["values_cached"] == warm.stats["cached"]
         assert warm.violations == cold.violations
 
     def test_parallel_run_counts_cfgs_from_workers(self, tmp_path):
@@ -283,6 +286,7 @@ class TestResultCache:
         serial = check_project([tree], root=tmp_path, jobs=1)
         parallel = check_project([tree], root=tmp_path, jobs=2)
         assert parallel.stats["cfgs"] == serial.stats["cfgs"] > 0
+        assert parallel.stats["value_summaries"] == serial.stats["value_summaries"] > 0
 
     @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
     def test_concurrent_saves_never_corrupt_the_cache(self, tmp_path):
@@ -350,6 +354,26 @@ class TestCli:
         assert repro_main(["check", "--explain", "NOPE999"]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
+    def test_explain_covers_every_registered_rule(self, capsys):
+        """Exhaustiveness gate: every rule the engine can emit — the
+        per-file catalogue, every pass family (incl. PROOF1xx/BND1xx),
+        and the parse sentinel — must explain itself with a worked
+        example and a fix."""
+        from repro.analysis.lint import ALL_RULES
+        from repro.analysis.passes import load_catalogue
+        from repro.analysis.runner import PARSE_RULE
+
+        rule_ids = set(ALL_RULES)
+        for pass_obj in load_catalogue().values():
+            rule_ids.update(pass_obj.rules)
+        rule_ids.add(PARSE_RULE)
+        assert {"PROOF101", "BND101", "BND102", "BND103"} <= rule_ids
+        for rule_id in sorted(rule_ids):
+            assert repro_main(["check", "--explain", rule_id]) == 0, rule_id
+            out = capsys.readouterr().out
+            assert "Example:" in out, f"{rule_id} has no example"
+            assert "Fix:" in out, f"{rule_id} has no fix"
+
     def test_graph_json(self, tmp_path, capsys):
         pkg = tmp_path / "repro"
         pkg.mkdir()
@@ -389,11 +413,15 @@ class TestCli:
         assert repro_main(
             ["check", str(tmp_path), "--cache", str(cache), "--stats"]
         ) == 0
-        assert "1 CFG(s) built" in capsys.readouterr().err
+        cold = capsys.readouterr().err
+        assert "1 CFG(s) built" in cold
+        assert "1 value summaries built (0 from cache)" in cold
         assert repro_main(
             ["check", str(tmp_path), "--cache", str(cache), "--stats"]
         ) == 0
-        assert "0 CFG(s) built" in capsys.readouterr().err
+        warm = capsys.readouterr().err
+        assert "0 CFG(s) built" in warm
+        assert "0 value summaries built (1 from cache)" in warm
 
     def test_timings_flag_prints_stage_table(self, tmp_path, capsys):
         (tmp_path / "mod.py").write_text("def f(x):\n    return x\n")

@@ -1,0 +1,255 @@
+"""Soundness of the abstract value domain (:mod:`repro.analysis.values`).
+
+The load-bearing property of any abstract interpreter is *soundness*:
+for every concrete execution, the concrete value must lie inside the
+abstract one.  The Hypothesis suites below generate random straight-line
+programs over ``+ - * // min max len`` and slicing, run them both ways
+(CPython vs :func:`exit_env`), and assert containment variable by
+variable.  A second suite proves the *termination* half of the bargain:
+widening must reach a fixpoint on unbounded loops within the solver's
+iteration budget.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.values import (
+    Bound,
+    Interval,
+    NEG_INF,
+    POS_INF,
+    analyze_function,
+    bound_le,
+    bound_lt,
+    exit_env,
+    interval_add,
+    interval_floordiv,
+    interval_max,
+    interval_min,
+    interval_mul,
+    interval_sub,
+    join_interval,
+    widen_interval,
+)
+
+# ----------------------------------------------------------------------
+# Helpers: run a program concretely and abstractly
+# ----------------------------------------------------------------------
+
+
+def _as_function(body_src: str) -> ast.FunctionDef:
+    indented = "\n".join("    " + line for line in body_src.splitlines())
+    tree = ast.parse(f"def prog():\n{indented}\n")
+    return tree.body[0]
+
+
+def both_ways(body_src: str):
+    """(concrete locals, abstract exit environment) for a program body."""
+    namespace: dict = {}
+    exec(compile(f"def prog():\n" + "\n".join(  # noqa: S102 - test-only
+        "    " + line for line in body_src.splitlines()
+    ) + "\n    return dict(locals())\n", "<prog>", "exec"), namespace)
+    concrete = namespace["prog"]()
+    return concrete, exit_env(_as_function(body_src))
+
+
+def assert_sound(body_src: str):
+    concrete, abstract = both_ways(body_src)
+    for name, value in concrete.items():
+        if name not in abstract:
+            continue  # missing binding means TOP: trivially sound
+        absval = abstract[name]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if absval.kind == "num":
+                assert absval.ival.contains_value(value), (
+                    f"{name} = {value} escapes {absval.ival!r}\n{body_src}"
+                )
+        elif isinstance(value, list):
+            if absval.kind == "seq":
+                assert absval.length.contains_value(len(value)), (
+                    f"len({name}) = {len(value)} escapes {absval.length!r}\n{body_src}"
+                )
+                for item in value:
+                    assert absval.elem.contains_value(item), (
+                        f"{name} element {item} escapes {absval.elem!r}\n{body_src}"
+                    )
+
+
+# ----------------------------------------------------------------------
+# Interval algebra: soundness of each operator on concrete corners
+# ----------------------------------------------------------------------
+
+ints = st.integers(min_value=-50, max_value=50)
+
+
+def _ival(a: int, b: int) -> Interval:
+    return Interval.of(min(a, b), max(a, b))
+
+
+class TestIntervalAlgebra:
+    @settings(max_examples=120, deadline=None)
+    @given(ints, ints, ints, ints, st.data())
+    def test_binary_ops_contain_concrete_results(self, a, b, c, d, data):
+        x = data.draw(st.integers(min_value=min(a, b), max_value=max(a, b)))
+        y = data.draw(st.integers(min_value=min(c, d), max_value=max(c, d)))
+        ix, iy = _ival(a, b), _ival(c, d)
+        assert interval_add(ix, iy).contains_value(x + y)
+        assert interval_sub(ix, iy).contains_value(x - y)
+        assert interval_mul(ix, iy).contains_value(x * y)
+        assert interval_min(ix, iy).contains_value(min(x, y))
+        assert interval_max(ix, iy).contains_value(max(x, y))
+        if y != 0:
+            assert interval_floordiv(ix, iy).contains_value(x // y)
+
+    @settings(max_examples=120, deadline=None)
+    @given(ints, ints, ints, ints, st.data())
+    def test_join_is_an_upper_bound(self, a, b, c, d, data):
+        ix, iy = _ival(a, b), _ival(c, d)
+        joined = join_interval(ix, iy)
+        x = data.draw(st.integers(min_value=min(a, b), max_value=max(a, b)))
+        y = data.draw(st.integers(min_value=min(c, d), max_value=max(c, d)))
+        assert joined.contains_value(x) and joined.contains_value(y)
+
+    @settings(max_examples=120, deadline=None)
+    @given(ints, ints, ints, ints)
+    def test_widen_is_monotone_and_idempotent(self, a, b, c, d):
+        old, new = _ival(a, b), _ival(c, d)
+        wide = widen_interval(old, join_interval(old, new))
+        # An upper bound of both inputs...
+        assert bound_le(wide.lo, old.lo) and bound_le(old.hi, wide.hi)
+        assert bound_le(wide.lo, new.lo) and bound_le(new.hi, wide.hi)
+        # ...and a fixpoint: widening again changes nothing.
+        assert widen_interval(wide, join_interval(wide, new)) == wide
+
+    def test_symbolic_length_bounds_compare(self):
+        n_minus_1 = Bound("xs", -1)
+        assert bound_lt(Bound(None, -1), Bound("xs", 0))  # -1 < len(xs)
+        assert bound_le(Bound(None, 0), Bound("xs", 0))   # 0 <= len(xs)
+        assert bound_lt(n_minus_1, Bound("xs", 0))
+        assert not bound_le(Bound("xs", 0), Bound(None, 10))  # len unbounded
+        assert bound_le(NEG_INF, Bound("xs", -3)) and bound_le(Bound("xs", -3), POS_INF)
+
+
+# ----------------------------------------------------------------------
+# Random straight-line programs: end-to-end soundness
+# ----------------------------------------------------------------------
+
+_ATOMS = ("a", "b", "len(xs)")
+
+
+def _expr(draw, depth: int) -> str:
+    if depth <= 0:
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 3:
+            return str(draw(ints))
+        return _ATOMS[choice % len(_ATOMS)]
+    left = _expr(draw, depth - 1)
+    right = _expr(draw, depth - 1)
+    op = draw(st.sampled_from(["+", "-", "*", "//", "min", "max"]))
+    if op in ("min", "max"):
+        return f"{op}({left}, {right})"
+    if op == "//":
+        # Keep the concrete run total; the abstract side sees the raw
+        # divisor interval and must still contain the result.
+        return f"({left}) // (({right}) if ({right}) != 0 else 1)"
+    return f"({left}) {op} ({right})"
+
+
+@st.composite
+def programs(draw) -> str:
+    a = draw(ints)
+    b = draw(ints)
+    xs = draw(st.lists(ints, min_size=0, max_size=6))
+    lines = [f"a = {a}", f"b = {b}", f"xs = {xs!r}"]
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        lines.append(f"v{i} = {_expr(draw, draw(st.integers(min_value=1, max_value=2)))}")
+    lo = draw(st.integers(min_value=-8, max_value=8))
+    hi = draw(st.integers(min_value=-8, max_value=8))
+    lines.append(f"tail = xs[{lo}:{hi}]")
+    lines.append("head = xs[1:]")
+    return "\n".join(lines)
+
+
+class TestProgramSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(programs())
+    def test_abstract_contains_concrete(self, body):
+        assert_sound(body)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(ints, min_size=1, max_size=6), ints)
+    def test_branchy_programs(self, xs, k):
+        assert_sound(
+            f"xs = {xs!r}\n"
+            f"k = {k}\n"
+            "if k > 0:\n"
+            "    v = k + len(xs)\n"
+            "else:\n"
+            "    v = 0 - k\n"
+            "w = min(v, 100)\n"
+        )
+
+    def test_loop_accumulator_is_sound(self):
+        assert_sound(
+            "total = 0\n"
+            "xs = [1, 2, 3]\n"
+            "for x in xs:\n"
+            "    total = total + x\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# Widening: unbounded loops terminate inside the iteration budget
+# ----------------------------------------------------------------------
+
+
+class TestWideningTermination:
+    def _analyze(self, src: str):
+        return analyze_function(ast.parse(src).body[0])
+
+    def test_counting_loop_terminates(self):
+        # Without widening the interval [0,0], [0,1], [0,2]... ascends
+        # forever; widening must jump the moving bound to +inf.
+        summary = self._analyze(
+            "def prog():\n"
+            "    x = 0\n"
+            "    while x < 10 ** 9:\n"
+            "        x = x + 1\n"
+            "    return x\n"
+        )
+        assert summary.hazards == []
+
+    def test_nested_loops_terminate(self):
+        summary = self._analyze(
+            "def prog(xs):\n"
+            "    total = 0\n"
+            "    i = 0\n"
+            "    while i < 10 ** 6:\n"
+            "        j = 0\n"
+            "        while j < i:\n"
+            "            total = total + j\n"
+            "            j = j + 1\n"
+            "        i = i + 1\n"
+            "    return total\n"
+        )
+        assert "nonneg-return" in summary.facts
+
+    def test_widened_exit_still_sound(self):
+        env = exit_env(
+            ast.parse(
+                "def prog():\n"
+                "    x = 0\n"
+                "    n = 0\n"
+                "    while n < 50:\n"
+                "        x = x + 2\n"
+                "        n = n + 1\n"
+                "    return x\n"
+            ).body[0]
+        )
+        # Concretely x ends at 100; the (widened) abstract value must
+        # still admit it, and must keep the stable lower bound 0.
+        assert env["x"].ival.contains_value(100)
+        assert bound_le(Bound(None, 0), env["x"].ival.lo) or env["x"].ival.lo == NEG_INF
