@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-cold lint-flow lint-proofs contracts bench bench-smoke tables trace-smoke chaos-smoke metrics-smoke docs-check
+.PHONY: test lint lint-cold lint-flow lint-proofs contracts bench bench-smoke tables trace-smoke chaos-smoke metrics-smoke serve-smoke docs-check
 
 test: lint       ## the tier-1 suite (~600 unit/integration tests) + contract pass
 	$(PY) -m pytest -x -q
@@ -57,6 +57,13 @@ metrics-smoke:   ## metric-exporting bench + Prometheus parse + SLO-gated run-he
 	    n = validate_prometheus('/tmp/repro_metrics_smoke.prom'); \
 	    print(f'metrics-smoke: prometheus exposition ok ({n} samples)')"
 	$(PY) -m repro report --dataset D2
+
+serve-smoke:     ## chaos loadgen -> BENCH_serve.json -> serve-SLO verdict -> live-server e2e (docs/SERVING.md)
+	$(PY) -m repro loadgen --n 64 --rate 10 --deadline 4 \
+	    --faults 'admit:flaky@0.1,batch:flaky@0.2,merge:flaky@0.3' \
+	    --out benchmarks/BENCH_serve.json
+	$(PY) -m repro report --serve benchmarks/BENCH_serve.json
+	$(PY) -m pytest tests/test_serve.py -m serve_smoke -q
 
 bench:           ## same snapshot via the CLI, tunable (N=…, WORKERS=…, DATASET=…)
 	$(PY) -m repro bench --dataset $(or $(DATASET),D2) --n $(or $(N),8) \

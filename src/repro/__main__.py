@@ -22,7 +22,16 @@ Commands
 ``report``    judge the latest bench record against the committed
               history with the declarative SLO rules and print the
               pass/fail verdict table (non-zero exit on failure;
-              docs/OBSERVABILITY.md)
+              docs/OBSERVABILITY.md); ``--serve BENCH_serve.json``
+              judges a serve benchmark against the serve SLOs instead
+``serve``     run the long-lived extraction service: warm worker
+              pool, bounded admission queue with 429 shedding,
+              per-request deadlines, per-stage circuit breakers and
+              graceful SIGTERM drain (docs/SERVING.md)
+``loadgen``   replay a seeded arrival schedule against the service —
+              deterministic virtual-clock mode writes
+              ``BENCH_serve.json``; ``--host/--port`` fires the same
+              schedule at a live server over HTTP
 ``check``     run the repo's static-analysis rules (determinism,
               layering, coordinate-frame hygiene) over source trees;
               see docs/STATIC_ANALYSIS.md
@@ -281,9 +290,110 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the extraction service and serve until drained."""
+    from repro.serve import ExtractionService, ServeConfig, run_server
+    from repro.serve.config import BreakerConfig
+
+    config = ServeConfig(
+        dataset=args.dataset,
+        workers=args.workers,
+        corpus_n=args.corpus_n,
+        corpus_seed=args.seed,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        batch_max=args.batch_max,
+        batch_window_s=args.batch_window,
+        max_attempts=args.max_attempts,
+        breaker=BreakerConfig(),
+        checkpoint_path=args.checkpoint,
+    )
+    service = ExtractionService(
+        config,
+        tracer=_build_tracer(args),
+        fault_plan=_build_fault_plan(args),
+    )
+    code = run_server(service, host=args.host, port=args.port)
+    _export_metrics(service.registry, args)
+    _export_trace(service.tracer, args)
+    return code
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a seeded load schedule; virtual mode writes the bench."""
+    import time
+
+    from repro.serve import (
+        ExtractionService,
+        LoadSpec,
+        ServeConfig,
+        bench_record,
+        run_http,
+        run_virtual,
+        write_bench,
+    )
+
+    spec = LoadSpec(
+        n_requests=args.n,
+        rate=args.rate,
+        seed=args.seed,
+        deadline_s=args.deadline,
+        doc_service_s=args.doc_service_s,
+        http_concurrency=args.http_concurrency,
+    )
+    if args.host:
+        counts = run_http(args.host, args.port, spec)
+        print(f"loadgen (http {args.host}:{args.port}): "
+              + ", ".join(f"{k}={v}" for k, v in counts.items()))
+        unknown = [k for k in counts if k not in ("200", "429", "504")]
+        return 1 if unknown else 0
+    config = ServeConfig(
+        dataset=args.dataset,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        max_attempts=args.max_attempts,
+    )
+    service = ExtractionService(config, fault_plan=_build_fault_plan(args))
+    started = time.monotonic()
+    responses, snapshot = run_virtual(service, spec)
+    duration = time.monotonic() - started
+    record = bench_record(
+        service, spec, responses, snapshot, duration_s=duration,
+        fault_spec=args.faults or "",
+    )
+    write_bench(args.out, record)
+    print(
+        f"loadgen (virtual, {spec.overload_factor:.1f}x offered load): "
+        + ", ".join(f"{k}={v}" for k, v in sorted(snapshot.items()))
+    )
+    print(f"wrote {args.out}")
+    _export_metrics(service.registry, args)
+    return 0 if snapshot.get("unaccounted") == 0 else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Judge the newest bench history record against the rest."""
-    from repro.obs import evaluate, format_verdict, load_history
+    from repro.obs import evaluate, evaluate_serve, format_verdict, load_history
+
+    if getattr(args, "serve", None):
+        from repro.serve import load_bench
+
+        try:
+            bench = load_bench(args.serve)
+        except (OSError, ValueError) as exc:
+            print(f"!! {exc}", file=sys.stderr)
+            return 2
+        meta = bench.get("meta", {})
+        print(
+            f"serve health report — {meta.get('dataset', '?')} "
+            f"n={meta.get('n_requests', '?')} "
+            f"offered={meta.get('overload_factor', '?')}x capacity "
+            f"({args.serve})"
+        )
+        verdict = evaluate_serve(bench)
+        print(format_verdict(verdict))
+        return 0 if verdict.ok else 1
 
     try:
         records = load_history(args.history)
@@ -659,7 +769,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=0,
         help="use only the newest N baseline records (0 = all)",
     )
+    p.add_argument(
+        "--serve", metavar="BENCH_serve.json", default=None,
+        help="judge a serve benchmark (written by `repro loadgen`) "
+             "against the serve SLOs instead of the bench history",
+    )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived extraction service (docs/SERVING.md)",
+    )
+    _dataset_arg(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral; the chosen port is printed)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="warm pool width (1 = in-process serving)")
+    p.add_argument("--corpus-n", type=int, default=32,
+                   help="warm corpus size; /extract references documents by index")
+    p.add_argument("--seed", type=int, default=0,
+                   help="corpus seed (also seeds a --faults spec plan)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="admission-queue bound; beyond it requests shed with 429")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-request deadline in seconds (504 on expiry)")
+    p.add_argument("--batch-max", type=int, default=4,
+                   help="max requests coalesced into one pipeline dispatch")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="seconds the dispatcher waits for a micro-batch to fill")
+    p.add_argument("--max-attempts", type=int, default=2,
+                   help="attempts per request across batch retries")
+    p.add_argument("--faults", metavar="SPEC_OR_JSON", default=None,
+                   help="deterministic fault plan (sites serve.admit / "
+                        "serve.batch plus the pipeline sites; docs/RESILIENCE.md)")
+    p.add_argument("--checkpoint", metavar="OUT.json", default=None,
+                   help="write the final accounting snapshot here on drain")
+    _add_trace_flags(p)
+    _add_metrics_flags(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded load generator; virtual mode writes BENCH_serve.json",
+    )
+    _dataset_arg(p)
+    p.add_argument("--n", type=int, default=64, help="requests in the schedule")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="offered load in requests per virtual second")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=4.0,
+                   help="per-request deadline handed to the server")
+    p.add_argument("--doc-service-s", type=float, default=0.25,
+                   help="virtual service cost per document (capacity = 1/this)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="service worker count in virtual mode (accounting "
+                        "is identical for any value; docs/SERVING.md)")
+    p.add_argument("--queue-limit", type=int, default=16)
+    p.add_argument("--batch-max", type=int, default=4)
+    p.add_argument("--max-attempts", type=int, default=2)
+    p.add_argument("--faults", metavar="SPEC_OR_JSON", default=None,
+                   help="deterministic fault plan active during the run")
+    p.add_argument("--out", default="benchmarks/BENCH_serve.json",
+                   help="where the repro.bench.serve/1 snapshot goes")
+    p.add_argument("--host", default=None,
+                   help="fire the schedule at a live server instead "
+                        "(requires --port; no bench is written)")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--http-concurrency", type=int, default=8,
+                   help="socket concurrency in HTTP mode")
+    p.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write the run's metric registry as Prometheus exposition")
+    p.add_argument("--metrics-jsonl", metavar="OUT.jsonl", default=None,
+                   help="write the run's metric registry as a JSONL dump")
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=["3", "4"])

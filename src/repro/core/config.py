@@ -73,6 +73,11 @@ class SelectConfig:
     #: Pattern source: "mined" (holdout + subtree mining) or "curated"
     #: (the compiled Tables 3/4 pattern library).
     pattern_source: str = "curated"
+    #: Skip visual selection entirely and answer from the NER fallback.
+    #: This is the proactive form of the select→ner_fallback degradation
+    #: rung: the serve-layer circuit breaker flips it while the select
+    #: stage's breaker is open, instead of waiting for each doc to fail.
+    ner_only: bool = False
 
 
 @dataclass

@@ -218,7 +218,13 @@ class VS2Pipeline:
             sp.attrs["blocks"] = len(blocks)
         with self.metrics.stage("select") as t, self.tracer.span("select") as sp:
             try:
-                extractions = self.selector.extract(observed, blocks)
+                if self.config.select.ner_only:
+                    # Proactive last rung: the caller (a serve-layer
+                    # circuit breaker, an ablation) asked for NER-only
+                    # extraction up front rather than after a failure.
+                    extractions = self._ner_fallback(blocks)
+                else:
+                    extractions = self.selector.extract(observed, blocks)
             except Exception as exc:  # registered isolation site (RES002)
                 if isinstance(exc, TransientFault):
                     raise

@@ -49,11 +49,13 @@ from repro.obs.health import (
     DEFAULT_SLOS,
     HISTORY_PATH,
     HISTORY_SCHEMA,
+    SERVE_SLOS,
     HealthVerdict,
     SLORule,
     VerdictRow,
     append_history,
     evaluate,
+    evaluate_serve,
     format_verdict,
     history_record,
     load_history,
@@ -81,6 +83,7 @@ __all__ = [
     "MetricDecl",
     "MetricRegistry",
     "SCHEMA",
+    "SERVE_SLOS",
     "SLORule",
     "VerdictRow",
     "append_history",
@@ -89,6 +92,7 @@ __all__ = [
     "critical_path_lines",
     "declared",
     "evaluate",
+    "evaluate_serve",
     "exposition_samples",
     "flamegraph_lines",
     "format_verdict",

@@ -51,12 +51,43 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per exposition format 0.0.4: backslash,
+    double quote and newline — in that order, so the backslashes the
+    other two introduce are not themselves re-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    """Inverse of :func:`_escape_label_value`: a single left-to-right
+    scan, so ``\\\\n`` stays a literal backslash + ``n`` instead of
+    turning into a newline (which chained ``str.replace`` would do)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _labels_text(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{k}="{v}"'.replace("\\", "\\\\").replace("\n", "\\n")
-        for k, v in sorted(labels.items())
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -158,7 +189,7 @@ def parse_prometheus(text: str) -> List[Tuple[str, Tuple[Tuple[str, str], ...], 
         if labels_text:
             consumed = 0
             for found in _LABEL.finditer(labels_text):
-                labels.append((found.group(1), found.group(2).replace("\\\\", "\\")))
+                labels.append((found.group(1), _unescape_label_value(found.group(2))))
                 consumed = found.end()
             rest = labels_text[consumed:].strip(", ")
             if rest:

@@ -151,8 +151,17 @@ def _median(values: Sequence[float]) -> float:
 # ----------------------------------------------------------------------
 # SLO rules
 # ----------------------------------------------------------------------
-#: Rule kinds :func:`evaluate` understands.
-RULE_KINDS = ("p95_ceiling", "throughput_floor", "failure_rate_cap", "quarantine_rate_cap")
+#: Rule kinds :func:`evaluate` understands, plus the serve-level kinds
+#: :func:`evaluate_serve` applies to a ``BENCH_serve.json`` record.
+RULE_KINDS = (
+    "p95_ceiling",
+    "throughput_floor",
+    "failure_rate_cap",
+    "quarantine_rate_cap",
+    "serve_p95_ceiling",
+    "serve_shed_rate_cap",
+    "serve_unaccounted_cap",
+)
 
 
 @dataclass(frozen=True)
@@ -183,6 +192,20 @@ DEFAULT_SLOS: Tuple[SLORule, ...] = (
             "per-run document failure rate <= 25%"),
     SLORule("SLO-QUARANTINE", "quarantine_rate_cap", 0.25,
             "per-run quarantine rate <= 25%"),
+)
+
+#: Serve-level objectives ``repro report --serve`` applies to the
+#: ``repro.bench.serve/1`` snapshot.  These judge the *robustness
+#: envelope*, not machine speed, so they are absolute (no history
+#: baseline): latencies in the snapshot are virtual-clock seconds and
+#: the accounting is deterministic.
+SERVE_SLOS: Tuple[SLORule, ...] = (
+    SLORule("SLO-SERVE-P95", "serve_p95_ceiling", 1.5,
+            "request p95 latency <= 1.5x the request deadline"),
+    SLORule("SLO-SERVE-SHED", "serve_shed_rate_cap", 0.75,
+            "shed (429) fraction of submitted requests <= 75%"),
+    SLORule("SLO-SERVE-ACCT", "serve_unaccounted_cap", 0.0,
+            "every submitted request resolved as 200/429/504 (0 unaccounted)"),
 )
 
 
@@ -305,6 +328,58 @@ def _eval_cap(rule: SLORule, current: Dict[str, object], key: str) -> VerdictRow
     ok = now <= rule.threshold
     note = "" if ok else f"{key} {now:.1%} > cap {rule.threshold:.1%}"
     return VerdictRow(rule.rule_id, "run", ok, now, None, rule.threshold, note)
+
+
+def evaluate_serve(
+    bench: Dict[str, object],
+    rules: Sequence[SLORule] = SERVE_SLOS,
+) -> HealthVerdict:
+    """Judge a ``repro.bench.serve/1`` record (``BENCH_serve.json``)
+    against the serve objectives.
+
+    Serve rules are absolute — the snapshot's latencies are virtual
+    seconds and the accounting is deterministic, so there is no history
+    baseline and ``baseline_runs`` is reported as 0.  Non-serve rule
+    kinds in ``rules`` are rejected.
+    """
+    meta = bench.get("meta", {})
+    latency = bench.get("latency", {})
+    accounting = bench.get("accounting", {})
+    deadline = float(meta.get("deadline_s", 0.0)) if isinstance(meta, dict) else 0.0
+    rows: List[VerdictRow] = []
+    for rule in rules:
+        if rule.kind == "serve_p95_ceiling":
+            p95 = latency.get("p95_s") if isinstance(latency, dict) else None
+            if p95 is None:
+                rows.append(VerdictRow(rule.rule_id, "latency", True, None, None, None,
+                                       note="no completed requests"))
+                continue
+            limit = deadline * rule.threshold
+            ok = deadline > 0 and float(p95) <= limit
+            note = "" if ok else (
+                f"p95 {float(p95):.3f}s > {limit:.3f}s" if deadline > 0
+                else "no deadline in bench meta"
+            )
+            rows.append(VerdictRow(rule.rule_id, "latency", ok, float(p95),
+                                   deadline, limit, note))
+        elif rule.kind == "serve_shed_rate_cap":
+            rate = float(bench.get("shed_rate", 0.0) or 0.0)
+            ok = rate <= rule.threshold
+            note = "" if ok else f"shed rate {rate:.1%} > cap {rule.threshold:.1%}"
+            rows.append(VerdictRow(rule.rule_id, "run", ok, rate, None,
+                                   rule.threshold, note))
+        elif rule.kind == "serve_unaccounted_cap":
+            lost = (float(accounting.get("unaccounted", 0) or 0)
+                    if isinstance(accounting, dict) else 0.0)
+            ok = abs(lost) <= rule.threshold
+            note = "" if ok else f"{lost:g} request(s) neither 200, 429 nor 504"
+            rows.append(VerdictRow(rule.rule_id, "accounting", ok, lost, None,
+                                   rule.threshold, note))
+        else:
+            raise ValueError(
+                f"rule {rule.rule_id} ({rule.kind}) is not a serve rule"
+            )
+    return HealthVerdict(rows=tuple(rows), ok=all(r.ok for r in rows), baseline_runs=0)
 
 
 def format_verdict(verdict: HealthVerdict) -> str:

@@ -122,6 +122,43 @@ METRIC_NAMES: Dict[str, MetricDecl] = {
         "counter", ("outcome",), deterministic=False,
         help="transcription-cache lookups by outcome (hit|miss)",
     ),
+    # -- serving (repro.serve admission / batching / overload) -----------
+    "repro.serve.requests": _decl(
+        "counter", ("status",),
+        help="requests resolved by final status (200|429|504)",
+    ),
+    "repro.serve.admitted": _decl(
+        "counter", (),
+        help="requests accepted into the admission queue",
+    ),
+    "repro.serve.shed": _decl(
+        "counter", ("reason",),
+        help="requests shed with 429 by reason (queue_full|draining|fault)",
+    ),
+    "repro.serve.timeouts": _decl(
+        "counter", ("where",),
+        help="request deadline expiries (504) by where they were caught (queue|batch|result)",
+    ),
+    "repro.serve.queue_depth": _decl(
+        "gauge", (), deterministic=False,
+        help="admission-queue depth high-water mark",
+    ),
+    "repro.serve.batches": _decl(
+        "counter", ("outcome",),
+        help="micro-batches dispatched by outcome (ok|degraded|fault)",
+    ),
+    "repro.serve.batched_docs": _decl(
+        "counter", (),
+        help="documents dispatched to the pipeline inside micro-batches",
+    ),
+    "repro.serve.request_latency": _decl(
+        "histogram", (), deterministic=False,
+        help="admission-to-resolution request latency histogram (log2 buckets)",
+    ),
+    "repro.serve.breaker_transitions": _decl(
+        "counter", ("stage", "state"),
+        help="circuit-breaker state transitions per pipeline stage (open|half_open|closed)",
+    ),
     # -- resource accounting (per worker process) ------------------------
     "repro.process.rss_max_bytes": _decl(
         "gauge", ("worker",), deterministic=False,

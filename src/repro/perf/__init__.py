@@ -22,7 +22,13 @@ See ``docs/ARCHITECTURE.md`` for where each hooks into the pipeline and
 from repro.perf.cache import TranscriptionCache, transcribe_and_clean
 from repro.perf.metrics import PipelineMetrics, StageStats, StageTimer, merge_all
 from repro.perf.profiles import ProfileStore, RegionProfile
-from repro.perf.runner import CorpusRunError, CorpusRunner, CorpusRunResult, DocumentFailure
+from repro.perf.runner import (
+    CorpusRunError,
+    CorpusRunner,
+    CorpusRunResult,
+    DocumentFailure,
+    WarmProcessPool,
+)
 from repro.perf.snapshot import compare, delta_line, load_snapshot, write_snapshot
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "StageStats",
     "StageTimer",
     "TranscriptionCache",
+    "WarmProcessPool",
     "merge_all",
     "transcribe_and_clean",
 ]

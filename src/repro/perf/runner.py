@@ -29,6 +29,7 @@ import builtins
 import logging
 import math
 import os
+import time
 import traceback as _traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -272,6 +273,123 @@ def _run_chunk(chunk: List[Tuple[int, "Document"]]):
     return out, _WORKER_PIPELINE.metrics.drain().to_dict(), spans, registry_dump
 
 
+def _warm_worker(spin_s: float) -> int:
+    """Warm-up task for :meth:`WarmProcessPool.boot`: occupy a worker
+    long enough that concurrent warm-up submissions cannot be served by
+    an idle worker and force the executor to spawn fresh ones."""
+    deadline = time.perf_counter() + spin_s
+    spins = 0
+    while time.perf_counter() < deadline:
+        spins += 1
+    return spins
+
+
+# ----------------------------------------------------------------------
+# The warm pool
+# ----------------------------------------------------------------------
+class WarmProcessPool:
+    """A persistent process pool whose workers boot the pipeline once.
+
+    :meth:`CorpusRunner._run_parallel` historically constructed a fresh
+    :class:`ProcessPoolExecutor` per run, paying worker boot (embedding
+    tables, pattern libraries, holdout mining) on every call.  A
+    ``WarmProcessPool`` hoists that pool out of the runner: build one,
+    hand it to any number of :class:`CorpusRunner` instances via the
+    ``pool`` parameter, and the same already-initialised workers serve
+    every run until :meth:`close`.
+
+    The pool owns the worker-side initialisation arguments (dataset,
+    config, factory, tracing, fault plan) — runners sharing the pool
+    must be built consistently with them, since ``_init_worker`` runs
+    once per worker, not once per run.  Chunk results still drain the
+    worker-side tracer/metrics/registry per chunk, so successive runs
+    through one pool never double-count.
+
+    The executor boots lazily on first :meth:`executor` call and boots
+    again transparently after :meth:`close` — a drained server can be
+    restarted.  Not thread-safe for concurrent first boot; callers
+    (the serve layer) boot it before starting any request threads.
+    """
+
+    def __init__(
+        self,
+        dataset: str,
+        config: Optional["VS2Config"] = None,
+        workers: int = 2,
+        pipeline_factory: Optional[PipelineFactory] = None,
+        trace_enabled: bool = False,
+        fault_plan: Optional["FaultPlan"] = None,
+    ):
+        self.dataset = dataset.upper()
+        self.config = config
+        self.workers = max(1, int(workers))
+        self.pipeline_factory = pipeline_factory
+        self.trace_enabled = bool(trace_enabled)
+        self.fault_plan = fault_plan
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, booting it on first use.  Raises
+        ``OSError``/``ValueError`` when the platform cannot spawn
+        processes — callers degrade exactly as for a cold pool."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.dataset,
+                    self.config,
+                    self.pipeline_factory,
+                    self.trace_enabled,
+                    self.fault_plan,
+                ),
+            )
+        return self._executor
+
+    def boot(self) -> "WarmProcessPool":
+        """Force the executor *and every worker process* to exist now.
+
+        ``ProcessPoolExecutor`` forks workers lazily — one per
+        submission that finds no idle worker — so merely creating the
+        executor would still fork workers on the first real run.  For
+        the serve layer that first run happens after the event loop and
+        its threads exist, and a child forked then can inherit a held
+        lock and deadlock.  The warm-up rounds keep every live worker
+        busy while submitting, so each extra submission must spawn a
+        fresh process; the private ``_processes`` peek is only a stop
+        condition (when the attribute is missing the rounds just run to
+        the cap)."""
+        executor = self.executor()
+        for _ in range(8):
+            processes = getattr(executor, "_processes", None)
+            if processes is not None and len(processes) >= self.workers:
+                break
+            futures = [
+                executor.submit(_warm_worker, 0.05) for _ in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+        return self
+
+    @property
+    def booted(self) -> bool:
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the executor down, joining every worker.  Idempotent;
+        the pool can boot again afterwards."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def __enter__(self) -> "WarmProcessPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
@@ -321,6 +439,14 @@ class CorpusRunner:
         chunk result and fold in here, so a serial and a parallel run
         produce the same normalized dump (docs/OBSERVABILITY.md).
         A fresh registry is created when not given.
+    pool:
+        A :class:`WarmProcessPool` to run parallel chunks on instead of
+        constructing (and tearing down) a private executor.  The pool's
+        worker count governs ``workers``; its boot arguments govern the
+        worker-side pipelines, so build the runner consistently with
+        them.  Ignored on the serial path and under ``supervision``
+        (supervised runs hand-manage their own preemptible workers).
+        The runner never shuts a shared pool down — its owner does.
     """
 
     def __init__(
@@ -335,10 +461,12 @@ class CorpusRunner:
         fault_plan: Optional["FaultPlan"] = None,
         supervision: Optional["SupervisionPolicy"] = None,
         registry: Optional[MetricRegistry] = None,
+        pool: Optional[WarmProcessPool] = None,
     ):
         self.dataset = dataset.upper()
         self.config = config
-        self.workers = max(1, int(workers))
+        self.pool = pool
+        self.workers = max(1, int(workers if pool is None else pool.workers))
         self.chunk_size = chunk_size
         self.cache = cache
         self.pipeline_factory = pipeline_factory
@@ -433,18 +561,22 @@ class CorpusRunner:
         workers = min(self.workers, len(chunks))
         slots: List[Optional["PipelineResult"]] = [None] * len(docs)
         failures: List[DocumentFailure] = []
+        owned = self.pool is None
         try:
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(
-                    self.dataset,
-                    self.config,
-                    self.pipeline_factory,
-                    self.tracer.enabled,
-                    self.fault_plan,
-                ),
-            )
+            if owned:
+                executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.dataset,
+                        self.config,
+                        self.pipeline_factory,
+                        self.tracer.enabled,
+                        self.fault_plan,
+                    ),
+                )
+            else:
+                executor = self.pool.executor()
         except (OSError, ValueError) as exc:  # no process support: degrade, don't die
             reason = f"{type(exc).__name__}: {exc}"
             _LOG.warning(
@@ -469,7 +601,8 @@ class CorpusRunner:
                         if failure is not None:
                             failures.append(failure)
         finally:
-            executor.shutdown()
+            if owned:
+                executor.shutdown()
         # Chunks complete in whichever order the pool schedules them;
         # re-parent worker spans sorted by document index so a traced
         # parallel run is structurally identical to the serial one.

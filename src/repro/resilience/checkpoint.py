@@ -26,9 +26,12 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import logging
 import os
 import pickle
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+_LOG = logging.getLogger("repro.resilience.checkpoint")
 
 CHECKPOINT_SCHEMA = "repro.checkpoint/1"
 
@@ -104,27 +107,32 @@ class CheckpointLog:
     def _load(self) -> None:
         with open(self.path, "rb") as fh:
             raw = fh.read()
-        lines = raw.decode("utf-8").splitlines(keepends=True)
-        records: List[Dict[str, Any]] = []
+        # Work line-by-line on *bytes*: a crash mid-write can land
+        # anywhere, including inside a multi-byte UTF-8 sequence, so
+        # decoding the whole file up front would turn the one tolerated
+        # kill artefact into a hard UnicodeDecodeError.
+        lines = raw.splitlines(keepends=True)
+        entries: List[Tuple[int, int, Dict[str, Any]]] = []  # (lineno, offset, record)
         offset = 0
         for lineno, line in enumerate(lines):
             stripped = line.strip()
             if not stripped:
-                offset += len(line.encode("utf-8"))
+                offset += len(line)
                 continue
             try:
-                records.append(json.loads(stripped))
-            except json.JSONDecodeError:
+                entries.append((lineno, offset, json.loads(stripped.decode("utf-8"))))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 if lineno == len(lines) - 1:
                     # The kill artefact: a half-written final line.
                     # Remember where the valid prefix ends so `open`
                     # can trim it before appending.
-                    self._valid_bytes = offset
+                    self._note_kill_artefact(offset, lineno)
                     break
                 raise ValueError(
                     f"corrupt checkpoint {self.path}: unparseable line {lineno + 1}"
                 )
-            offset += len(line.encode("utf-8"))
+            offset += len(line)
+        records = [record for _, _, record in entries]
         if not records or records[0].get("type") != "header":
             raise ValueError(f"checkpoint {self.path} has no header line")
         header = records[0]
@@ -139,12 +147,36 @@ class CheckpointLog:
                 "(corpus, fault plan or retry budget changed); "
                 "delete it or point --checkpoint elsewhere"
             )
-        for record in records[1:]:
+        for pos, (lineno, line_offset, record) in enumerate(entries[1:], start=1):
             kind = record.get("type")
             if kind == "result":
-                self.completed[int(record["index"])] = decode_payload(record["payload"])
+                try:
+                    payload = decode_payload(record["payload"])
+                except (KeyError, ValueError, EOFError, pickle.UnpicklingError):
+                    # binascii.Error is a ValueError subclass; pickle
+                    # raises UnpicklingError/EOFError/ValueError on a
+                    # truncated stream.  On the *final* record this is
+                    # the same crash-mid-write artefact as a torn line
+                    # (the JSON framing survived, the payload did not):
+                    # drop it and let the run redo that one document.
+                    if pos == len(entries) - 1 and self._valid_bytes is None:
+                        self._note_kill_artefact(line_offset, lineno)
+                        break
+                    raise ValueError(
+                        f"corrupt checkpoint {self.path}: "
+                        f"undecodable result payload on line {lineno + 1}"
+                    )
+                self.completed[int(record["index"])] = payload
             elif kind == "quarantine":
                 self.quarantined[int(record["index"])] = record
+
+    def _note_kill_artefact(self, offset: int, lineno: int) -> None:
+        self._valid_bytes = offset
+        _LOG.warning(
+            "checkpoint %s: dropping truncated final record on line %d "
+            "(crash mid-write); the affected document will be re-run",
+            self.path, lineno + 1,
+        )
 
     # ------------------------------------------------------------------
     def _write(self, record: Dict[str, Any]) -> None:

@@ -61,6 +61,8 @@ FAULT_SITES = frozenset(
         "segment.cuts",
         "segment.merge",
         "select.match",
+        "serve.admit",
+        "serve.batch",
         "worker.boot",
         "worker.chunk",
     }
@@ -75,6 +77,8 @@ _SITE_ALIASES = {
     "worker": "worker.chunk",
     "chunk": "worker.chunk",
     "boot": "worker.boot",
+    "admit": "serve.admit",
+    "batch": "serve.batch",
 }
 
 _KIND_ALIASES = {

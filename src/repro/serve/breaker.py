@@ -1,0 +1,110 @@
+"""Per-stage circuit breakers over the degradation ladder.
+
+The pipeline already absorbs stage failures reactively — a semantic
+merge that raises falls back to visual-only segmentation *for that
+document*, a pattern-match failure to NER (the PR 5 degradation
+ladder).  Under sustained failure that still pays the cost of trying
+and failing on every document.  A :class:`CircuitBreaker` watches the
+per-batch failure rate of one stage and, once it crosses a threshold,
+**opens**: subsequent batches run with the degraded configuration up
+front (``segment.use_semantic_merging=False`` /
+``select.ner_only=True``), skipping the failing path entirely.  After
+a cooldown measured in batches it goes **half-open** — one trial batch
+runs un-degraded — and either closes (trial clean) or re-opens (still
+failing).
+
+State transitions are counted in the
+``repro.serve.breaker_transitions`` metric; the ambient decision
+inputs (degradation counts per batch) are deterministic, so breaker
+behaviour is identical between a 1-worker and an N-worker server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.obs.registry import MetricRegistry
+from repro.serve.config import BreakerConfig
+
+#: The breaker's three states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one degradable pipeline stage.
+
+    ``stage`` is the pipeline stage name as recorded on
+    :class:`repro.core.pipeline.Degradation` (``"segment"`` or
+    ``"select"``).  Call :meth:`record_batch` after every dispatched
+    batch with how many of its documents degraded at this stage.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        config: Optional[BreakerConfig] = None,
+        registry: Optional[MetricRegistry] = None,
+    ):
+        self.stage = stage
+        self.config = config or BreakerConfig()
+        self.registry = registry
+        self.state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=max(1, self.config.window))
+        self._cooldown = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def degrade(self) -> bool:
+        """Whether the next batch should run this stage degraded.
+        Half-open runs the trial un-degraded on purpose."""
+        return self.state == OPEN
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self.registry is not None:
+            self.registry.counter(
+                "repro.serve.breaker_transitions", stage=self.stage, state=state
+            ).inc()
+
+    # ------------------------------------------------------------------
+    def record_batch(self, failed: int, total: int, degraded: bool) -> None:
+        """Account one finished batch.
+
+        ``failed`` is how many of its ``total`` documents hit this
+        stage's degradation rung; ``degraded`` whether the batch ran
+        with the stage proactively degraded (in which case the stage's
+        failure path never executed and the batch only advances the
+        cooldown).
+        """
+        if total <= 0:
+            return
+        if self.state == OPEN:
+            if degraded:
+                self._cooldown -= 1
+                if self._cooldown <= 0:
+                    self._transition(HALF_OPEN)
+            return
+        if self.state == HALF_OPEN:
+            if failed > 0:
+                self._trip()
+            else:
+                self._outcomes.clear()
+                self._transition(CLOSED)
+            return
+        # closed: rolling per-document outcome window
+        for i in range(total):
+            self._outcomes.append(i < failed)
+        if len(self._outcomes) >= self.config.window:
+            rate = sum(self._outcomes) / len(self._outcomes)
+            if rate >= self.config.threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._outcomes.clear()
+        self._cooldown = max(1, self.config.cooldown_batches)
+        self._transition(OPEN)

@@ -1,0 +1,295 @@
+"""The asyncio HTTP front-end: transport + clock for the service.
+
+A deliberately small HTTP/1.1 server on stdlib ``asyncio`` only (the
+repo's zero-dependency rule): request parsing handles exactly what the
+endpoints need — a request line, headers, an optional
+``Content-Length`` body.  All service state lives in the sans-IO
+:class:`~repro.serve.service.ExtractionService`; this module adds the
+event loop, the wall clock (``time.monotonic``), the micro-batch
+dispatcher, and signal-driven graceful drain.
+
+Endpoints
+---------
+``GET /health``
+    Liveness: always 200 while the process serves, with drain state.
+``GET /ready``
+    Readiness: 200 once the warm pool is booted and the server is not
+    draining; 503 otherwise (load balancers stop routing here first).
+``POST /extract``
+    Body ``{"index": int, "deadline_s"?: float, "request_id"?: str}``
+    — extract from the warm corpus document at ``index``.  Resolves as
+    200 (extractions + degradations), 429 + ``Retry-After`` (shed), or
+    504 (deadline).
+``GET /metrics``
+    Prometheus text exposition of the server's metric registry.
+
+Concurrency model: admission, queue and resolution bookkeeping run on
+the event loop only; the single dispatcher task runs each blocking
+batch in the default thread-pool executor (the metric registry is the
+one structure both threads touch, and it locks internally).  The
+process pool is booted before the loop starts, so no process pool is
+ever created after a thread exists.
+
+Graceful drain: SIGTERM/SIGINT flips the service into draining (new
+requests shed with 429), the dispatcher finishes queued and in-flight
+batches, the final accounting is checkpointed, the pool workers are
+joined, and the process exits 0 — no orphan workers, no lost request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.export import to_prometheus
+from repro.serve.service import ExtractionService, ServeResponse
+
+#: Extra seconds a handler waits past the request deadline before
+#: answering defensively — covers dispatcher scheduling latency.  The
+#: service resolves the ticket authoritatively either way.
+_HANDLER_GRACE_S = 10.0
+
+_REASONS = {200: "OK", 429: "Too Many Requests", 503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+class ServeHTTP:
+    """One listening server bound to one :class:`ExtractionService`."""
+
+    def __init__(self, service: ExtractionService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._futures: Dict[str, asyncio.Future] = {}
+        self._wake: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def request_drain(self) -> None:
+        """Signal-handler entry: stop admitting, let the dispatcher
+        finish the queue, then shut down.  Safe to call repeatedly."""
+        self.service.begin_drain(time.monotonic())
+        if self._wake is not None:
+            self._wake.set()
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain request has been fully honoured: queue
+        empty, last batch resolved, listener closed."""
+        assert self._dispatcher is not None and self._server is not None
+        await self._dispatcher
+        self._server.close()
+        await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        window = self.service.config.batch_window_s
+        while True:
+            if self.service.pending() == 0:
+                if self.service.draining:
+                    return
+                await self._wait_for_work(window)
+                continue
+            if self.service.pending() < self.service.config.batch_max:
+                # Let the micro-batch fill for one window before
+                # dispatching a partial one.
+                await asyncio.sleep(window)
+            batch, expired = self.service.take_batch(time.monotonic())
+            self._publish(expired)
+            if not batch:
+                continue
+            outcome = await loop.run_in_executor(None, self.service.run_batch, batch)
+            responses = self.service.resolve(batch, outcome, time.monotonic())
+            self._publish(responses)
+
+    async def _wait_for_work(self, window: float) -> None:
+        assert self._wake is not None
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout=max(window, 0.01))
+        except asyncio.TimeoutError:
+            return
+        self._wake.clear()
+
+    def _publish(self, responses: List[ServeResponse]) -> None:
+        for response in responses:
+            future = self._futures.pop(response.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            status, headers, payload = await self._route(method, path, body)
+            await self._write_response(writer, status, headers, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; the service accounting is unaffected
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for line in header_lines:
+            name, sep, value = line.partition(":")
+            if sep and name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: Dict[str, str],
+        payload: bytes,
+    ) -> None:
+        reason = _REASONS.get(status, "OK" if status < 400 else "Error")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        base = {
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        base.update(headers)
+        lines.extend(f"{k}: {v}" for k, v in base.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if method == "GET" and path == "/health":
+            return self._json(200, {
+                "status": "ok",
+                "draining": self.service.draining,
+                "pending": self.service.pending(),
+            })
+        if method == "GET" and path == "/ready":
+            if self.service.ready:
+                return self._json(200, {"ready": True})
+            return self._json(503, {"ready": False, "draining": self.service.draining})
+        if method == "GET" and path == "/metrics":
+            text = to_prometheus(self.service.registry).encode("utf-8")
+            return 200, {"Content-Type": "text/plain; version=0.0.4"}, text
+        if method == "POST" and path == "/extract":
+            return await self._extract(body)
+        return self._json(404, {"error": f"no route for {method} {path}"})
+
+    async def _extract(self, body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+            index = int(request["index"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return self._json(400, {"error": "body must be JSON with an integer 'index'"})
+        deadline_s = request.get("deadline_s")
+        now = time.monotonic()
+        ticket, response = self.service.admit(
+            index,
+            now=now,
+            request_id=request.get("request_id"),
+            deadline_s=None if deadline_s is None else float(deadline_s),
+        )
+        if response is None:
+            assert ticket is not None
+            loop = asyncio.get_running_loop()
+            future: asyncio.Future = loop.create_future()
+            self._futures[ticket.request_id] = future
+            assert self._wake is not None
+            self._wake.set()
+            budget = (ticket.deadline - now) + _HANDLER_GRACE_S
+            try:
+                response = await asyncio.wait_for(future, timeout=budget)
+            except asyncio.TimeoutError:
+                # Defensive: the dispatcher answers every ticket, but a
+                # slot is never allowed to hang past its budget.  The
+                # accounting entry lands when the service resolves the
+                # ticket; this socket just stops waiting for it.
+                self._futures.pop(ticket.request_id, None)
+                return self._json(
+                    504, {"request_id": ticket.request_id, "status": 504, "where": "handler"}
+                )
+        return self._response_to_http(response)
+
+    def _response_to_http(self, response: ServeResponse) -> Tuple[int, Dict[str, str], bytes]:
+        headers = {"Content-Type": "application/json"}
+        if response.retry_after_s is not None:
+            headers["Retry-After"] = f"{response.retry_after_s:g}"
+        return response.status, headers, response.payload()
+
+    def _json(self, status: int, body: Dict[str, Any]) -> Tuple[int, Dict[str, str], bytes]:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        return status, {"Content-Type": "application/json"}, payload
+
+
+# ----------------------------------------------------------------------
+# Process entry
+# ----------------------------------------------------------------------
+def run_server(service: ExtractionService, host: str = "127.0.0.1", port: int = 0) -> int:
+    """Boot, serve until drained (SIGTERM/SIGINT), exit 0.
+
+    Boot order matters: the warm process pool is created *before* the
+    event loop (and therefore before any thread) starts, and is joined
+    by :meth:`ExtractionService.finish_drain` before this returns — a
+    clean exit leaves no orphan worker processes.
+    """
+    service.boot()
+    return asyncio.run(_serve_main(service, host, port))
+
+
+async def _serve_main(service: ExtractionService, host: str, port: int) -> int:
+    http = ServeHTTP(service, host, port)
+    await http.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, http.request_drain)
+        except NotImplementedError:  # pragma: no cover - non-posix loops
+            pass
+    print(
+        f"repro serve: listening on {http.host}:{http.port} "
+        f"(dataset={service.config.dataset}, workers={service.config.workers}, "
+        f"queue_limit={service.config.queue_limit})",
+        flush=True,
+    )
+    await http.serve_until_drained()
+    snapshot = service.finish_drain(time.monotonic())
+    print("repro serve: drained " + json.dumps(snapshot, sort_keys=True), flush=True)
+    return 0

@@ -57,6 +57,10 @@ EVENT_NAMES = frozenset(
         "runner.timeout",
         "runner.worker_replace",
         "select.decision",
+        "serve.admit",
+        "serve.deadline",
+        "serve.drain",
+        "serve.shed",
     }
 )
 

@@ -234,6 +234,30 @@ class TestPrometheusExport:
         with pytest.raises(ValueError):
             parse_prometheus("this is not an exposition\n")
 
+    def test_label_values_escape_per_exposition_format(self):
+        # Exposition format 0.0.4: backslash, double quote and newline
+        # must be escaped in label values — including the nasty cases
+        # (a literal backslash-n, a trailing backslash, a quote).
+        reg = MetricRegistry()
+        for corpus in ('back\\slash', 'quo"te', 'new\nline', 'literal\\n', 'trail\\'):
+            reg.counter("repro.docs.processed", corpus=corpus, status="ok").inc()
+        text = to_prometheus(reg)
+        assert 'corpus="back\\\\slash"' in text
+        assert 'corpus="quo\\"te"' in text
+        assert 'corpus="new\\nline"' in text
+        assert 'corpus="literal\\\\n"' in text
+        assert "\n".join(  # no raw newline ever splits a sample line
+            line for line in text.splitlines() if "new" in line
+        ).count("repro_docs_processed") == 1
+        assert parse_prometheus(text) == sorted(exposition_samples(reg))
+
+    def test_escaped_label_round_trip_recovers_exact_values(self):
+        reg = MetricRegistry()
+        reg.counter("repro.docs.processed", corpus='a\\"b\nc\\n', status="ok").inc(2)
+        parsed = parse_prometheus(to_prometheus(reg))
+        labels = [dict(ls) for _, ls, _ in parsed]
+        assert {"corpus": 'a\\"b\nc\\n', "status": "ok"} in labels
+
     def test_jsonl_round_trip(self, tmp_path):
         reg = _populated_registry()
         path = tmp_path / "metrics.jsonl"

@@ -344,6 +344,50 @@ class TestCorpusRunner:
         assert ctx.metrics["select"].calls >= 4
 
 
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestWarmProcessPool:
+    def test_boot_spawns_every_worker_up_front(self):
+        from repro.perf import WarmProcessPool
+
+        with WarmProcessPool("D2", workers=2) as pool:
+            pool.boot()
+            assert pool.booted
+            assert len(pool.executor()._processes) >= 2
+        assert not pool.booted
+
+    def test_shared_pool_survives_runner_runs(self, corpus):
+        from repro.perf import WarmProcessPool
+
+        serial = CorpusRunner("D2", workers=1).run(corpus)
+        pool = WarmProcessPool("D2", workers=2).boot()
+        try:
+            runner = CorpusRunner("D2", chunk_size=2, pool=pool)
+            assert runner.workers == 2  # adopted from the pool
+            first = runner.run(corpus)
+            assert pool.booted  # the runner must not shut a shared pool
+            second = runner.run(corpus)
+        finally:
+            pool.close()
+        for outcome in (first, second):
+            assert not outcome.failures
+            for s, p in zip(serial.results, outcome.results):
+                assert _extraction_key(s) == _extraction_key(p)
+        # metrics drain per chunk: the second run is not double-counted
+        assert first.metrics["select"].calls == second.metrics["select"].calls
+
+    def test_close_is_idempotent_and_reboots(self):
+        from repro.perf import WarmProcessPool
+
+        pool = WarmProcessPool("D2", workers=2)
+        pool.close()  # never booted: a no-op
+        pool.boot()
+        pool.close()
+        pool.close()
+        pool.boot()  # a drained pool can boot again
+        assert pool.booted
+        pool.close()
+
+
 # ----------------------------------------------------------------------
 # DocumentFailure context (doc index, seed, span path)
 # ----------------------------------------------------------------------

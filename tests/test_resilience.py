@@ -384,6 +384,59 @@ class TestCheckpointResume:
         assert canonical(final) == want
         assert final.supervision.resumed_docs == len(docs)
 
+    def test_truncated_payload_in_final_record_is_dropped(self, tmp_path, caplog):
+        docs = corpus()
+        baseline = supervised(docs, self._plan(), checkpoint_path=str(tmp_path / "a.jsonl"))
+        want = canonical(baseline)
+
+        # A crash can land after the JSON framing of the final record
+        # was flushed but with its pickle payload torn: the line parses,
+        # the payload does not.  That is the same kill artefact as a
+        # torn line and must be dropped with a warning, not crash the
+        # resume.
+        path = tmp_path / "b.jsonl"
+        supervised(docs, self._plan(), checkpoint_path=str(path))
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[-1])
+        assert record["type"] == "result"
+        record["payload"] = record["payload"][: len(record["payload"]) // 2]
+        torn = (json.dumps(record, sort_keys=True) + "\n").encode()
+        path.write_bytes(b"".join(lines[:-1]) + torn)
+
+        with caplog.at_level(logging.WARNING, logger="repro.resilience.checkpoint"):
+            resumed = supervised(docs, self._plan(), checkpoint_path=str(path))
+        assert canonical(resumed) == want
+        assert resumed.supervision.resumed_docs == len(docs) - 1  # torn doc re-ran
+        assert any("truncated final record" in m for m in caplog.messages)
+
+    def test_final_line_cut_inside_a_multibyte_char_is_dropped(self, tmp_path):
+        docs = corpus()
+        path = tmp_path / "run.jsonl"
+        first = supervised(docs, self._plan(), checkpoint_path=str(path))
+        want = canonical(first)
+        # Simulate a kill mid-write that stops inside a multi-byte
+        # UTF-8 sequence: the final line is not even decodable, let
+        # alone parseable.  Loading must drop it, not raise
+        # UnicodeDecodeError.
+        torn = '{"type": "result", "doc_id": "é'.encode("utf-8")
+        path.write_bytes(path.read_bytes() + torn[:-1])
+        resumed = supervised(docs, self._plan(), checkpoint_path=str(path))
+        assert canonical(resumed) == want
+        assert resumed.supervision.resumed_docs == len(docs)  # nothing re-ran
+
+    def test_undecodable_payload_before_the_end_is_corrupt(self, tmp_path):
+        docs = corpus()
+        path = tmp_path / "run.jsonl"
+        supervised(docs, self._plan(), checkpoint_path=str(path))
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[2])
+        assert record["type"] == "result"
+        record["payload"] = record["payload"][: len(record["payload"]) // 2]
+        lines[2] = (json.dumps(record, sort_keys=True) + "\n").encode()
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ValueError, match="undecodable result payload on line 3"):
+            supervised(docs, self._plan(), checkpoint_path=str(path))
+
     def test_resume_restores_quarantine(self, tmp_path):
         docs = corpus()
         path = tmp_path / "run.jsonl"

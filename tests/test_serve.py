@@ -1,0 +1,554 @@
+"""Tests of ``repro.serve``: the long-lived extraction service.
+
+Three layers:
+
+* unit tests of the sans-IO state machine — admission/shedding,
+  deadline expiry at every stage, batch retry budgets, circuit-breaker
+  transitions, drain accounting;
+* the deterministic virtual-clock harness — chaos under >= 2x offered
+  load with a fault plan armed (every request resolves 200/429/504,
+  nothing unaccounted) and the byte-identity of a 1-worker vs an
+  N-worker server over the same seeded schedule;
+* the ``serve_smoke``-marked end-to-end test — a real subprocess
+  server, real sockets, SIGTERM drain, exit 0, no orphan workers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import SERVE_SLOS, SLORule, evaluate_serve, format_verdict
+from repro.resilience import FaultPlan
+from repro.serve import (
+    BENCH_SERVE_SCHEMA,
+    ExtractionService,
+    LoadSpec,
+    ServeConfig,
+    arrival_schedule,
+    bench_record,
+    load_bench,
+    run_virtual,
+    write_bench,
+)
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.config import BreakerConfig
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: The canned chaos plan the acceptance tests arm: admission faults,
+#: whole-batch faults, and pipeline-level merge failures, all seeded.
+CHAOS_SPEC = "admit:flaky@0.1,batch:flaky@0.2,merge:flaky@0.3"
+
+
+def _config(**overrides) -> ServeConfig:
+    base = dict(dataset="D2", workers=1, corpus_n=8, queue_limit=4,
+                deadline_s=10.0, batch_max=2, max_attempts=2)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def _service(config=None, fault_plan=None) -> ExtractionService:
+    return ExtractionService(config or _config(), fault_plan=fault_plan)
+
+
+# ----------------------------------------------------------------------
+# Admission and shedding
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_admit_returns_a_ticket_and_queues_it(self):
+        service = _service().boot()
+        try:
+            ticket, response = service.admit(3, now=1.0)
+            assert response is None and ticket is not None
+            assert ticket.doc_index == 3
+            assert ticket.deadline == pytest.approx(11.0)
+            assert service.pending() == 1
+            assert service.accounting["submitted"] == 1
+        finally:
+            service.shutdown()
+
+    def test_full_queue_sheds_with_retry_after(self):
+        service = _service(_config(queue_limit=2)).boot()
+        try:
+            assert service.admit(0, now=0.0)[1] is None
+            assert service.admit(1, now=0.0)[1] is None
+            ticket, response = service.admit(2, now=0.0)
+            assert ticket is None
+            assert response.status == 429
+            assert response.body["reason"] == "queue_full"
+            assert response.retry_after_s == service.config.retry_after_s
+            assert service.pending() == 2
+            assert service.accounting["shed"] == 1
+        finally:
+            service.shutdown()
+
+    def test_draining_sheds_every_new_request(self):
+        service = _service().boot()
+        try:
+            service.begin_drain(0.0)
+            _, response = service.admit(0, now=0.0)
+            assert response.status == 429
+            assert response.body["reason"] == "draining"
+        finally:
+            service.shutdown()
+
+    def test_admit_fault_sheds_as_fault(self):
+        service = _service(fault_plan=FaultPlan.from_spec("admit:fail")).boot()
+        try:
+            _, response = service.admit(0, now=0.0)
+            assert response.status == 429
+            assert response.body["reason"] == "fault"
+        finally:
+            service.shutdown()
+
+    def test_request_ids_are_unique_and_stable(self):
+        service = _service().boot()
+        try:
+            t1, _ = service.admit(0, now=0.0)
+            t2, _ = service.admit(1, now=0.0)
+            assert t1.request_id != t2.request_id
+            t3, _ = service.admit(2, now=0.0, request_id="mine")
+            assert t3.request_id == "mine"
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Deadlines: 504 at every stage, never a hung slot
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_queue_expiry_resolves_504_at_dequeue(self):
+        service = _service().boot()
+        try:
+            service.admit(0, now=0.0, deadline_s=1.0)
+            service.admit(1, now=0.0, deadline_s=30.0)
+            batch, expired = service.take_batch(now=2.0)
+            assert [r.status for r in expired] == [504]
+            assert expired[0].body["where"] == "queue"
+            assert len(batch) == 1  # the live request still dispatches
+        finally:
+            service.shutdown()
+
+    def test_completion_past_deadline_resolves_504(self):
+        service = _service().boot()
+        try:
+            service.admit(0, now=0.0, deadline_s=1.0)
+            batch, expired = service.take_batch(now=0.5)
+            assert not expired and len(batch) == 1
+            outcome = service.run_batch(batch)
+            responses = service.resolve(batch, outcome, now=2.0)
+            assert [r.status for r in responses] == [504]
+            assert responses[0].body["where"] == "result"
+        finally:
+            service.shutdown()
+
+    def test_accounting_closes_after_timeouts(self):
+        service = _service().boot()
+        try:
+            service.admit(0, now=0.0, deadline_s=1.0)
+            service.take_batch(now=5.0)
+            snapshot = service.accounting_snapshot()
+            assert snapshot["timeout"] == 1
+            assert snapshot["unaccounted"] == 0
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Batch faults and the retry budget
+# ----------------------------------------------------------------------
+class TestBatchRetry:
+    def test_whole_batch_fault_requeues_then_succeeds(self):
+        plan = FaultPlan.from_spec("batch:flaky@attempts=1")
+        service = _service(fault_plan=plan).boot()
+        try:
+            ticket, _ = service.admit(0, now=0.0)
+            batch, _ = service.take_batch(now=0.0)
+            outcome = service.run_batch(batch)
+            assert outcome.result is None and outcome.fault is not None
+            assert service.resolve(batch, outcome, now=0.1) == []
+            assert service.pending() == 1  # re-enqueued at the front
+            batch, _ = service.take_batch(now=0.2)
+            assert batch[0].attempt == 2
+            outcome = service.run_batch(batch)
+            responses = service.resolve(batch, outcome, now=0.3)
+            assert [r.status for r in responses] == [200]
+            assert responses[0].body["attempt"] == 2
+            assert responses[0].request_id == ticket.request_id
+        finally:
+            service.shutdown()
+
+    def test_exhausted_attempts_resolve_504_where_batch(self):
+        plan = FaultPlan.from_spec("batch:fail")
+        service = _service(_config(max_attempts=1), fault_plan=plan).boot()
+        try:
+            service.admit(0, now=0.0)
+            batch, _ = service.take_batch(now=0.0)
+            outcome = service.run_batch(batch)
+            responses = service.resolve(batch, outcome, now=0.1)
+            assert [r.status for r in responses] == [504]
+            assert responses[0].body["where"] == "batch"
+            assert service.accounting_snapshot()["unaccounted"] == 0
+        finally:
+            service.shutdown()
+
+    def test_ok_response_carries_extractions(self):
+        service = _service().boot()
+        try:
+            service.admit(2, now=0.0)
+            batch, _ = service.take_batch(now=0.0)
+            responses = service.resolve(batch, service.run_batch(batch), now=0.5)
+            body = responses[0].body
+            assert body["status"] == 200
+            assert body["doc_id"] == service.corpus[2].doc_id
+            assert isinstance(body["extractions"], dict) and body["extractions"]
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def _breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            "segment", BreakerConfig(window=4, threshold=0.5, cooldown_batches=1)
+        )
+
+    def test_trips_open_at_threshold_and_degrades(self):
+        breaker = self._breaker()
+        assert breaker.state == CLOSED and not breaker.degrade
+        breaker.record_batch(failed=2, total=4, degraded=False)
+        assert breaker.state == OPEN and breaker.degrade
+
+    def test_cooldown_leads_to_half_open_trial_then_close(self):
+        breaker = self._breaker()
+        breaker.record_batch(2, 4, degraded=False)
+        breaker.record_batch(0, 4, degraded=True)  # cooldown batch
+        assert breaker.state == HALF_OPEN and not breaker.degrade
+        breaker.record_batch(0, 4, degraded=False)  # clean trial
+        assert breaker.state == CLOSED
+
+    def test_failed_trial_reopens(self):
+        breaker = self._breaker()
+        breaker.record_batch(2, 4, degraded=False)
+        breaker.record_batch(0, 4, degraded=True)
+        breaker.record_batch(1, 4, degraded=False)  # trial still failing
+        assert breaker.state == OPEN
+
+    def test_below_threshold_stays_closed(self):
+        breaker = self._breaker()
+        for _ in range(8):
+            breaker.record_batch(1, 4, degraded=False)  # 25% < 50%
+        assert breaker.state == CLOSED
+
+    def test_transitions_are_counted(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        breaker = CircuitBreaker(
+            "select", BreakerConfig(window=2, threshold=0.5, cooldown_batches=1),
+            registry=registry,
+        )
+        breaker.record_batch(2, 2, degraded=False)
+        breaker.record_batch(0, 2, degraded=True)
+        breaker.record_batch(0, 2, degraded=False)
+        states = {
+            labels["state"]: value
+            for labels, value in registry.samples("repro.serve.breaker_transitions")
+            if labels["stage"] == "select"
+        }
+        assert states == {"open": 1, "half_open": 1, "closed": 1}
+
+    def test_open_segment_breaker_runs_batches_visual_only(self):
+        service = _service().boot()
+        try:
+            service.breakers["segment"]._trip()
+            service.admit(0, now=0.0)
+            batch, _ = service.take_batch(now=0.0)
+            outcome = service.run_batch(batch)
+            assert outcome.open_stages == frozenset({"segment"})
+            runner = service._runner(frozenset({"segment"}))
+            assert runner.config.segment.use_semantic_merging is False
+            responses = service.resolve(batch, outcome, now=0.5)
+            assert [r.status for r in responses] == [200]
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Drain
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_checkpoint_and_final_snapshot(self, tmp_path):
+        path = tmp_path / "drain.json"
+        service = _service(_config(checkpoint_path=str(path))).boot()
+        service.admit(0, now=0.0)
+        batch, _ = service.take_batch(now=0.0)
+        service.resolve(batch, service.run_batch(batch), now=0.5)
+        service.begin_drain(1.0)
+        snapshot = service.finish_drain(1.0)
+        assert snapshot == {
+            "submitted": 1, "ok": 1, "shed": 0, "timeout": 0,
+            "pending": 0, "unaccounted": 0,
+        }
+        record = json.loads(path.read_text())
+        assert record["schema"] == "repro.serve.checkpoint/1"
+        assert record["accounting"] == snapshot
+        assert not service.ready  # shut down, pool released
+
+
+# ----------------------------------------------------------------------
+# Virtual-clock load generation: chaos under overload + determinism
+# ----------------------------------------------------------------------
+def _chaos_spec(workers: int = 1) -> tuple:
+    config = _config(workers=workers, corpus_n=16, queue_limit=8,
+                     batch_max=4, max_attempts=2)
+    spec = LoadSpec(n_requests=32, rate=10.0, seed=7, deadline_s=2.0,
+                    doc_service_s=0.25)
+    return config, spec
+
+
+class TestVirtualLoadgen:
+    def test_schedule_is_seeded_and_sorted(self):
+        spec = LoadSpec(n_requests=16, seed=3)
+        first, second = arrival_schedule(spec), arrival_schedule(spec)
+        assert first == second
+        times = [t for t, _ in first]
+        assert times == sorted(times)
+        assert arrival_schedule(LoadSpec(n_requests=16, seed=4)) != first
+
+    def test_chaos_under_overload_accounts_for_every_request(self):
+        config, spec = _chaos_spec()
+        assert spec.overload_factor >= 2.0
+        service = ExtractionService(
+            config, fault_plan=FaultPlan.from_spec(CHAOS_SPEC, seed=7)
+        )
+        responses, snapshot = run_virtual(service, spec)
+        assert len(responses) == spec.n_requests == snapshot["submitted"]
+        assert {r.status for r in responses} <= {200, 429, 504}
+        assert snapshot["shed"] > 0 and snapshot["timeout"] > 0  # overload bites
+        assert snapshot["ok"] > 0  # but the service still serves
+        assert snapshot["pending"] == 0
+        assert snapshot["unaccounted"] == 0
+        ids = [r.request_id for r in responses]
+        assert len(set(ids)) == len(ids)
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_one_worker_and_n_worker_servers_are_byte_identical(self):
+        outputs = []
+        for workers in (1, 3):
+            config, spec = _chaos_spec(workers)
+            service = ExtractionService(
+                config, fault_plan=FaultPlan.from_spec(CHAOS_SPEC, seed=7)
+            )
+            responses, snapshot = run_virtual(service, spec)
+            outputs.append((
+                snapshot,
+                b"\n".join(r.payload() for r in responses),
+                service.registry.normalized_dump(),
+            ))
+        assert outputs[0][0] == outputs[1][0]  # accounting
+        assert outputs[0][1] == outputs[1][1]  # every response payload
+        assert outputs[0][2] == outputs[1][2]  # normalized metrics dump
+
+    def test_bench_record_round_trip_and_slo_verdict(self, tmp_path):
+        config, spec = _chaos_spec()
+        service = ExtractionService(
+            config, fault_plan=FaultPlan.from_spec(CHAOS_SPEC, seed=7)
+        )
+        responses, snapshot = run_virtual(service, spec)
+        record = bench_record(service, spec, responses, snapshot,
+                              duration_s=1.0, fault_spec=CHAOS_SPEC)
+        assert record["schema"] == BENCH_SERVE_SCHEMA
+        assert record["accounting"] == snapshot
+        assert record["meta"]["overload_factor"] == pytest.approx(2.5)
+        path = tmp_path / "BENCH_serve.json"
+        write_bench(str(path), record)
+        loaded = load_bench(str(path))
+        assert loaded == json.loads(json.dumps(record))  # JSON-stable
+        verdict = evaluate_serve(loaded)
+        assert verdict.ok, format_verdict(verdict)
+
+    def test_load_bench_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError, match="expected schema"):
+            load_bench(str(path))
+
+
+# ----------------------------------------------------------------------
+# Serve SLOs
+# ----------------------------------------------------------------------
+class TestServeSLOs:
+    def _bench(self, **overrides):
+        base = {
+            "schema": BENCH_SERVE_SCHEMA,
+            "meta": {"deadline_s": 2.0},
+            "latency": {"p95_s": 2.4},
+            "accounting": {"unaccounted": 0},
+            "shed_rate": 0.3,
+        }
+        base.update(overrides)
+        return base
+
+    def test_green_bench_passes(self):
+        verdict = evaluate_serve(self._bench())
+        assert verdict.ok and len(verdict.rows) == len(SERVE_SLOS)
+
+    def test_p95_past_ceiling_fails(self):
+        verdict = evaluate_serve(self._bench(latency={"p95_s": 3.5}))
+        assert not verdict.ok
+        assert [r.rule_id for r in verdict.rows if not r.ok] == ["SLO-SERVE-P95"]
+
+    def test_shed_rate_and_unaccounted_fail(self):
+        verdict = evaluate_serve(
+            self._bench(shed_rate=0.9, accounting={"unaccounted": 2})
+        )
+        failed = {r.rule_id for r in verdict.rows if not r.ok}
+        assert failed == {"SLO-SERVE-SHED", "SLO-SERVE-ACCT"}
+
+    def test_non_serve_rule_is_rejected(self):
+        rule = SLORule("SLO-P95", "p95_ceiling", 3.0)
+        with pytest.raises(ValueError, match="not a serve rule"):
+            evaluate_serve(self._bench(), rules=(rule,))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_loadgen_then_report_serve(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "BENCH_serve.json"
+        assert main([
+            "loadgen", "--n", "16", "--rate", "10", "--deadline", "2",
+            "--seed", "7", "--faults", CHAOS_SPEC, "--out", str(out),
+        ]) == 0
+        assert load_bench(str(out))["meta"]["faults"] == CHAOS_SPEC
+        assert main(["report", "--serve", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "unaccounted=0" in text
+        assert "run health: PASS" in text
+
+    def test_report_serve_missing_file_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["report", "--serve", "/nonexistent/bench.json"]) == 2
+
+
+# ----------------------------------------------------------------------
+# End to end: real server, real sockets, SIGTERM drain
+# ----------------------------------------------------------------------
+@pytest.mark.serve_smoke
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestServeHTTP:
+    def _boot(self, tmp_path, *extra):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--workers", "2",
+             "--corpus-n", "8", "--deadline", "20",
+             "--checkpoint", str(tmp_path / "drain.json"), *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, start_new_session=True,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"listening on [\d.]+:(\d+)", line)
+        assert match, f"unexpected boot line: {line!r}"
+        return proc, int(match.group(1))
+
+    def _get(self, port, path):
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as resp:
+            return resp.status, resp.read()
+
+    def test_server_lifecycle_sigterm_drains_cleanly(self, tmp_path):
+        import urllib.request
+
+        proc, port = self._boot(tmp_path)
+        try:
+            status, body = self._get(port, "/health")
+            assert status == 200 and json.loads(body)["status"] == "ok"
+            status, body = self._get(port, "/ready")
+            assert status == 200 and json.loads(body)["ready"] is True
+
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/extract",
+                data=json.dumps({"index": 3}).encode(), method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                body = json.loads(resp.read())
+            assert resp.status == 200
+            assert body["doc_id"] and body["extractions"]
+
+            status, text = self._get(port, "/metrics")
+            assert status == 200
+            assert 'repro_serve_requests{status="200"} 1' in text.decode()
+        finally:
+            pgid = os.getpgid(proc.pid)
+            os.killpg(pgid, signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        drained = [l for l in out.splitlines() if "drained" in l]
+        assert drained and json.loads(drained[0].split("drained ", 1)[1]) == {
+            "submitted": 1, "ok": 1, "shed": 0, "timeout": 0,
+            "pending": 0, "unaccounted": 0,
+        }
+        with pytest.raises(ProcessLookupError):  # no orphan workers
+            os.killpg(pgid, 0)
+        record = json.loads((tmp_path / "drain.json").read_text())
+        assert record["accounting"]["unaccounted"] == 0
+
+    def test_http_loadgen_accounts_for_every_request(self, tmp_path):
+        from repro.serve import run_http
+
+        proc, port = self._boot(
+            tmp_path, "--queue-limit", "4", "--faults", CHAOS_SPEC,
+        )
+        try:
+            counts = run_http(
+                "127.0.0.1", port,
+                LoadSpec(n_requests=12, rate=50.0, seed=7, deadline_s=20.0,
+                         http_concurrency=12),
+            )
+            assert set(counts) <= {"200", "429", "504"}
+            assert sum(counts.values()) == 12
+        finally:
+            pgid = os.getpgid(proc.pid)
+            os.killpg(pgid, signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        with pytest.raises(ProcessLookupError):
+            os.killpg(pgid, 0)
+
+    def test_malformed_extract_body_is_400(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        proc, port = self._boot(tmp_path)
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/extract",
+                data=b"not json", method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=30)
+            assert err.value.code == 400
+        finally:
+            os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
